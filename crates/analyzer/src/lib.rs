@@ -1,0 +1,40 @@
+//! # rvz-analyzer
+//!
+//! Relational analysis (§4, §5.5): partition inputs into classes by
+//! contract-trace equality, then require that hardware traces agree within
+//! every class.  A class with diverging hardware traces is a contract
+//! counterexample.
+//!
+//! Hardware traces are compared with the subset relation rather than strict
+//! equality, because the executor merges traces collected in different
+//! microarchitectural contexts: a missing speculative path produces a strict
+//! subset, whereas a secret-dependent access produces incomparable traces
+//! (§5.5).
+//!
+//! # Example
+//!
+//! ```
+//! use rvz_analyzer::Analyzer;
+//! use rvz_cache::SetVector;
+//! use rvz_executor::HTrace;
+//! use rvz_model::{CTrace, Observation};
+//!
+//! let ct = |a: u64| CTrace::new(vec![Observation::MemAddr(a)]);
+//! let ht = |sets: &[usize]| HTrace::from_sets(SetVector::from_sets(sets.iter().copied()));
+//!
+//! // Two inputs with the same contract trace but different hardware traces:
+//! // a counterexample.
+//! let ctraces = vec![ct(0x100), ct(0x100), ct(0x200)];
+//! let htraces = vec![ht(&[4]), ht(&[9]), ht(&[8])];
+//! let result = Analyzer::new().check(&ctraces, &htraces);
+//! assert!(result.has_violation());
+//! let v = &result.violations[0];
+//! assert_eq!((v.input_a, v.input_b), (0, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+
+pub use analysis::{AnalysisResult, Analyzer, EffectivenessStats, InputClass, Violation};

@@ -1,0 +1,34 @@
+//! Criterion bench for detection latency on handwritten gadgets (the
+//! quantity behind Tables 4 and 5): how long the full pipeline needs to
+//! confirm a violation for each known vulnerability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revizor::detection::inputs_to_violation;
+use revizor::gadgets;
+use revizor::targets::Target;
+use rvz_model::Contract;
+
+fn bench_gadget_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadget_detection");
+    group.sample_size(10);
+
+    let cases: Vec<(&str, rvz_isa::TestCase, Target)> = vec![
+        ("spectre_v1_target5", gadgets::spectre_v1(), Target::target5()),
+        ("spectre_v4_target2", gadgets::spectre_v4(), Target::target2()),
+        ("mds_lfb_target7", gadgets::mds_lfb(), Target::target7()),
+        ("lvi_null_target8", gadgets::lvi_null(), Target::target8()),
+    ];
+    for (name, gadget, target) in cases {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                inputs_to_violation(&target, Contract::ct_seq(), &gadget, seed, 150)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gadget_detection);
+criterion_main!(benches);

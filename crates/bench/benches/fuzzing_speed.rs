@@ -1,0 +1,40 @@
+//! Criterion bench for the end-to-end fuzzing loop (§6.5): the time to
+//! process one complete test case (generation + contract traces + hardware
+//! traces + relational analysis) on a non-violating target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revizor::targets::Target;
+use revizor::{FuzzerConfig, Revizor};
+use rvz_executor::ExecutorConfig;
+use rvz_gen::GeneratorConfig;
+use rvz_model::Contract;
+
+fn bench_full_test_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzzing_speed");
+    group.sample_size(20);
+
+    for (name, target, inputs) in [
+        ("target1_ar_50_inputs", Target::target1(), 50),
+        ("target5_ar_mem_cb_50_inputs", Target::target5(), 50),
+    ] {
+        let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+            .with_generator(GeneratorConfig::for_subset(target.isa).with_instructions(12))
+            .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
+            .with_inputs_per_test_case(inputs);
+        let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let generator =
+            rvz_gen::ProgramGenerator::new(GeneratorConfig::for_subset(target.isa).with_instructions(12));
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let tc = generator.generate(seed);
+                fuzzer.test_case(&tc, seed).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_test_case);
+criterion_main!(benches);

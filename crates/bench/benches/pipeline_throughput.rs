@@ -1,0 +1,104 @@
+//! Criterion benches for the individual MRT pipeline stages: test-case
+//! generation, contract-trace collection (model), hardware-trace collection
+//! (executor) and relational analysis.  Together these determine the §6.5
+//! fuzzing speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revizor::gadgets;
+use rvz_analyzer::Analyzer;
+use rvz_executor::{Executor, ExecutorConfig, MeasurementMode};
+use rvz_gen::{GeneratorConfig, InputGenerator, ProgramGenerator};
+use rvz_isa::IsaSubset;
+use rvz_model::{Contract, ContractModel};
+use rvz_uarch::{CpuUnderTest, SpecCpu, UarchConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    for (name, cfg) in [
+        ("initial_8instr_2bb", GeneratorConfig::paper_initial()),
+        (
+            "escalated_24instr_5bb",
+            GeneratorConfig::paper_initial().with_instructions(24).with_basic_blocks(5),
+        ),
+    ] {
+        let generator = ProgramGenerator::new(cfg);
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                generator.generate(seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_ctrace");
+    let tc = gadgets::spectre_v1();
+    let input = InputGenerator::new(2).generate_one(&tc, 3);
+    for contract in [Contract::ct_seq(), Contract::ct_cond(), Contract::ct_cond_bpas()] {
+        let model = ContractModel::new(contract.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(contract.name()), &model, |b, m| {
+            b.iter(|| m.collect(&tc, &input).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_htrace");
+    group.sample_size(30);
+    let tc = gadgets::spectre_v1();
+    let inputs = InputGenerator::new(2).generate(&tc, 3, 20);
+    for (name, mode) in [
+        ("prime_probe_20_inputs", MeasurementMode::prime_probe()),
+        ("prime_probe_assist_20_inputs", MeasurementMode::prime_probe_assist()),
+    ] {
+        group.bench_function(name, |b| {
+            let cpu = SpecCpu::new(UarchConfig::skylake());
+            let mut ex = Executor::new(cpu, ExecutorConfig::fast(mode).with_repetitions(2));
+            b.iter(|| ex.collect_htraces(&tc, &inputs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer");
+    let tc = gadgets::spectre_v1();
+    let inputs = InputGenerator::new(2).generate(&tc, 3, 50);
+    let model = ContractModel::new(Contract::ct_seq());
+    let ctraces: Vec<_> = inputs.iter().map(|i| model.collect_trace(&tc, i).unwrap()).collect();
+    let cpu = SpecCpu::new(UarchConfig::skylake());
+    let mut ex = Executor::new(cpu, ExecutorConfig::fast(MeasurementMode::prime_probe()));
+    let htraces = ex.collect_htraces(&tc, &inputs).unwrap();
+    group.bench_function("relational_check_50_inputs", |b| {
+        let analyzer = Analyzer::new();
+        b.iter(|| analyzer.check(&ctraces, &htraces))
+    });
+    group.finish();
+}
+
+fn bench_uarch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_under_test");
+    let generator =
+        ProgramGenerator::new(GeneratorConfig::for_subset(IsaSubset::AR_MEM_CB).with_instructions(16));
+    let tc = generator.generate(9);
+    let input = InputGenerator::new(2).generate_one(&tc, 1);
+    group.bench_function("single_run_16_instr", |b| {
+        let mut cpu = SpecCpu::new(UarchConfig::skylake());
+        b.iter(|| cpu.run(&tc, &input, &rvz_uarch::RunOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_model,
+    bench_executor,
+    bench_analyzer,
+    bench_uarch
+);
+criterion_main!(benches);

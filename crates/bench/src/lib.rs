@@ -1,0 +1,80 @@
+//! # rvz-bench
+//!
+//! Benchmark and experiment-regeneration harness.
+//!
+//! Every table and figure of the paper's evaluation has a regeneration
+//! target here (see `DESIGN.md` for the full index):
+//!
+//! | Paper artefact | Binary (`cargo run --release -p rvz-bench --bin <name>`) |
+//! |---|---|
+//! | Table 2 (experimental setups)          | `table2` |
+//! | Table 3 (violations per target/contract) | `table3` |
+//! | Table 4 (detection times)              | `table4` |
+//! | Table 5 (inputs to violation, handwritten gadgets) | `table5` |
+//! | §6.4 (speculative store eviction)      | `store_eviction` |
+//! | §6.5 (fuzzing speed)                   | `fuzzing_speed_report` |
+//! | §6.6 / Figure 6 (contract sensitivity) | `contract_sensitivity` |
+//! | Figures 3 & 4 (generated / minimized test case) | `figures` |
+//!
+//! Criterion benches (`cargo bench -p rvz-bench`) measure the throughput of
+//! the pipeline stages and the wall-clock detection time of the headline
+//! vulnerabilities.
+//!
+//! The table binaries accept an optional budget argument (test cases per
+//! cell / samples per row) so that quick smoke runs and longer, more
+//! paper-like runs use the same code.
+
+use std::time::Duration;
+
+/// Parse the first CLI argument as a budget, with a default.
+pub fn budget_from_args(default: usize) -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Render a duration as the paper does (`4m 51s` / `5.3s`).
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 60.0 {
+        format!("{}m {:02.0}s", (secs / 60.0) as u64, secs % 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.1}s")
+    } else {
+        format!("{:.0}ms", secs * 1000.0)
+    }
+}
+
+/// Render a table row with fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:<w$}"))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_millis(250)), "250ms");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(5.25)), "5.2s");
+        assert_eq!(fmt_duration(Duration::from_secs(300)), "5m 00s");
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "a   | bb  ");
+    }
+
+    #[test]
+    fn default_budget_used_without_args() {
+        assert_eq!(budget_from_args(42), 42);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rvz-cache
+//!
+//! Set-associative cache model and cache side-channel primitives.
+//!
+//! The paper's executor observes the microarchitectural state through
+//! attacks on the L1D cache: Prime+Probe, Flush+Reload and Evict+Reload
+//! (§5.3).  This crate provides the cache substrate those attacks run
+//! against in the simulated CPU:
+//!
+//! * [`Cache`] — an LRU set-associative cache (64 sets × 8 ways by default,
+//!   matching the L1D of the Skylake/Coffee Lake parts used in the paper);
+//! * [`SetVector`] — a 64-bit vector of cache sets, the paper's hardware
+//!   trace representation ("a sequence of bits, each representing whether a
+//!   specific cache set was accessed", §5.3);
+//! * [`probe`] — Prime+Probe / Flush+Reload / Evict+Reload measurement
+//!   primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use rvz_cache::{Cache, CacheConfig};
+//! let mut c = Cache::new(CacheConfig::l1d());
+//! assert!(!c.access(0x1000));      // cold miss
+//! assert!(c.access(0x1000));       // now a hit
+//! assert!(c.is_cached(0x1000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod probe;
+pub mod set_vector;
+
+pub use model::{Cache, CacheConfig};
+pub use probe::{EvictReload, FlushReload, PrimeProbe, SideChannel};
+pub use set_vector::SetVector;

@@ -1,0 +1,269 @@
+//! LRU set-associative cache model.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_size: u64,
+}
+
+impl CacheConfig {
+    /// The 32 KiB, 8-way L1D of the Skylake / Coffee Lake parts tested in
+    /// the paper: 64 sets × 8 ways × 64 B.
+    pub fn l1d() -> CacheConfig {
+        CacheConfig { sets: 64, ways: 8, line_size: 64 }
+    }
+
+    /// A tiny cache useful for eviction-heavy unit tests.
+    pub fn tiny(sets: usize, ways: usize) -> CacheConfig {
+        CacheConfig { sets, ways, line_size: 64 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        (self.sets * self.ways) as u64 * self.line_size
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::l1d()
+    }
+}
+
+/// One cache line: tag plus LRU age (smaller = more recently used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    age: u32,
+}
+
+/// An LRU set-associative cache.
+///
+/// Addresses are mapped to sets by `(addr / line_size) % sets`; the tag is
+/// the full line address, so distinct addresses never alias incorrectly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Create an empty cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        Cache { config, sets: vec![Vec::new(); config.sets], accesses: 0, misses: 0 }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Line-granular tag of an address.
+    #[inline]
+    pub fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.config.line_size
+    }
+
+    /// Set index of an address.
+    #[inline]
+    pub fn set_of(&self, addr: u64) -> usize {
+        (self.tag_of(addr) as usize) % self.config.sets
+    }
+
+    /// Access (load or store) the line containing `addr`, filling it on a
+    /// miss and updating LRU state.  Returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let tag = self.tag_of(addr);
+        let set_idx = self.set_of(addr);
+        let ways = self.config.ways;
+        let set = &mut self.sets[set_idx];
+        // Age everything, then handle hit/miss.
+        for line in set.iter_mut() {
+            line.age = line.age.saturating_add(1);
+        }
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.age = 0;
+            return true;
+        }
+        self.misses += 1;
+        if set.len() >= ways {
+            // Evict the oldest line.
+            let victim = set
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| l.age)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            set.remove(victim);
+        }
+        set.push(Line { tag, age: 0 });
+        false
+    }
+
+    /// Access without filling: returns whether the line is present and
+    /// refreshes its LRU age if it is (models a probe load that hits).
+    pub fn probe_access(&mut self, addr: u64) -> bool {
+        let tag = self.tag_of(addr);
+        let set_idx = self.set_of(addr);
+        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.tag == tag) {
+            line.age = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is the line containing `addr` currently cached?
+    pub fn is_cached(&self, addr: u64) -> bool {
+        let tag = self.tag_of(addr);
+        self.sets[self.set_of(addr)].iter().any(|l| l.tag == tag)
+    }
+
+    /// Flush the line containing `addr` (CLFLUSH).
+    pub fn flush(&mut self, addr: u64) {
+        let tag = self.tag_of(addr);
+        let set_idx = self.set_of(addr);
+        self.sets[set_idx].retain(|l| l.tag != tag);
+    }
+
+    /// Flush the entire cache.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of valid lines in a set.
+    pub fn set_occupancy(&self, set: usize) -> usize {
+        self.sets[set].len()
+    }
+
+    /// Tags currently resident in a set.
+    pub fn set_tags(&self, set: usize) -> Vec<u64> {
+        self.sets[set].iter().map(|l| l.tag).collect()
+    }
+
+    /// Total accesses performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses observed (the quantity the paper reads from the L1D
+    /// miss performance counter during probing, §5.3).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Reset the hit/miss counters without touching cache contents.
+    pub fn reset_counters(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_capacity() {
+        assert_eq!(CacheConfig::l1d().capacity(), 32 * 1024);
+        assert_eq!(CacheConfig::tiny(2, 2).capacity(), 256);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x13f), "same line");
+        assert!(!c.access(0x140), "next line misses");
+        assert_eq!(c.accesses(), 4);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn set_mapping() {
+        let c = Cache::new(CacheConfig::l1d());
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(64), 1);
+        assert_eq!(c.set_of(64 * 64), 0);
+        assert_eq!(c.set_of(63), 0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = Cache::new(CacheConfig::tiny(1, 2));
+        c.access(0); // A
+        c.access(64); // B  (set 0 again since only 1 set)
+        c.access(0); // A refreshed
+        c.access(128); // C evicts B (least recently used)
+        assert!(c.is_cached(0));
+        assert!(!c.is_cached(64));
+        assert!(c.is_cached(128));
+    }
+
+    #[test]
+    fn associativity_respected() {
+        let cfg = CacheConfig::tiny(4, 2);
+        let mut c = Cache::new(cfg);
+        // Three lines mapping to set 0: strides of sets*line_size.
+        let stride = cfg.sets as u64 * cfg.line_size;
+        c.access(0);
+        c.access(stride);
+        c.access(2 * stride);
+        assert_eq!(c.set_occupancy(0), 2);
+        assert!(!c.is_cached(0), "oldest evicted");
+    }
+
+    #[test]
+    fn flush_removes_line() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        c.access(0x1000);
+        assert!(c.is_cached(0x1000));
+        c.flush(0x1000);
+        assert!(!c.is_cached(0x1000));
+        c.access(0x2000);
+        c.flush_all();
+        assert!(!c.is_cached(0x2000));
+    }
+
+    #[test]
+    fn probe_access_does_not_fill() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        assert!(!c.probe_access(0x40));
+        assert!(!c.is_cached(0x40));
+        c.access(0x40);
+        assert!(c.probe_access(0x40));
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        c.access(0);
+        c.reset_counters();
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(c.is_cached(0), "contents preserved");
+    }
+
+    #[test]
+    fn set_tags_reported() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        c.access(0x0);
+        c.access(0x1000);
+        let tags = c.set_tags(0);
+        assert!(tags.contains(&0));
+        assert!(tags.contains(&(0x1000 / 64)));
+    }
+}

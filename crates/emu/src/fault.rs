@@ -1,0 +1,72 @@
+//! Architectural faults.
+
+use std::fmt;
+
+/// An architectural fault raised during emulation.
+///
+/// Generated test cases are instrumented so that faults cannot occur
+/// (address masking, divisor patching, §5.1); the emulator still detects
+/// them so that bugs in the generator or handwritten gadgets surface as
+/// errors instead of silent misbehaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Division by zero or quotient overflow in `DIV`.
+    DivideError,
+    /// A memory access escaped the sandbox.
+    OutOfSandbox {
+        /// Faulting virtual address.
+        addr: u64,
+        /// Access size in bytes.
+        len: u64,
+    },
+    /// The in-sandbox stack over- or underflowed (unbalanced CALL/RET).
+    StackFault {
+        /// Stack pointer at the time of the fault.
+        rsp: u64,
+    },
+    /// The execution exceeded the step budget (possible only for malformed
+    /// handwritten test cases; generated DAGs always terminate).
+    StepLimitExceeded,
+    /// A `RET` was executed with no prior `CALL` and no valid return value.
+    InvalidReturnTarget {
+        /// The value popped from the stack.
+        value: u64,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::DivideError => write!(f, "divide error"),
+            Fault::OutOfSandbox { addr, len } => {
+                write!(f, "memory access of {len} bytes at {addr:#x} escaped the sandbox")
+            }
+            Fault::StackFault { rsp } => write!(f, "stack fault with RSP={rsp:#x}"),
+            Fault::StepLimitExceeded => write!(f, "execution exceeded the step limit"),
+            Fault::InvalidReturnTarget { value } => {
+                write!(f, "invalid return target {value:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(format!("{}", Fault::DivideError), "divide error");
+        let s = format!("{}", Fault::OutOfSandbox { addr: 0x1000, len: 8 });
+        assert!(s.contains("0x1000"));
+        assert!(format!("{}", Fault::StackFault { rsp: 0x20 }).contains("RSP"));
+    }
+
+    #[test]
+    fn fault_is_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<Fault>();
+    }
+}

@@ -1,0 +1,47 @@
+//! # rvz-emu
+//!
+//! Architectural (functional) emulator for the Revizor-reproduction ISA.
+//!
+//! The original tool builds its contract model on top of the Unicorn x86
+//! emulator (§5.4); this crate is the from-scratch substitute.  It provides:
+//!
+//! * [`ArchState`] — registers, flags and the sandbox memory image;
+//! * [`Emulator`] — instruction-level execution with memory-event reporting,
+//!   fault detection and cheap checkpoint/restore (the mechanism the contract
+//!   model uses to explore and roll back speculative paths);
+//! * [`Runner`] — convenience sequential execution of a whole test case;
+//! * [`Fault`] — architectural faults (division by zero, sandbox escapes).
+//!
+//! The emulator is purely architectural: it has no caches, predictors or
+//! timing.  Microarchitectural behaviour lives in `rvz-uarch`.
+//!
+//! # Example
+//!
+//! ```
+//! use rvz_isa::{builder::TestCaseBuilder, Input, Reg, SandboxLayout};
+//! use rvz_emu::Runner;
+//!
+//! let tc = TestCaseBuilder::new()
+//!     .block("entry", |b| {
+//!         b.mov_imm(Reg::Rax, 2);
+//!         b.add_imm(Reg::Rax, 3);
+//!         b.exit();
+//!     })
+//!     .build();
+//! let input = Input::zeroed(tc.sandbox());
+//! let exec = Runner::new(&tc).run(&input).expect("no faults");
+//! assert_eq!(exec.final_state.reg(Reg::Rax), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emulator;
+pub mod fault;
+pub mod runner;
+pub mod state;
+
+pub use emulator::{Emulator, InstrEffects, MemEvent, MemEventKind};
+pub use fault::Fault;
+pub use runner::{ExecStep, ExecTrace, Runner};
+pub use state::ArchState;

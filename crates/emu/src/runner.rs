@@ -1,0 +1,296 @@
+//! Sequential (non-speculative) execution of whole test cases.
+
+use crate::emulator::{Emulator, MemEvent};
+use crate::fault::Fault;
+use crate::state::ArchState;
+use rvz_isa::{BlockId, Input, Terminator, TestCase};
+
+/// One executed program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecStep {
+    /// Block containing the instruction.
+    pub block: BlockId,
+    /// Index in the block body, or `None` for the terminator.
+    pub index: Option<usize>,
+    /// Memory events produced by the instruction.
+    pub events: Vec<MemEvent>,
+}
+
+/// The result of a sequential execution.
+#[derive(Debug, Clone)]
+pub struct ExecTrace {
+    /// Executed steps in program order.
+    pub steps: Vec<ExecStep>,
+    /// Architectural state after the last instruction.
+    pub final_state: ArchState,
+    /// Blocks in execution order.
+    pub block_order: Vec<BlockId>,
+}
+
+impl ExecTrace {
+    /// All memory events in program order.
+    pub fn mem_events(&self) -> Vec<MemEvent> {
+        self.steps.iter().flat_map(|s| s.events.iter().copied()).collect()
+    }
+
+    /// Number of executed instructions (including terminators).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing was executed.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Sequential executor for a test case.
+///
+/// This is what the in-order, non-speculative reference execution of the
+/// contract's `SEQ` execution clause looks like; the contract model reuses
+/// the same stepping functions but adds speculative exploration.
+#[derive(Debug)]
+pub struct Runner<'a> {
+    tc: &'a TestCase,
+    max_steps: usize,
+}
+
+impl<'a> Runner<'a> {
+    /// Default maximum number of executed instructions.
+    pub const DEFAULT_MAX_STEPS: usize = 4096;
+
+    /// Create a runner for the test case.
+    pub fn new(tc: &'a TestCase) -> Runner<'a> {
+        Runner { tc, max_steps: Self::DEFAULT_MAX_STEPS }
+    }
+
+    /// Override the step budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Runner<'a> {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Resolve the next block after a terminator executes architecturally.
+    ///
+    /// Returns `Ok(None)` when the test case exits.
+    pub fn next_block(
+        emu: &mut Emulator,
+        tc: &TestCase,
+        current: BlockId,
+        events: &mut Vec<MemEvent>,
+    ) -> Result<Option<BlockId>, Fault> {
+        let term = &tc.block(current).expect("valid block").terminator;
+        let next = match term {
+            Terminator::Exit => None,
+            Terminator::Jmp { target } => Some(*target),
+            Terminator::CondJmp { cond, taken, not_taken } => {
+                if emu.eval_cond(*cond) {
+                    Some(*taken)
+                } else {
+                    Some(*not_taken)
+                }
+            }
+            Terminator::IndirectJmp { src, table } => {
+                let v = emu.state().reg(*src) as usize;
+                Some(table[v % table.len()])
+            }
+            Terminator::Call { target, return_to } => {
+                let ev = emu.push_ret(return_to.index() as u64)?;
+                events.push(ev);
+                Some(*target)
+            }
+            Terminator::Ret => {
+                let (v, ev) = emu.pop_ret()?;
+                events.push(ev);
+                let n = tc.blocks().len() as u64;
+                Some(BlockId((v % n) as usize))
+            }
+        };
+        Ok(next)
+    }
+
+    /// Execute the test case with the given input.
+    ///
+    /// # Errors
+    /// Propagates any architectural [`Fault`]; well-formed generated test
+    /// cases never fault thanks to the generator's instrumentation.
+    pub fn run(&self, input: &Input) -> Result<ExecTrace, Fault> {
+        let mut emu = Emulator::new(self.tc.sandbox(), input);
+        let mut steps = Vec::new();
+        let mut block_order = Vec::new();
+        let mut current = Some(BlockId::ENTRY);
+        let mut executed = 0usize;
+        while let Some(bid) = current {
+            block_order.push(bid);
+            let block = self.tc.block(bid).expect("valid block id");
+            for (idx, instr) in block.instrs.iter().enumerate() {
+                if executed >= self.max_steps {
+                    return Err(Fault::StepLimitExceeded);
+                }
+                let fx = emu.exec_instr(instr)?;
+                steps.push(ExecStep { block: bid, index: Some(idx), events: fx.mem_events });
+                executed += 1;
+            }
+            if executed >= self.max_steps {
+                return Err(Fault::StepLimitExceeded);
+            }
+            let mut events = Vec::new();
+            let next = Self::next_block(&mut emu, self.tc, bid, &mut events)?;
+            steps.push(ExecStep { block: bid, index: None, events });
+            executed += 1;
+            current = next;
+        }
+        Ok(ExecTrace { steps, final_state: emu.checkpoint(), block_order })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_isa::builder::TestCaseBuilder;
+    use rvz_isa::{Cond, Reg, SandboxLayout};
+
+    fn input_for(tc: &TestCase) -> Input {
+        Input::zeroed(tc.sandbox())
+    }
+
+    #[test]
+    fn straight_line_execution() {
+        let tc = TestCaseBuilder::new()
+            .block("entry", |b| {
+                b.mov_imm(Reg::Rax, 5);
+                b.add_imm(Reg::Rax, 7);
+                b.exit();
+            })
+            .build();
+        let t = Runner::new(&tc).run(&input_for(&tc)).unwrap();
+        assert_eq!(t.final_state.reg(Reg::Rax), 12);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.block_order, vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn conditional_branch_both_directions() {
+        let build = || {
+            TestCaseBuilder::new()
+                .block("entry", |b| {
+                    b.cmp_imm(Reg::Rax, 10);
+                    b.jcc(Cond::B, "low", "high");
+                })
+                .block("low", |b| {
+                    b.mov_imm(Reg::Rbx, 1);
+                    b.jmp("end");
+                })
+                .block("high", |b| {
+                    b.mov_imm(Reg::Rbx, 2);
+                    b.jmp("end");
+                })
+                .block("end", |b| b.exit())
+                .build()
+        };
+        let tc = build();
+        let mut low = input_for(&tc);
+        low.set_reg(Reg::Rax, 3);
+        let t = Runner::new(&tc).run(&low).unwrap();
+        assert_eq!(t.final_state.reg(Reg::Rbx), 1);
+        assert!(t.block_order.contains(&BlockId(1)));
+
+        let mut high = input_for(&tc);
+        high.set_reg(Reg::Rax, 30);
+        let t = Runner::new(&tc).run(&high).unwrap();
+        assert_eq!(t.final_state.reg(Reg::Rbx), 2);
+        assert!(t.block_order.contains(&BlockId(2)));
+    }
+
+    #[test]
+    fn memory_events_collected() {
+        let tc = TestCaseBuilder::new()
+            .block("entry", |b| {
+                b.mov_imm(Reg::Rax, 64);
+                b.store_disp(Reg::R14, 192, Reg::Rax);
+                b.load(Reg::Rbx, Reg::R14, Reg::Rax);
+                b.exit();
+            })
+            .build();
+        let t = Runner::new(&tc).run(&input_for(&tc)).unwrap();
+        let events = t.mem_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].addr, tc.sandbox().base + 192);
+        assert_eq!(events[1].addr, tc.sandbox().base + 64);
+    }
+
+    #[test]
+    fn call_and_ret_follow_stack() {
+        let tc = TestCaseBuilder::new()
+            .block("entry", |b| b.call("callee", "after"))
+            .block("callee", |b| {
+                b.mov_imm(Reg::Rax, 42);
+                b.ret();
+            })
+            .block("after", |b| {
+                b.add_imm(Reg::Rax, 1);
+                b.exit();
+            })
+            .build();
+        let t = Runner::new(&tc).run(&input_for(&tc)).unwrap();
+        assert_eq!(t.final_state.reg(Reg::Rax), 43);
+        assert_eq!(t.block_order, vec![BlockId(0), BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn indirect_jump_uses_table_modulo() {
+        let tc = TestCaseBuilder::new()
+            .block("entry", |b| b.jmp_indirect(Reg::Rax, vec!["t0", "t1"]))
+            .block("t0", |b| {
+                b.mov_imm(Reg::Rbx, 10);
+                b.jmp("end");
+            })
+            .block("t1", |b| {
+                b.mov_imm(Reg::Rbx, 20);
+                b.jmp("end");
+            })
+            .block("end", |b| b.exit())
+            .build();
+        let mut i = input_for(&tc);
+        i.set_reg(Reg::Rax, 5); // 5 % 2 == 1 -> t1
+        let t = Runner::new(&tc).run(&i).unwrap();
+        assert_eq!(t.final_state.reg(Reg::Rbx), 20);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let tc = TestCaseBuilder::new()
+            .block("entry", |b| {
+                for _ in 0..10 {
+                    b.nop();
+                }
+                b.exit();
+            })
+            .build();
+        let r = Runner::new(&tc).with_max_steps(5).run(&input_for(&tc));
+        assert_eq!(r.unwrap_err(), Fault::StepLimitExceeded);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let tc = TestCaseBuilder::new()
+            .sandbox(SandboxLayout::two_pages())
+            .block("entry", |b| {
+                b.and_imm(Reg::Rax, 0b111111000000);
+                b.load(Reg::Rbx, Reg::R14, Reg::Rax);
+                b.add(Reg::Rbx, Reg::Rcx);
+                b.store_disp(Reg::R14, 4096, Reg::Rbx);
+                b.exit();
+            })
+            .build();
+        let mut i = input_for(&tc);
+        i.set_reg(Reg::Rax, 0x7ff);
+        i.set_reg(Reg::Rcx, 3);
+        i.write_mem_u64(0x7c0, 99);
+        let a = Runner::new(&tc).run(&i).unwrap();
+        let b = Runner::new(&tc).run(&i).unwrap();
+        assert_eq!(a.final_state.digest(), b.final_state.digest());
+        assert_eq!(a.mem_events(), b.mem_events());
+        assert_eq!(a.final_state.read_mem(tc.sandbox().base + 4096, rvz_isa::Width::Qword).unwrap(), 102);
+    }
+}

@@ -1,0 +1,424 @@
+//! The executor: priming, repeated measurement and noise filtering.
+
+use crate::htrace::HTrace;
+use crate::mode::{MeasurementMode, NoiseConfig, SideChannelKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rvz_cache::{EvictReload, FlushReload, PrimeProbe, SetVector, SideChannel};
+use rvz_emu::Fault;
+use rvz_isa::{Input, TestCase};
+use rvz_uarch::{CpuUnderTest, RunOptions};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Measurement mode (cache attack + assists).
+    pub mode: MeasurementMode,
+    /// Number of measurement rounds per input sequence (the paper repeats
+    /// each measurement 50 times).
+    pub repetitions: usize,
+    /// Warm-up rounds executed before recording starts.
+    pub warmup_rounds: usize,
+    /// Minimum number of occurrences for a distinct trace to be kept; the
+    /// paper discards traces observed only once ("one-off traces").
+    pub outlier_min_count: usize,
+    /// Reset the microarchitectural state before each test case (but not
+    /// between the inputs of one test case — priming relies on the state
+    /// carrying over between inputs).
+    pub reset_between_test_cases: bool,
+    /// Synthetic noise injection.
+    pub noise: NoiseConfig,
+}
+
+impl ExecutorConfig {
+    /// The paper's configuration: 50 repetitions, a few warm-up rounds,
+    /// one-off traces discarded.
+    pub fn paper(mode: MeasurementMode) -> ExecutorConfig {
+        ExecutorConfig {
+            mode,
+            repetitions: 50,
+            warmup_rounds: 3,
+            outlier_min_count: 2,
+            reset_between_test_cases: true,
+            noise: NoiseConfig::none(),
+        }
+    }
+
+    /// A fast configuration for unit tests and benchmarks on the (noise-free
+    /// by default) simulator: fewer repetitions, same structure.
+    pub fn fast(mode: MeasurementMode) -> ExecutorConfig {
+        ExecutorConfig {
+            mode,
+            repetitions: 3,
+            warmup_rounds: 1,
+            outlier_min_count: 2,
+            reset_between_test_cases: true,
+            noise: NoiseConfig::none(),
+        }
+    }
+
+    /// Replace the noise model.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> ExecutorConfig {
+        self.noise = noise;
+        self
+    }
+
+    /// Replace the repetition count.
+    pub fn with_repetitions(mut self, repetitions: usize) -> ExecutorConfig {
+        self.repetitions = repetitions.max(1);
+        self
+    }
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig::fast(MeasurementMode::prime_probe())
+    }
+}
+
+/// The executor: collects hardware traces from a [`CpuUnderTest`].
+#[derive(Debug)]
+pub struct Executor<C: CpuUnderTest> {
+    cpu: C,
+    config: ExecutorConfig,
+    noise_rng: SmallRng,
+}
+
+impl<C: CpuUnderTest> Executor<C> {
+    /// Create an executor around a CPU under test.
+    pub fn new(cpu: C, config: ExecutorConfig) -> Executor<C> {
+        Executor { cpu, config, noise_rng: SmallRng::seed_from_u64(config.noise.seed) }
+    }
+
+    /// The CPU under test.
+    pub fn cpu(&self) -> &C {
+        &self.cpu
+    }
+
+    /// Mutable access to the CPU under test.
+    pub fn cpu_mut(&mut self) -> &mut C {
+        &mut self.cpu
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    fn channel(&self, tc: &TestCase) -> Box<dyn SideChannel> {
+        let sandbox = tc.sandbox();
+        match self.config.mode.channel {
+            SideChannelKind::PrimeProbe => Box::new(PrimeProbe::new()),
+            SideChannelKind::FlushReload => Box::new(FlushReload::new(sandbox.base, sandbox.size())),
+            SideChannelKind::EvictReload => Box::new(EvictReload::new(sandbox.base, sandbox.size())),
+        }
+    }
+
+    fn run_options(&self) -> RunOptions {
+        RunOptions { enable_assists: self.config.mode.assists }
+    }
+
+    /// Perform a single measurement of one input: prepare the side channel,
+    /// run the test case, probe.  Returns `None` when the sample is
+    /// discarded (simulated SMI pollution).
+    fn measure_once(&mut self, tc: &TestCase, input: &Input) -> Result<Option<HTrace>, Fault> {
+        let mut channel = self.channel(tc);
+        channel.prepare(self.cpu.cache_mut());
+        let opts = self.run_options();
+        self.cpu.run(tc, input, &opts)?;
+        let mut sets = channel.measure(self.cpu.cache_mut());
+
+        if self.config.noise.is_enabled() {
+            if self.noise_rng.gen_bool(self.config.noise.smi_probability) {
+                // An SMI polluted the measurement; the executor detects it
+                // via the SMI counter and discards the sample (§5.3).
+                return Ok(None);
+            }
+            if self.noise_rng.gen_bool(self.config.noise.one_off_probability) {
+                let spurious = self.noise_rng.gen_range(0..SetVector::SETS);
+                sets = sets.union(SetVector::from_sets([spurious]));
+            }
+        }
+        Ok(Some(HTrace::from_sets(sets)))
+    }
+
+    /// Run the whole priming sequence once, measuring every input.
+    fn run_sequence_once(
+        &mut self,
+        tc: &TestCase,
+        inputs: &[Input],
+    ) -> Result<Vec<Option<HTrace>>, Fault> {
+        let mut out = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            out.push(self.measure_once(tc, input)?);
+        }
+        Ok(out)
+    }
+
+    /// Collect one merged hardware trace per input (§5.3).
+    ///
+    /// The inputs are executed in sequence (priming), the whole sequence is
+    /// repeated after warm-up rounds, one-off traces are discarded, and the
+    /// remaining traces of each input are merged by union.
+    ///
+    /// # Errors
+    /// Propagates architectural faults from the CPU under test.
+    pub fn collect_htraces(&mut self, tc: &TestCase, inputs: &[Input]) -> Result<Vec<HTrace>, Fault> {
+        if self.config.reset_between_test_cases {
+            self.cpu.reset_uarch();
+        }
+        for _ in 0..self.config.warmup_rounds {
+            let _ = self.run_sequence_once(tc, inputs)?;
+        }
+
+        let mut samples: Vec<Vec<SetVector>> = vec![Vec::new(); inputs.len()];
+        for _ in 0..self.config.repetitions.max(1) {
+            for (i, trace) in self.run_sequence_once(tc, inputs)?.into_iter().enumerate() {
+                if let Some(t) = trace {
+                    samples[i].push(t.sets());
+                }
+            }
+        }
+
+        Ok(samples.into_iter().map(|s| self.merge_samples(&s)).collect())
+    }
+
+    /// Discard one-off traces and merge the rest by union.
+    fn merge_samples(&self, samples: &[SetVector]) -> HTrace {
+        if samples.is_empty() {
+            return HTrace::empty();
+        }
+        let mut counts: HashMap<SetVector, usize> = HashMap::new();
+        for s in samples {
+            *counts.entry(*s).or_insert(0) += 1;
+        }
+        let threshold = if samples.len() >= self.config.outlier_min_count {
+            self.config.outlier_min_count
+        } else {
+            1
+        };
+        let mut kept: Vec<SetVector> =
+            counts.iter().filter(|(_, &c)| c >= threshold).map(|(s, _)| *s).collect();
+        if kept.is_empty() {
+            // Everything looked like noise; fall back to the most frequent
+            // sample so the input still has a trace.
+            kept = counts
+                .iter()
+                .max_by_key(|(_, &c)| c)
+                .map(|(s, _)| vec![*s])
+                .unwrap_or_default();
+        }
+        let mut merged = HTrace::empty();
+        for s in kept {
+            merged.merge(HTrace::from_sets(s));
+        }
+        merged
+    }
+
+    /// The priming-swap check of §5.3: given two inputs (by index) whose
+    /// traces diverge, swap them in the priming sequence and re-measure.  If
+    /// each input reproduces the other's trace in the other's context, the
+    /// divergence was caused by the microarchitectural context — a
+    /// measurement artifact, not a leak.
+    ///
+    /// Returns `true` when the divergence is an artifact (false positive).
+    ///
+    /// # Errors
+    /// Propagates architectural faults from the CPU under test.
+    pub fn is_measurement_artifact(
+        &mut self,
+        tc: &TestCase,
+        inputs: &[Input],
+        i: usize,
+        j: usize,
+    ) -> Result<bool, Fault> {
+        assert!(i < inputs.len() && j < inputs.len(), "input indices out of range");
+        let original = self.collect_htraces(tc, inputs)?;
+
+        // Data_j measured in Ctx_i.
+        let mut seq_i = inputs.to_vec();
+        seq_i[i] = inputs[j].clone();
+        let swapped_i = self.collect_htraces(tc, &seq_i)?;
+
+        // Data_i measured in Ctx_j.
+        let mut seq_j = inputs.to_vec();
+        seq_j[j] = inputs[i].clone();
+        let swapped_j = self.collect_htraces(tc, &seq_j)?;
+
+        let same_in_ctx_i = swapped_i[i].equivalent(&original[i]);
+        let same_in_ctx_j = swapped_j[j].equivalent(&original[j]);
+        Ok(same_in_ctx_i && same_in_ctx_j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_isa::builder::TestCaseBuilder;
+    use rvz_isa::{Cond, Reg};
+    use rvz_uarch::{SpecCpu, UarchConfig};
+
+    fn direct_load_tc() -> TestCase {
+        TestCaseBuilder::new()
+            .block("entry", |b| {
+                b.and_imm(Reg::Rax, 0b111111000000);
+                b.load(Reg::Rbx, Reg::R14, Reg::Rax);
+                b.exit();
+            })
+            .build()
+    }
+
+    fn v1_tc() -> TestCase {
+        TestCaseBuilder::new()
+            .block("entry", |b| {
+                b.cmp_imm(Reg::Rax, 8);
+                b.jcc(Cond::B, "in", "out");
+            })
+            .block("in", |b| {
+                b.and_imm(Reg::Rbx, 0b111111000000);
+                b.load(Reg::Rcx, Reg::R14, Reg::Rbx);
+                b.jmp("out");
+            })
+            .block("out", |b| b.exit())
+            .build()
+    }
+
+    fn input_with(tc: &TestCase, f: impl FnOnce(&mut Input)) -> Input {
+        let mut i = Input::zeroed(tc.sandbox());
+        f(&mut i);
+        i
+    }
+
+    fn executor(config: ExecutorConfig) -> Executor<SpecCpu> {
+        Executor::new(SpecCpu::new(UarchConfig::skylake()), config)
+    }
+
+    #[test]
+    fn different_addresses_give_different_traces() {
+        let tc = direct_load_tc();
+        let mut ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        let a = input_with(&tc, |i| i.set_reg(Reg::Rax, 0x80));
+        let b = input_with(&tc, |i| i.set_reg(Reg::Rax, 0x800));
+        let traces = ex.collect_htraces(&tc, &[a, b]).unwrap();
+        assert_ne!(traces[0], traces[1]);
+        assert!(traces[0].sets().contains(2));
+        assert!(traces[1].sets().contains(32));
+    }
+
+    #[test]
+    fn collection_is_reproducible() {
+        let tc = direct_load_tc();
+        let inputs =
+            vec![input_with(&tc, |i| i.set_reg(Reg::Rax, 0x100)), input_with(&tc, |i| i.set_reg(Reg::Rax, 0x140))];
+        let mut ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        let t1 = ex.collect_htraces(&tc, &inputs).unwrap();
+        let t2 = ex.collect_htraces(&tc, &inputs).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn flush_reload_matches_prime_probe_on_one_page() {
+        let tc = direct_load_tc();
+        let inputs = vec![input_with(&tc, |i| i.set_reg(Reg::Rax, 0x240))];
+        let mut pp = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        let mut fr = executor(ExecutorConfig::fast(MeasurementMode::flush_reload()));
+        let a = pp.collect_htraces(&tc, &inputs).unwrap();
+        let b = fr.collect_htraces(&tc, &inputs).unwrap();
+        assert_eq!(a[0].sets(), b[0].sets(), "§6.1: equivalent traces on a 4K sandbox");
+    }
+
+    #[test]
+    fn priming_trains_the_predictor_for_later_inputs() {
+        let tc = v1_tc();
+        // Several in-bounds inputs followed by an out-of-bounds one: the
+        // trained predictor speculates into the load for the last input.
+        let mut inputs: Vec<Input> = (0..6)
+            .map(|k| {
+                input_with(&tc, |i| {
+                    i.set_reg(Reg::Rax, 1);
+                    i.set_reg(Reg::Rbx, 0x40 * k);
+                })
+            })
+            .collect();
+        inputs.push(input_with(&tc, |i| {
+            i.set_reg(Reg::Rax, 100);
+            i.set_reg(Reg::Rbx, 0x7c0);
+        }));
+        let mut ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        let traces = ex.collect_htraces(&tc, &inputs).unwrap();
+        let victim = traces.last().unwrap();
+        assert!(victim.sets().contains(31), "speculative access to line 0x7c0 (set 31) observed");
+
+        // Without priming (victim alone after reset), no misprediction and
+        // therefore no speculative trace.
+        let alone = ex.collect_htraces(&tc, &inputs[6..]).unwrap();
+        assert!(!alone[0].sets().contains(31));
+    }
+
+    #[test]
+    fn one_off_noise_is_filtered_out() {
+        let tc = direct_load_tc();
+        let inputs = vec![input_with(&tc, |i| i.set_reg(Reg::Rax, 0x80))];
+        let clean = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()))
+            .collect_htraces(&tc, &inputs)
+            .unwrap();
+        let noisy_cfg = ExecutorConfig::fast(MeasurementMode::prime_probe())
+            .with_repetitions(20)
+            .with_noise(NoiseConfig { one_off_probability: 0.3, smi_probability: 0.0, seed: 7 });
+        let noisy = executor(noisy_cfg).collect_htraces(&tc, &inputs).unwrap();
+        assert_eq!(clean[0].sets(), noisy[0].sets(), "one-off outliers are discarded");
+    }
+
+    #[test]
+    fn smi_polluted_samples_are_discarded_but_trace_survives() {
+        let tc = direct_load_tc();
+        let inputs = vec![input_with(&tc, |i| i.set_reg(Reg::Rax, 0x80))];
+        let cfg = ExecutorConfig::fast(MeasurementMode::prime_probe())
+            .with_repetitions(20)
+            .with_noise(NoiseConfig { one_off_probability: 0.0, smi_probability: 0.5, seed: 3 });
+        let traces = executor(cfg).collect_htraces(&tc, &inputs).unwrap();
+        assert!(traces[0].sets().contains(2));
+        assert!(traces[0].samples() > 0);
+    }
+
+    #[test]
+    fn assists_mode_sets_run_options() {
+        let cfg = ExecutorConfig::fast(MeasurementMode::prime_probe_assist());
+        let ex = executor(cfg);
+        assert!(ex.run_options().enable_assists);
+        let ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        assert!(!ex.run_options().enable_assists);
+    }
+
+    #[test]
+    fn swap_check_reports_artifact_for_identical_inputs() {
+        let tc = v1_tc();
+        let a = input_with(&tc, |i| {
+            i.set_reg(Reg::Rax, 1);
+            i.set_reg(Reg::Rbx, 0x80);
+        });
+        let inputs = vec![a.clone(), a];
+        let mut ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        assert!(ex.is_measurement_artifact(&tc, &inputs, 0, 1).unwrap());
+    }
+
+    #[test]
+    fn swap_check_confirms_genuine_input_dependent_leak() {
+        let tc = direct_load_tc();
+        // Two inputs whose architectural accesses differ: the difference is
+        // carried by the inputs, so swapping contexts cannot explain it.
+        let a = input_with(&tc, |i| i.set_reg(Reg::Rax, 0x80));
+        let b = input_with(&tc, |i| i.set_reg(Reg::Rax, 0x800));
+        let inputs = vec![a, b];
+        let mut ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        assert!(!ex.is_measurement_artifact(&tc, &inputs, 0, 1).unwrap());
+    }
+
+    #[test]
+    fn empty_sample_handling() {
+        let ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        assert!(ex.merge_samples(&[]).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! # rvz-executor
+//!
+//! Hardware-trace collection on the CPU under test (the *Executor* of MRT,
+//! §5.3).
+//!
+//! The executor has three tasks:
+//!
+//! 1. **Collect hardware traces** by running each test case with each input
+//!    and observing the cache through a side channel (Prime+Probe,
+//!    Flush+Reload or Evict+Reload, optionally with microcode assists);
+//! 2. **Set the microarchitectural context** through *priming*: inputs are
+//!    executed in sequence so that earlier inputs deterministically train
+//!    the predictors for later ones, and suspected violations are re-checked
+//!    by swapping the two diverging inputs in the priming sequence;
+//! 3. **Eliminate measurement noise** by warming up, repeating every
+//!    measurement, discarding one-off traces and merging the rest by union.
+//!
+//! The real tool does this in a kernel module on bare metal; here the CPU is
+//! the [`rvz_uarch`] simulator, and an optional noise model injects the same
+//! kinds of disturbances (one-off outliers, SMI-polluted samples) so the
+//! filtering machinery is exercised.
+//!
+//! # Example
+//!
+//! ```
+//! use rvz_executor::{Executor, ExecutorConfig, MeasurementMode};
+//! use rvz_isa::{builder::TestCaseBuilder, Input, Reg};
+//! use rvz_uarch::{SpecCpu, UarchConfig};
+//!
+//! let tc = TestCaseBuilder::new()
+//!     .block("entry", |b| {
+//!         b.and_imm(Reg::Rax, 0b111111000000);
+//!         b.load(Reg::Rbx, Reg::R14, Reg::Rax);
+//!         b.exit();
+//!     })
+//!     .build();
+//! let cpu = SpecCpu::new(UarchConfig::skylake());
+//! let mut executor = Executor::new(cpu, ExecutorConfig::fast(MeasurementMode::prime_probe()));
+//! let mut a = Input::zeroed(tc.sandbox());
+//! a.set_reg(Reg::Rax, 0x80);
+//! let mut b = Input::zeroed(tc.sandbox());
+//! b.set_reg(Reg::Rax, 0x440);
+//! let traces = executor.collect_htraces(&tc, &[a, b]).unwrap();
+//! assert_ne!(traces[0], traces[1]); // different lines touched
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod htrace;
+pub mod mode;
+
+pub use executor::{Executor, ExecutorConfig};
+pub use htrace::HTrace;
+pub use mode::{MeasurementMode, NoiseConfig, SideChannelKind};

@@ -1,0 +1,40 @@
+//! # rvz-gen
+//!
+//! Test-case and input generation (§5.1, §5.2).
+//!
+//! * [`ProgramGenerator`] samples the space of programs: it builds a random
+//!   DAG of basic blocks, adds terminators matching the DAG, fills the
+//!   blocks with random instructions from the configured ISA subset, and
+//!   instruments the result so it can never fault (memory accesses are
+//!   masked into the sandbox, divisions are patched against divide errors).
+//! * [`InputGenerator`] produces pseudo-random architectural states from a
+//!   32-bit PRNG whose entropy is deliberately reduced so that several
+//!   inputs fall into the same contract-trace class (input effectiveness,
+//!   CH2).
+//!
+//! # Example
+//!
+//! ```
+//! use rvz_gen::{GeneratorConfig, InputGenerator, ProgramGenerator};
+//! use rvz_emu::Runner;
+//!
+//! let config = GeneratorConfig::paper_initial();
+//! let tc = ProgramGenerator::new(config.clone()).generate(42);
+//! assert!(tc.validate().is_ok());
+//! // Generated programs never fault, whatever the input.
+//! let inputs = InputGenerator::new(config.input_entropy_bits).generate(&tc, 7, 10);
+//! for input in &inputs {
+//!     Runner::new(&tc).run(input).expect("instrumented test cases cannot fault");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod input_gen;
+pub mod program;
+
+pub use config::GeneratorConfig;
+pub use input_gen::InputGenerator;
+pub use program::ProgramGenerator;

@@ -1,0 +1,650 @@
+//! Contract-trace collection by instrumented emulation.
+
+use crate::contract::Contract;
+use crate::ctrace::{CTrace, Observation};
+use rvz_emu::{Emulator, Fault, MemEvent, MemEventKind, Runner};
+use rvz_isa::{BlockId, Input, Instr, Reg, Terminator, TestCase};
+use serde::{Deserialize, Serialize};
+
+/// Base virtual address of the (synthetic) code layout used for program-
+/// counter observations.
+pub const CODE_BASE: u64 = 0x4000;
+
+/// Maximum architecturally executed instructions per model run.
+const MAX_ARCH_STEPS: usize = 4096;
+
+/// Classification of an executed instruction, used by the diversity
+/// (pattern-coverage) analysis (§5.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrKind {
+    /// Reads memory only.
+    Load,
+    /// Writes memory only.
+    Store,
+    /// Reads and writes memory (read-modify-write).
+    LoadStore,
+    /// Conditional branch terminator.
+    CondBranch,
+    /// Unconditional direct jump terminator.
+    Jump,
+    /// Indirect jump, call or return terminator.
+    IndirectBranch,
+    /// Variable-latency instruction (division).
+    VarLatency,
+    /// Register-only computation.
+    Alu,
+    /// Serializing fence.
+    Fence,
+    /// Anything else (NOP, exit).
+    Other,
+}
+
+/// Record of one architecturally executed instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutedInstr {
+    /// Block containing the instruction.
+    pub block: BlockId,
+    /// Index in the block body, or `None` for the terminator.
+    pub index: Option<usize>,
+    /// Kind of instruction.
+    pub kind: InstrKind,
+    /// Registers read.
+    pub reads_regs: Vec<Reg>,
+    /// Registers written.
+    pub writes_regs: Vec<Reg>,
+    /// Whether the flags are read.
+    pub reads_flags: bool,
+    /// Whether the flags are written.
+    pub writes_flags: bool,
+    /// Addresses of memory accesses performed.
+    pub mem_addrs: Vec<u64>,
+}
+
+/// Execution metadata collected alongside the contract trace; input to the
+/// pattern-coverage analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionInfo {
+    /// Architecturally executed instructions, in order.
+    pub executed: Vec<ExecutedInstr>,
+    /// Number of speculative paths explored by the execution clause.
+    pub speculative_paths: usize,
+    /// Number of observations recorded on speculative paths.
+    pub speculative_observations: usize,
+}
+
+/// The result of running the model on one (test case, input) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelOutput {
+    /// The contract trace.
+    pub trace: CTrace,
+    /// Execution metadata for diversity analysis.
+    pub info: ExecutionInfo,
+}
+
+/// Synthetic program counter of an instruction (`index == body length`
+/// denotes the terminator).
+pub fn instr_pc(block: BlockId, index: usize) -> u64 {
+    CODE_BASE + (block.index() as u64) * 0x100 + (index as u64) * 4
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pos {
+    block: BlockId,
+    idx: usize,
+}
+
+/// The executable contract model (§5.4): an emulator instrumented to follow
+/// the contract's execution clause and record its observation clause.
+#[derive(Debug, Clone)]
+pub struct ContractModel {
+    contract: Contract,
+}
+
+impl ContractModel {
+    /// Create a model for the given contract.
+    pub fn new(contract: Contract) -> ContractModel {
+        ContractModel { contract }
+    }
+
+    /// The contract being modelled.
+    pub fn contract(&self) -> &Contract {
+        &self.contract
+    }
+
+    /// Collect the contract trace for one input.
+    ///
+    /// # Errors
+    /// Propagates architectural faults of the sequential execution; faults
+    /// on explored speculative paths are suppressed, matching hardware.
+    pub fn collect(&self, tc: &TestCase, input: &Input) -> Result<ModelOutput, Fault> {
+        let mut emu = Emulator::new(tc.sandbox(), input);
+        let mut obs = Vec::new();
+        let mut info = ExecutionInfo::default();
+        let mut pos = Pos { block: BlockId::ENTRY, idx: 0 };
+        let mut steps = 0usize;
+
+        loop {
+            if steps >= MAX_ARCH_STEPS {
+                return Err(Fault::StepLimitExceeded);
+            }
+            steps += 1;
+            let block = tc.block(pos.block).expect("valid block id");
+            if pos.idx < block.instrs.len() {
+                let instr = &block.instrs[pos.idx];
+
+                // BPAS execution clause: before committing a store, expose
+                // the observations of the path on which it is skipped.
+                if self.contract.execution.permits_bpas() && instr.writes_mem() {
+                    self.explore_store_bypass(&mut emu, tc, pos, &mut obs, &mut info, 0);
+                }
+
+                if self.contract.observation.exposes_pc() {
+                    obs.push(Observation::Pc(instr_pc(pos.block, pos.idx)));
+                }
+                let fx = emu.exec_instr(instr)?;
+                self.record_mem_events(&fx.mem_events, true, &mut obs);
+                info.executed.push(Self::record_instr(pos, instr, &fx.mem_events));
+                pos.idx += 1;
+            } else {
+                if self.contract.observation.exposes_pc() {
+                    obs.push(Observation::Pc(instr_pc(pos.block, block.instrs.len())));
+                }
+
+                // COND execution clause: expose the observations of the
+                // mispredicted direction before following the correct one.
+                if self.contract.execution.permits_cond() {
+                    if let Terminator::CondJmp { cond, taken, not_taken } = &block.terminator {
+                        let actual = emu.eval_cond(*cond);
+                        let wrong = if actual { *not_taken } else { *taken };
+                        self.explore_path(&mut emu, tc, Pos { block: wrong, idx: 0 }, &mut obs, &mut info, 0);
+                    }
+                }
+
+                let mut events = Vec::new();
+                let next = Runner::next_block(&mut emu, tc, pos.block, &mut events)?;
+                self.record_mem_events(&events, true, &mut obs);
+                info.executed.push(Self::record_terminator(pos, &block.terminator, &events));
+                match next {
+                    Some(b) => pos = Pos { block: b, idx: 0 },
+                    None => break,
+                }
+            }
+        }
+
+        Ok(ModelOutput { trace: CTrace::new(obs), info })
+    }
+
+    /// Convenience: collect only the contract trace.
+    ///
+    /// # Errors
+    /// Same as [`ContractModel::collect`].
+    pub fn collect_trace(&self, tc: &TestCase, input: &Input) -> Result<CTrace, Fault> {
+        Ok(self.collect(tc, input)?.trace)
+    }
+
+    fn record_mem_events(&self, events: &[MemEvent], architectural: bool, obs: &mut Vec<Observation>) {
+        for ev in events {
+            match ev.kind {
+                MemEventKind::Read => {
+                    obs.push(Observation::MemAddr(ev.addr));
+                    if self.contract.observation.exposes_loaded_values() {
+                        obs.push(Observation::LoadValue(ev.value));
+                    }
+                }
+                MemEventKind::Write => {
+                    if architectural || self.contract.expose_speculative_stores {
+                        obs.push(Observation::MemAddr(ev.addr));
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_instr(pos: Pos, instr: &Instr, events: &[MemEvent]) -> ExecutedInstr {
+        let kind = match instr {
+            Instr::Div { .. } => InstrKind::VarLatency,
+            Instr::Lfence | Instr::Mfence => InstrKind::Fence,
+            Instr::Nop => InstrKind::Other,
+            i if i.reads_mem() && i.writes_mem() => InstrKind::LoadStore,
+            i if i.reads_mem() => InstrKind::Load,
+            i if i.writes_mem() => InstrKind::Store,
+            _ => InstrKind::Alu,
+        };
+        ExecutedInstr {
+            block: pos.block,
+            index: Some(pos.idx),
+            kind,
+            reads_regs: instr.reads_regs(),
+            writes_regs: instr.writes_regs(),
+            reads_flags: instr.reads_flags(),
+            writes_flags: instr.writes_flags(),
+            mem_addrs: events.iter().map(|e| e.addr).collect(),
+        }
+    }
+
+    fn record_terminator(pos: Pos, term: &Terminator, events: &[MemEvent]) -> ExecutedInstr {
+        let kind = match term {
+            Terminator::CondJmp { .. } => InstrKind::CondBranch,
+            Terminator::Jmp { .. } => InstrKind::Jump,
+            Terminator::IndirectJmp { .. } | Terminator::Call { .. } | Terminator::Ret => {
+                InstrKind::IndirectBranch
+            }
+            Terminator::Exit => InstrKind::Other,
+        };
+        ExecutedInstr {
+            block: pos.block,
+            index: None,
+            kind,
+            reads_regs: term.reads_regs(),
+            writes_regs: Vec::new(),
+            reads_flags: term.reads_flags(),
+            writes_flags: false,
+            mem_addrs: events.iter().map(|e| e.addr).collect(),
+        }
+    }
+
+    /// Explore the mis-speculated path starting at `start` (checkpointing
+    /// and rolling back the architectural state), recording observations.
+    fn explore_path(
+        &self,
+        emu: &mut Emulator,
+        tc: &TestCase,
+        start: Pos,
+        obs: &mut Vec<Observation>,
+        info: &mut ExecutionInfo,
+        depth: usize,
+    ) {
+        self.explore(emu, tc, start, false, obs, info, depth);
+    }
+
+    /// Explore the path on which the store at `store_pos` is speculatively
+    /// skipped (the BPAS clause).
+    fn explore_store_bypass(
+        &self,
+        emu: &mut Emulator,
+        tc: &TestCase,
+        store_pos: Pos,
+        obs: &mut Vec<Observation>,
+        info: &mut ExecutionInfo,
+        depth: usize,
+    ) {
+        self.explore(emu, tc, store_pos, true, obs, info, depth);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn explore(
+        &self,
+        emu: &mut Emulator,
+        tc: &TestCase,
+        start: Pos,
+        skip_first_store: bool,
+        obs: &mut Vec<Observation>,
+        info: &mut ExecutionInfo,
+        depth: usize,
+    ) {
+        if self.contract.speculation_window == 0 {
+            return;
+        }
+        let max_depth = if self.contract.nested_speculation { 4 } else { 0 };
+        if depth > max_depth {
+            return;
+        }
+        info.speculative_paths += 1;
+        let checkpoint = emu.checkpoint();
+        let obs_before = obs.len();
+
+        let mut pos = start;
+        let mut fuel = self.contract.speculation_window;
+        let mut first = true;
+        'path: while fuel > 0 {
+            let block = match tc.block(pos.block) {
+                Some(b) => b,
+                None => break,
+            };
+            if pos.idx < block.instrs.len() {
+                let instr = &block.instrs[pos.idx];
+                let skip = first && skip_first_store && instr.writes_mem();
+                first = false;
+                if instr.is_fence() {
+                    break 'path;
+                }
+                fuel -= 1;
+                if skip {
+                    pos.idx += 1;
+                    continue;
+                }
+                // Nested BPAS inside an explored path.
+                if depth < max_depth && self.contract.execution.permits_bpas() && instr.writes_mem()
+                {
+                    self.explore(emu, tc, pos, true, obs, info, depth + 1);
+                }
+                if self.contract.observation.exposes_pc() {
+                    obs.push(Observation::Pc(instr_pc(pos.block, pos.idx)));
+                }
+                match emu.exec_instr(instr) {
+                    Ok(fx) => self.record_mem_events(&fx.mem_events, false, obs),
+                    Err(_) => break 'path, // transient faults are suppressed
+                }
+                pos.idx += 1;
+            } else {
+                first = false;
+                fuel -= 1;
+                if self.contract.observation.exposes_pc() {
+                    obs.push(Observation::Pc(instr_pc(pos.block, block.instrs.len())));
+                }
+                // Nested COND inside an explored path.
+                if depth < max_depth && self.contract.execution.permits_cond() {
+                    if let Terminator::CondJmp { cond, taken, not_taken } = &block.terminator {
+                        let actual = emu.eval_cond(*cond);
+                        let wrong = if actual { *not_taken } else { *taken };
+                        self.explore(emu, tc, Pos { block: wrong, idx: 0 }, false, obs, info, depth + 1);
+                    }
+                }
+                let mut events = Vec::new();
+                match Runner::next_block(emu, tc, pos.block, &mut events) {
+                    Ok(Some(b)) => {
+                        self.record_mem_events(&events, false, obs);
+                        pos = Pos { block: b, idx: 0 };
+                    }
+                    Ok(None) | Err(_) => {
+                        self.record_mem_events(&events, false, obs);
+                        break 'path;
+                    }
+                }
+            }
+        }
+
+        info.speculative_observations += obs.len() - obs_before;
+        emu.restore(checkpoint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Contract;
+    use rvz_isa::builder::TestCaseBuilder;
+    use rvz_isa::Cond;
+
+    /// Figure 1 of the paper, adapted to the sandbox:
+    /// `z = array1[x]; if (y < 10) z = array2[y]`.
+    fn figure1() -> TestCase {
+        TestCaseBuilder::new()
+            .origin("fig1")
+            .block("entry", |b| {
+                b.and_imm(Reg::Rax, 0b111111000000); // x
+                b.load(Reg::Rbx, Reg::R14, Reg::Rax);
+                b.cmp_imm(Reg::Rcx, 10); // y < 10 ?
+                b.jcc(Cond::B, "then", "end");
+            })
+            .block("then", |b| {
+                b.and_imm(Reg::Rcx, 0b111111000000);
+                b.load(Reg::Rdx, Reg::R14, Reg::Rcx);
+                b.jmp("end");
+            })
+            .block("end", |b| b.exit())
+            .build()
+    }
+
+    fn input_xy(tc: &TestCase, x: u64, y: u64) -> Input {
+        let mut i = Input::zeroed(tc.sandbox());
+        i.set_reg(Reg::Rax, x);
+        i.set_reg(Reg::Rcx, y);
+        i
+    }
+
+    #[test]
+    fn mem_seq_exposes_only_architectural_accesses() {
+        let tc = figure1();
+        let input = input_xy(&tc, 0x100, 20); // branch not taken
+        let out = ContractModel::new(Contract::mem_seq()).collect(&tc, &input).unwrap();
+        let addrs = out.trace.mem_addrs();
+        assert_eq!(addrs, vec![tc.sandbox().base + 0x100]);
+        assert_eq!(out.info.speculative_paths, 0);
+    }
+
+    #[test]
+    fn mem_cond_additionally_exposes_mispredicted_path() {
+        let tc = figure1();
+        let input = input_xy(&tc, 0x100, 20);
+        let out = ContractModel::new(Contract::mem_cond()).collect(&tc, &input).unwrap();
+        let addrs = out.trace.mem_addrs();
+        // Architectural access at base+0x100 plus the speculative access at
+        // base + (20 & mask) = base.
+        assert_eq!(addrs, vec![tc.sandbox().base + 0x100, tc.sandbox().base]);
+        assert!(out.info.speculative_paths >= 1);
+        assert!(out.info.speculative_observations >= 1);
+    }
+
+    #[test]
+    fn paper_example_same_seq_trace_different_secrets() {
+        // Same x, different y, both out of bounds (branch not taken): the
+        // MEM-SEQ traces coincide, as in the §2.2 counterexample for MEM-SEQ.
+        let tc = figure1();
+        let a = input_xy(&tc, 0x100, 0x80);
+        let b = input_xy(&tc, 0x100, 0xc0);
+        let m = ContractModel::new(Contract::mem_seq());
+        assert_eq!(m.collect_trace(&tc, &a).unwrap(), m.collect_trace(&tc, &b).unwrap());
+        // But MEM-COND distinguishes them (the speculative access differs).
+        let m = ContractModel::new(Contract::mem_cond());
+        assert_ne!(m.collect_trace(&tc, &a).unwrap(), m.collect_trace(&tc, &b).unwrap());
+    }
+
+    #[test]
+    fn ct_exposes_program_counter() {
+        let tc = figure1();
+        let input = input_xy(&tc, 0x100, 20);
+        let mem = ContractModel::new(Contract::mem_seq()).collect_trace(&tc, &input).unwrap();
+        let ct = ContractModel::new(Contract::ct_seq()).collect_trace(&tc, &input).unwrap();
+        assert!(ct.len() > mem.len());
+        assert!(ct.observations().iter().any(|o| matches!(o, Observation::Pc(_))));
+        assert!(mem.observations().iter().all(|o| !matches!(o, Observation::Pc(_))));
+    }
+
+    #[test]
+    fn ct_traces_differ_when_control_flow_differs() {
+        let tc = figure1();
+        let taken = input_xy(&tc, 0x100, 5);
+        let not_taken = input_xy(&tc, 0x100, 25);
+        let m = ContractModel::new(Contract::ct_seq());
+        assert_ne!(m.collect_trace(&tc, &taken).unwrap(), m.collect_trace(&tc, &not_taken).unwrap());
+    }
+
+    #[test]
+    fn arch_exposes_loaded_values() {
+        let tc = figure1();
+        let mut a = input_xy(&tc, 0x100, 20);
+        let mut b = input_xy(&tc, 0x100, 20);
+        a.write_mem_u64(0x100, 1);
+        b.write_mem_u64(0x100, 2);
+        let ct = ContractModel::new(Contract::ct_seq());
+        assert_eq!(ct.collect_trace(&tc, &a).unwrap(), ct.collect_trace(&tc, &b).unwrap());
+        let arch = ContractModel::new(Contract::arch_seq());
+        assert_ne!(arch.collect_trace(&tc, &a).unwrap(), arch.collect_trace(&tc, &b).unwrap());
+    }
+
+    /// A store-bypass gadget: a store overwrites a secret, a load reads the
+    /// same location and the loaded value indexes a dependent access.
+    fn bpas_gadget() -> TestCase {
+        TestCaseBuilder::new()
+            .origin("bpas")
+            .block("entry", |b| {
+                b.store_disp(Reg::R14, 0, Reg::Rdx); // overwrite with RDX
+                b.load_disp(Reg::Rbx, Reg::R14, 0);
+                b.and_imm(Reg::Rbx, 0b111111000000);
+                b.load(Reg::Rcx, Reg::R14, Reg::Rbx);
+                b.exit();
+            })
+            .build()
+    }
+
+    #[test]
+    fn bpas_exposes_skipped_store_path() {
+        let tc = bpas_gadget();
+        let mut input = Input::zeroed(tc.sandbox());
+        input.write_mem_u64(0, 0x7c0); // old (stale) value
+        input.set_reg(Reg::Rdx, 0x40); // new value
+
+        let seq = ContractModel::new(Contract::ct_seq()).collect(&tc, &input).unwrap();
+        let bpas = ContractModel::new(Contract::ct_bpas()).collect(&tc, &input).unwrap();
+        let base = tc.sandbox().base;
+        assert!(
+            !seq.trace.mem_addrs().contains(&(base + 0x7c0)),
+            "CT-SEQ must not expose the stale-value access"
+        );
+        assert!(
+            bpas.trace.mem_addrs().contains(&(base + 0x7c0)),
+            "CT-BPAS exposes the access dependent on the stale value"
+        );
+        assert!(bpas.trace.mem_addrs().contains(&(base + 0x40)), "architectural access still exposed");
+        assert!(bpas.info.speculative_paths >= 1);
+    }
+
+    #[test]
+    fn two_inputs_same_bpas_trace_when_stale_values_match() {
+        let tc = bpas_gadget();
+        let mut a = Input::zeroed(tc.sandbox());
+        a.write_mem_u64(0, 0x7c0);
+        a.set_reg(Reg::Rdx, 0x40);
+        let mut b = a.clone();
+        b.set_reg(Reg::Rsi, 123); // unrelated difference
+        let m = ContractModel::new(Contract::ct_bpas());
+        assert_eq!(m.collect_trace(&tc, &a).unwrap(), m.collect_trace(&tc, &b).unwrap());
+    }
+
+    #[test]
+    fn speculation_window_bounds_exploration() {
+        let tc = figure1();
+        let input = input_xy(&tc, 0x100, 20);
+        let wide = ContractModel::new(Contract::mem_cond()).collect(&tc, &input).unwrap();
+        let narrow = ContractModel::new(Contract::mem_cond().with_speculation_window(1))
+            .collect(&tc, &input)
+            .unwrap();
+        assert!(narrow.trace.len() < wide.trace.len());
+        let zero = ContractModel::new(Contract::mem_cond().with_speculation_window(0))
+            .collect(&tc, &input)
+            .unwrap();
+        let seq = ContractModel::new(Contract::mem_seq()).collect(&tc, &input).unwrap();
+        assert_eq!(zero.trace, seq.trace, "window 0 degenerates to SEQ");
+    }
+
+    #[test]
+    fn lfence_stops_speculative_exploration() {
+        let tc = TestCaseBuilder::new()
+            .block("entry", |b| {
+                b.cmp_imm(Reg::Rcx, 10);
+                b.jcc(Cond::B, "then", "end");
+            })
+            .block("then", |b| {
+                b.lfence();
+                b.and_imm(Reg::Rax, 0b111111000000);
+                b.load(Reg::Rbx, Reg::R14, Reg::Rax);
+                b.jmp("end");
+            })
+            .block("end", |b| b.exit())
+            .build();
+        let mut input = Input::zeroed(tc.sandbox());
+        input.set_reg(Reg::Rcx, 20); // not taken; "then" is the mispredicted path
+        input.set_reg(Reg::Rax, 0x200);
+        let out = ContractModel::new(Contract::mem_cond()).collect(&tc, &input).unwrap();
+        assert!(
+            !out.trace.mem_addrs().contains(&(tc.sandbox().base + 0x200)),
+            "LFENCE on the speculative path stops the exploration"
+        );
+    }
+
+    #[test]
+    fn no_spec_store_variant_hides_speculative_stores() {
+        // The mispredicted path contains a store; CT-COND exposes its
+        // address, the §6.4 variant does not.
+        let tc = TestCaseBuilder::new()
+            .block("entry", |b| {
+                b.cmp_imm(Reg::Rcx, 10);
+                b.jcc(Cond::B, "then", "end");
+            })
+            .block("then", |b| {
+                b.and_imm(Reg::Rax, 0b111111000000);
+                b.store(Reg::R14, Reg::Rax, Reg::Rbx);
+                b.jmp("end");
+            })
+            .block("end", |b| b.exit())
+            .build();
+        let mut input = Input::zeroed(tc.sandbox());
+        input.set_reg(Reg::Rcx, 20);
+        input.set_reg(Reg::Rax, 0x380);
+        let full = ContractModel::new(Contract::ct_cond()).collect_trace(&tc, &input).unwrap();
+        let restricted =
+            ContractModel::new(Contract::ct_cond_no_spec_store()).collect_trace(&tc, &input).unwrap();
+        let addr = tc.sandbox().base + 0x380;
+        assert!(full.mem_addrs().contains(&addr));
+        assert!(!restricted.mem_addrs().contains(&addr));
+    }
+
+    #[test]
+    fn nested_speculation_explores_more() {
+        // Two chained conditional branches; the deeper speculative access is
+        // only visible with nesting enabled.
+        let tc = TestCaseBuilder::new()
+            .block("entry", |b| {
+                b.cmp_imm(Reg::Rcx, 10);
+                b.jcc(Cond::B, "mid", "end");
+            })
+            .block("mid", |b| {
+                b.cmp_imm(Reg::Rdx, 10);
+                b.jcc(Cond::B, "deep", "end");
+            })
+            .block("deep", |b| {
+                b.and_imm(Reg::Rax, 0b111111000000);
+                b.load(Reg::Rbx, Reg::R14, Reg::Rax);
+                b.jmp("end");
+            })
+            .block("end", |b| b.exit())
+            .build();
+        let mut input = Input::zeroed(tc.sandbox());
+        input.set_reg(Reg::Rcx, 20); // entry branch not taken -> "mid" is speculative
+        input.set_reg(Reg::Rdx, 20); // mid branch not taken -> "deep" needs nesting
+        input.set_reg(Reg::Rax, 0x440);
+        let flat = ContractModel::new(Contract::mem_cond()).collect_trace(&tc, &input).unwrap();
+        let nested =
+            ContractModel::new(Contract::mem_cond().with_nesting(true)).collect_trace(&tc, &input).unwrap();
+        let addr = tc.sandbox().base + 0x440;
+        assert!(!flat.mem_addrs().contains(&addr));
+        assert!(nested.mem_addrs().contains(&addr));
+        assert!(nested.len() > flat.len());
+    }
+
+    #[test]
+    fn model_is_deterministic() {
+        let tc = figure1();
+        let input = input_xy(&tc, 0x180, 3);
+        let m = ContractModel::new(Contract::ct_cond_bpas());
+        let a = m.collect(&tc, &input).unwrap();
+        let b = m.collect(&tc, &input).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.info, b.info);
+    }
+
+    #[test]
+    fn execution_info_records_kinds() {
+        let tc = figure1();
+        let input = input_xy(&tc, 0x100, 5);
+        let out = ContractModel::new(Contract::ct_seq()).collect(&tc, &input).unwrap();
+        let kinds: Vec<InstrKind> = out.info.executed.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&InstrKind::Load));
+        assert!(kinds.contains(&InstrKind::CondBranch));
+        assert!(kinds.contains(&InstrKind::Alu));
+        let loads: Vec<_> =
+            out.info.executed.iter().filter(|e| e.kind == InstrKind::Load).collect();
+        assert!(!loads[0].mem_addrs.is_empty());
+    }
+
+    #[test]
+    fn pc_layout_is_injective_for_small_blocks() {
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..16 {
+            for i in 0..32 {
+                assert!(seen.insert(instr_pc(BlockId(b), i)));
+            }
+        }
+    }
+}

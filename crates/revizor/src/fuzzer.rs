@@ -1,0 +1,386 @@
+//! The end-to-end fuzzer (Figure 2).
+
+use crate::classify::{classify, VulnClass};
+use crate::config::FuzzerConfig;
+use crate::diversity::PatternCoverage;
+use crate::targets::Target;
+use rvz_analyzer::{AnalysisResult, Analyzer, Violation};
+use rvz_emu::Fault;
+use rvz_executor::Executor;
+use rvz_gen::{InputGenerator, ProgramGenerator};
+use rvz_isa::{Input, TestCase};
+use rvz_model::{Contract, ContractModel, ExecutionInfo};
+use rvz_uarch::{CpuUnderTest, SpecCpu};
+use std::time::{Duration, Instant};
+
+/// The result of testing one test case with one input batch.
+#[derive(Debug, Clone)]
+pub struct TestCaseOutcome {
+    /// The inputs used (in priming order).
+    pub inputs: Vec<Input>,
+    /// The raw relational-analysis result.
+    pub analysis: AnalysisResult,
+    /// A violation that survived the priming-swap and nesting re-checks.
+    pub confirmed_violation: Option<Violation>,
+    /// Violations discarded by the priming-swap check (§5.3).
+    pub discarded_as_artifact: usize,
+    /// Violations discarded by the nested-speculation re-check (§5.4).
+    pub discarded_by_nesting: usize,
+}
+
+/// A confirmed counterexample, with everything needed to reproduce and
+/// minimize it.
+#[derive(Debug, Clone)]
+pub struct ViolationReport {
+    /// The violating test case.
+    pub test_case: TestCase,
+    /// The input sequence (priming order).
+    pub inputs: Vec<Input>,
+    /// The diverging input pair and their traces.
+    pub violation: Violation,
+    /// The violated contract.
+    pub contract: Contract,
+    /// Heuristic classification of the underlying vulnerability.
+    pub vulnerability: VulnClass,
+    /// Number of test cases executed up to and including this one.
+    pub test_cases_until_detection: usize,
+    /// Number of inputs executed up to and including this test case.
+    pub inputs_until_detection: usize,
+}
+
+/// Summary of a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// The first confirmed violation, if any.
+    pub violation: Option<ViolationReport>,
+    /// Test cases executed.
+    pub test_cases: usize,
+    /// Inputs executed (across all test cases).
+    pub total_inputs: usize,
+    /// Testing rounds completed.
+    pub rounds: usize,
+    /// Generator escalations triggered by the diversity analysis.
+    pub escalations: usize,
+    /// Wall-clock duration of the campaign.
+    pub duration: Duration,
+    /// Mean input effectiveness across test cases (§5.2 / CH2).
+    pub mean_effectiveness: f64,
+    /// Final pattern coverage (§5.6).
+    pub coverage: PatternCoverage,
+}
+
+impl FuzzReport {
+    /// Did the campaign find a confirmed violation?
+    pub fn found_violation(&self) -> bool {
+        self.violation.is_some()
+    }
+
+    /// Test cases processed per second (the §6.5 fuzzing-speed metric).
+    pub fn test_cases_per_second(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.test_cases as f64 / secs
+        }
+    }
+}
+
+/// The Revizor fuzzer: ties the generator, model, executor, analyzer and
+/// diversity analysis into the testing loop of Figure 2.
+#[derive(Debug)]
+pub struct Revizor<C: CpuUnderTest> {
+    config: FuzzerConfig,
+    target: Option<Target>,
+    generator: ProgramGenerator,
+    input_gen: InputGenerator,
+    executor: Executor<C>,
+    analyzer: Analyzer,
+    coverage: PatternCoverage,
+}
+
+impl Revizor<SpecCpu> {
+    /// Convenience constructor for one of the paper's targets.
+    pub fn for_target(target: &Target, contract: Contract) -> Revizor<SpecCpu> {
+        let config = FuzzerConfig::for_target(target, contract);
+        Revizor::new(target.cpu(), config).with_target(target.clone())
+    }
+}
+
+impl<C: CpuUnderTest> Revizor<C> {
+    /// Create a fuzzer around a CPU under test.
+    pub fn new(cpu: C, config: FuzzerConfig) -> Revizor<C> {
+        let generator = ProgramGenerator::new(config.generator.clone());
+        let input_gen = InputGenerator::new(config.generator.input_entropy_bits);
+        let executor = Executor::new(cpu, config.executor);
+        Revizor {
+            config,
+            target: None,
+            generator,
+            input_gen,
+            executor,
+            analyzer: Analyzer::new(),
+            coverage: PatternCoverage::new(),
+        }
+    }
+
+    /// Attach the target description (enables vulnerability classification).
+    pub fn with_target(mut self, target: Target) -> Revizor<C> {
+        self.target = Some(target);
+        self
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &FuzzerConfig {
+        &self.config
+    }
+
+    /// Current pattern coverage.
+    pub fn coverage(&self) -> &PatternCoverage {
+        &self.coverage
+    }
+
+    /// Access to the executor (and through it, the CPU under test).
+    pub fn executor_mut(&mut self) -> &mut Executor<C> {
+        &mut self.executor
+    }
+
+    /// Test one test case with a deterministic input batch.
+    ///
+    /// # Errors
+    /// Propagates architectural faults (which generated test cases never
+    /// produce).
+    pub fn test_case(&mut self, tc: &TestCase, input_seed: u64) -> Result<TestCaseOutcome, Fault> {
+        let n = self.config.generator.inputs_per_test_case;
+        let inputs = self.input_gen.generate(tc, input_seed, n);
+        self.test_with_inputs(tc, &inputs)
+    }
+
+    /// Test one test case with an explicit input sequence (used by the
+    /// postprocessor and the handwritten-gadget experiments).
+    ///
+    /// # Errors
+    /// Propagates architectural faults.
+    pub fn test_with_inputs(
+        &mut self,
+        tc: &TestCase,
+        inputs: &[Input],
+    ) -> Result<TestCaseOutcome, Fault> {
+        let model = ContractModel::new(self.config.contract.clone());
+        let mut ctraces = Vec::with_capacity(inputs.len());
+        let mut infos: Vec<ExecutionInfo> = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let out = model.collect(tc, input)?;
+            ctraces.push(out.trace);
+            infos.push(out.info);
+        }
+        let htraces = self.executor.collect_htraces(tc, inputs)?;
+        let analysis = self.analyzer.check(&ctraces, &htraces);
+
+        // Feed the diversity analysis: execution infos grouped by effective
+        // input class.
+        let classes = self.analyzer.input_classes(&ctraces);
+        let class_members: Vec<Vec<&ExecutionInfo>> = classes
+            .iter()
+            .filter(|c| c.is_effective())
+            .map(|c| c.members.iter().map(|&i| &infos[i]).collect())
+            .collect();
+        self.coverage.update(&class_members);
+
+        let mut discarded_as_artifact = 0;
+        let mut discarded_by_nesting = 0;
+        let mut confirmed = None;
+        for v in &analysis.violations {
+            if self.config.priming_swap_check
+                && self.executor.is_measurement_artifact(tc, inputs, v.input_a, v.input_b)?
+            {
+                discarded_as_artifact += 1;
+                continue;
+            }
+            if self.config.verify_with_nesting && self.config.contract.speculation_window > 0 {
+                let nested = ContractModel::new(self.config.contract.clone().with_nesting(true));
+                let a = nested.collect_trace(tc, &inputs[v.input_a])?;
+                let b = nested.collect_trace(tc, &inputs[v.input_b])?;
+                if a != b {
+                    // Under the true (nested) contract the inputs are in
+                    // different classes; the reported violation was an
+                    // artifact of the nesting-disabled approximation.
+                    discarded_by_nesting += 1;
+                    continue;
+                }
+            }
+            confirmed = Some(v.clone());
+            break;
+        }
+
+        Ok(TestCaseOutcome {
+            inputs: inputs.to_vec(),
+            analysis,
+            confirmed_violation: confirmed,
+            discarded_as_artifact,
+            discarded_by_nesting,
+        })
+    }
+
+    /// Run the fuzzing campaign until a confirmed violation is found or the
+    /// test-case budget is exhausted.
+    pub fn run(&mut self) -> FuzzReport {
+        let start = Instant::now();
+        let mut test_cases = 0usize;
+        let mut total_inputs = 0usize;
+        let mut rounds = 0usize;
+        let mut escalations = 0usize;
+        let mut effectiveness_sum = 0.0f64;
+        let mut round_improved = false;
+        let mut coverage_level = 1usize;
+        let mut violation: Option<ViolationReport> = None;
+
+        for tc_index in 0..self.config.max_test_cases {
+            let seed = self.config.seed.wrapping_add(tc_index as u64);
+            let tc = self.generator.generate(seed);
+            let before_coverage = self.coverage.clone();
+            let outcome = match self.test_case(&tc, seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+                Ok(o) => o,
+                Err(_) => continue, // malformed test case; skip (never happens for generated code)
+            };
+            test_cases += 1;
+            total_inputs += outcome.inputs.len();
+            effectiveness_sum += outcome.analysis.stats.effectiveness();
+            round_improved |= self.coverage != before_coverage;
+
+            if let Some(v) = outcome.confirmed_violation {
+                let vulnerability = match &self.target {
+                    Some(t) => classify(t, &self.config.contract, &tc),
+                    None => VulnClass::Unknown,
+                };
+                violation = Some(ViolationReport {
+                    test_case: tc,
+                    inputs: outcome.inputs,
+                    violation: v,
+                    contract: self.config.contract.clone(),
+                    vulnerability,
+                    test_cases_until_detection: test_cases,
+                    inputs_until_detection: total_inputs,
+                });
+                break;
+            }
+
+            // Round boundary: diversity feedback (§5.6).  The generator is
+            // escalated when the current coverage goal is met (all single
+            // patterns, then all pattern pairs) or when a whole round went
+            // by without improving coverage.
+            if (tc_index + 1) % self.config.round_size == 0 {
+                rounds += 1;
+                let isa = self.config.generator.isa;
+                let goal_met = match coverage_level {
+                    1 => self.coverage.all_single_covered(isa),
+                    _ => self.coverage.all_pairs_covered(isa),
+                };
+                if goal_met || !round_improved {
+                    if goal_met {
+                        coverage_level += 1;
+                    }
+                    self.config.generator.escalate();
+                    self.generator.set_config(self.config.generator.clone());
+                    self.input_gen = InputGenerator::new(self.config.generator.input_entropy_bits);
+                    escalations += 1;
+                }
+                round_improved = false;
+            }
+        }
+
+        FuzzReport {
+            violation,
+            test_cases,
+            total_inputs,
+            rounds,
+            escalations,
+            duration: start.elapsed(),
+            mean_effectiveness: if test_cases == 0 {
+                0.0
+            } else {
+                effectiveness_sum / test_cases as f64
+            },
+            coverage: self.coverage.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets;
+    use rvz_executor::ExecutorConfig;
+
+    fn quick_config(target: &Target, contract: Contract) -> FuzzerConfig {
+        // Start from a mid-campaign generator configuration (as if a few
+        // escalation rounds already happened) so the unit test stays fast.
+        let generator = rvz_gen::GeneratorConfig::for_subset(target.isa)
+            .with_basic_blocks(4)
+            .with_instructions(14);
+        FuzzerConfig::for_target(target, contract)
+            .with_generator(generator)
+            .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
+            .with_inputs_per_test_case(20)
+            .with_max_test_cases(40)
+            .with_seed(1)
+    }
+
+    #[test]
+    fn baseline_target1_complies_with_ct_seq() {
+        // Table 3, column 1: AR-only test cases on Skylake never violate
+        // CT-SEQ — no false positives.
+        let target = Target::target1();
+        let config = quick_config(&target, Contract::ct_seq()).with_max_test_cases(15);
+        let mut r = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let report = r.run();
+        assert!(!report.found_violation(), "baseline must not report violations");
+        assert!(report.test_cases > 0);
+    }
+
+    #[test]
+    fn target5_violates_ct_seq_with_spectre_v1() {
+        let target = Target::target5();
+        let config = quick_config(&target, Contract::ct_seq());
+        let mut r = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let report = r.run();
+        assert!(report.found_violation(), "Spectre V1 must surface as a CT-SEQ violation");
+        let v = report.violation.unwrap();
+        assert_eq!(v.vulnerability, VulnClass::SpectreV1);
+        assert!(v.test_case.conditional_branch_count() > 0);
+    }
+
+    #[test]
+    fn target5_complies_with_ct_cond() {
+        // CT-COND permits leakage during branch prediction, so the V1-only
+        // target no longer violates it (Table 3, Target 5 row CT-COND).
+        let target = Target::target5();
+        let config = quick_config(&target, Contract::ct_cond()).with_max_test_cases(15);
+        let mut r = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let report = r.run();
+        assert!(!report.found_violation());
+    }
+
+    #[test]
+    fn handwritten_v1_gadget_detected_quickly() {
+        let target = Target::target5();
+        let config = quick_config(&target, Contract::ct_seq());
+        let mut r = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let tc = gadgets::spectre_v1();
+        let outcome = r.test_case(&tc, 7).unwrap();
+        assert!(outcome.confirmed_violation.is_some(), "handwritten V1 gadget must violate CT-SEQ");
+    }
+
+    #[test]
+    fn report_metrics_are_populated() {
+        let target = Target::target1();
+        let config = quick_config(&target, Contract::ct_seq()).with_max_test_cases(12);
+        let mut r = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let report = r.run();
+        assert_eq!(report.test_cases, 12);
+        assert!(report.total_inputs >= 12 * 20);
+        assert!(report.rounds >= 1);
+        assert!(report.mean_effectiveness > 0.0, "low-entropy inputs must collide");
+        assert!(report.test_cases_per_second() > 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # revizor
+//!
+//! A Rust reproduction of **Revizor** (Oleksenko, Fetzer, Köpf, Silberstein —
+//! *"Revizor: Testing Black-Box CPUs against Speculation Contracts"*,
+//! ASPLOS 2022): Model-based Relational Testing (MRT) of black-box CPUs
+//! against speculation contracts.
+//!
+//! The crate ties the substrates together into the end-to-end fuzzing flow
+//! of Figure 2:
+//!
+//! ```text
+//!  test-case generator ──┐
+//!  input generator ──────┼──► contract Model ──► contract traces ──┐
+//!                        │                                         ├─► relational
+//!                        └──► Executor (CPU under test) ─► htraces ┘    Analyzer
+//!                                                                        │
+//!            diversity analysis ◄── pattern coverage                 violation?
+//!            (reconfigure generator)                                    │
+//!                                                              postprocessor (minimize)
+//! ```
+//!
+//! Main entry points:
+//!
+//! * [`Revizor`] — the fuzzer: rounds of test-case generation, trace
+//!   collection, relational analysis and diversity feedback (§5.6);
+//! * [`targets`] — the eight experimental setups of Table 2;
+//! * [`gadgets`] — handwritten test cases for the known vulnerabilities of
+//!   Table 5 and the paper's figures;
+//! * [`minimize`] — the postprocessor that shrinks counterexamples (§5.7);
+//! * [`detection`] — harnesses that reproduce the detection-time and
+//!   inputs-to-violation measurements (Tables 4 and 5).
+//!
+//! # Example: detect Spectre V1 as a CT-SEQ violation
+//!
+//! ```
+//! use revizor::detection::detection_time;
+//! use revizor::targets::Target;
+//! use rvz_model::Contract;
+//!
+//! // Target 5 of the paper: Skylake, AR+MEM+CB, Prime+Probe.
+//! let outcome = detection_time(&Target::target5(), Contract::ct_seq(), 9, 60);
+//! assert!(outcome.found, "CT-SEQ must be violated by a Spectre-V1-capable CPU");
+//! assert_eq!(outcome.vulnerability.as_deref(), Some("V1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod config;
+pub mod detection;
+pub mod diversity;
+pub mod fuzzer;
+pub mod gadgets;
+pub mod minimize;
+pub mod targets;
+
+pub use classify::VulnClass;
+pub use config::FuzzerConfig;
+pub use diversity::{Pattern, PatternCoverage};
+pub use fuzzer::{FuzzReport, Revizor, TestCaseOutcome, ViolationReport};
+pub use minimize::Postprocessor;
+pub use targets::Target;

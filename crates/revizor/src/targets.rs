@@ -1,0 +1,213 @@
+//! The experimental setups of Table 2.
+
+use rvz_executor::MeasurementMode;
+use rvz_isa::IsaSubset;
+use rvz_uarch::{SpecCpu, UarchConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One testing target: a CPU (with its microcode-patch state), an ISA subset
+/// for test-case generation, and an executor measurement mode — one column
+/// of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Target {
+    /// Target number (1-8), as in Table 2.
+    pub id: u8,
+    /// The micro-architecture configuration of the CPU under test.
+    pub cpu_config: UarchConfig,
+    /// ISA subset used by the test-case generator.
+    pub isa: IsaSubset,
+    /// Executor measurement mode.
+    pub mode: MeasurementMode,
+}
+
+impl Target {
+    /// Target 1: Skylake (V4 patch off), `AR`, Prime+Probe — the baseline
+    /// that should comply with every contract.
+    pub fn target1() -> Target {
+        Target {
+            id: 1,
+            cpu_config: UarchConfig::skylake(),
+            isa: IsaSubset::AR,
+            mode: MeasurementMode::prime_probe(),
+        }
+    }
+
+    /// Target 2: Skylake (V4 patch off), `AR+MEM`, Prime+Probe — surfaces
+    /// Spectre V4.
+    pub fn target2() -> Target {
+        Target { isa: IsaSubset::AR_MEM, id: 2, ..Target::target1() }
+    }
+
+    /// Target 3: Skylake (V4 patch off), `AR+MEM+VAR`, Prime+Probe —
+    /// surfaces the novel V4 latency variant.
+    pub fn target3() -> Target {
+        Target { isa: IsaSubset::AR_MEM_VAR, id: 3, ..Target::target1() }
+    }
+
+    /// Target 4: Skylake with the V4 patch enabled, `AR+MEM+VAR` — expected
+    /// to comply (the patch is effective).
+    pub fn target4() -> Target {
+        Target {
+            id: 4,
+            cpu_config: UarchConfig::skylake_patched(),
+            isa: IsaSubset::AR_MEM_VAR,
+            mode: MeasurementMode::prime_probe(),
+        }
+    }
+
+    /// Target 5: Skylake (V4 patch on), `AR+MEM+CB` — surfaces Spectre V1.
+    pub fn target5() -> Target {
+        Target { isa: IsaSubset::AR_MEM_CB, id: 5, ..Target::target4() }
+    }
+
+    /// Target 6: Skylake (V4 patch on), `AR+MEM+CB+VAR` — surfaces the novel
+    /// V1 latency variant.
+    pub fn target6() -> Target {
+        Target { isa: IsaSubset::AR_MEM_CB_VAR, id: 6, ..Target::target4() }
+    }
+
+    /// Target 7: Skylake (V4 patch on), `AR+MEM`, Prime+Probe+Assist —
+    /// surfaces MDS.
+    pub fn target7() -> Target {
+        Target {
+            id: 7,
+            cpu_config: UarchConfig::skylake_patched(),
+            isa: IsaSubset::AR_MEM,
+            mode: MeasurementMode::prime_probe_assist(),
+        }
+    }
+
+    /// Target 8: Coffee Lake (hardware MDS patch), `AR+MEM`,
+    /// Prime+Probe+Assist — surfaces LVI-Null.
+    pub fn target8() -> Target {
+        Target {
+            id: 8,
+            cpu_config: UarchConfig::coffee_lake(),
+            isa: IsaSubset::AR_MEM,
+            mode: MeasurementMode::prime_probe_assist(),
+        }
+    }
+
+    /// All eight targets in Table 2 order.
+    pub fn all() -> Vec<Target> {
+        vec![
+            Target::target1(),
+            Target::target2(),
+            Target::target3(),
+            Target::target4(),
+            Target::target5(),
+            Target::target6(),
+            Target::target7(),
+            Target::target8(),
+        ]
+    }
+
+    /// Instantiate the CPU under test for this target.
+    pub fn cpu(&self) -> SpecCpu {
+        SpecCpu::new(self.cpu_config.clone())
+    }
+
+    /// The vulnerability the paper associates with violations of this target
+    /// (the parenthesised labels of Table 3), if any.
+    pub fn expected_vulnerability(&self) -> Option<&'static str> {
+        match self.id {
+            1 | 4 => None,
+            2 => Some("V4"),
+            3 => Some("V4-var"),
+            5 => Some("V1"),
+            6 => Some("V1-var"),
+            7 => Some("MDS"),
+            8 => Some("LVI-Null"),
+            _ => None,
+        }
+    }
+
+    /// Does Table 3 report a violation for this target against the given
+    /// contract name (e.g. `"CT-SEQ"`)?  Cells marked `×*` in the paper
+    /// (not repeated because a stronger contract was already satisfied) are
+    /// reported as `false`.
+    pub fn paper_expects_violation(&self, contract_name: &str) -> bool {
+        let row = match contract_name {
+            "CT-SEQ" => [false, true, true, false, true, true, true, true],
+            "CT-BPAS" => [false, false, true, false, true, true, true, true],
+            "CT-COND" => [false, true, true, false, false, true, true, true],
+            "CT-COND-BPAS" => [false, false, true, false, false, true, true, true],
+            _ => return false,
+        };
+        row[(self.id - 1) as usize]
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Target {}: {} | {} | {}",
+            self.id, self.cpu_config.name, self.isa, self.mode
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_targets_in_order() {
+        let all = Target::all();
+        assert_eq!(all.len(), 8);
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(t.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn table2_rows_match_paper() {
+        assert_eq!(Target::target1().isa, IsaSubset::AR);
+        assert_eq!(Target::target2().isa, IsaSubset::AR_MEM);
+        assert_eq!(Target::target3().isa, IsaSubset::AR_MEM_VAR);
+        assert_eq!(Target::target6().isa, IsaSubset::AR_MEM_CB_VAR);
+        assert!(!Target::target3().cpu_config.ssbd_patch, "targets 1-3 have the V4 patch off");
+        assert!(Target::target4().cpu_config.ssbd_patch, "targets 4-7 have the V4 patch on");
+        assert!(Target::target8().cpu_config.name.contains("Coffee Lake"));
+        assert!(Target::target7().mode.assists);
+        assert!(!Target::target5().mode.assists);
+    }
+
+    #[test]
+    fn expected_vulnerabilities_match_table3() {
+        assert_eq!(Target::target1().expected_vulnerability(), None);
+        assert_eq!(Target::target2().expected_vulnerability(), Some("V4"));
+        assert_eq!(Target::target5().expected_vulnerability(), Some("V1"));
+        assert_eq!(Target::target7().expected_vulnerability(), Some("MDS"));
+        assert_eq!(Target::target8().expected_vulnerability(), Some("LVI-Null"));
+    }
+
+    #[test]
+    fn table3_expected_cells() {
+        assert!(!Target::target1().paper_expects_violation("CT-SEQ"));
+        assert!(Target::target2().paper_expects_violation("CT-SEQ"));
+        assert!(!Target::target2().paper_expects_violation("CT-BPAS"));
+        assert!(Target::target5().paper_expects_violation("CT-SEQ"));
+        assert!(!Target::target5().paper_expects_violation("CT-COND"));
+        assert!(Target::target6().paper_expects_violation("CT-COND-BPAS"));
+        assert!(Target::target8().paper_expects_violation("CT-COND-BPAS"));
+        assert!(!Target::target4().paper_expects_violation("CT-SEQ"));
+    }
+
+    #[test]
+    fn cpu_instantiation_uses_config() {
+        use rvz_uarch::CpuUnderTest;
+        let cpu = Target::target8().cpu();
+        assert!(cpu.name().contains("Coffee Lake"));
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = format!("{}", Target::target7());
+        assert!(s.contains("Target 7"));
+        assert!(s.contains("AR+MEM"));
+        assert!(s.contains("Assist"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Branch prediction structures: conditional predictor, BTB and RSB.
+//!
+//! These structures are the microarchitectural context (`Ctx` in
+//! Definition 1) that the executor cannot set directly and instead controls
+//! through *priming*: running many inputs in sequence so that earlier inputs
+//! train the predictors for later ones (§5.3).
+
+use rvz_isa::BlockId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A site identifier for a branch: the block whose terminator it is.
+pub type BranchSite = usize;
+
+/// Two-bit saturating-counter predictor for conditional branches, indexed by
+/// branch site (a classic bimodal predictor).  A global-history register is
+/// maintained for completeness but not mixed into the index by default:
+/// per-site counters make the predictor easy to mistrain through priming,
+/// which is exactly the property the paper relies on to surface Spectre V1
+/// with few inputs (Table 5).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BranchPredictor {
+    counters: HashMap<u64, u8>,
+    history: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// Number of global-history bits mixed into the counter index.
+    const HISTORY_BITS: u32 = 0;
+
+    /// New predictor with all counters weakly not-taken.
+    pub fn new() -> BranchPredictor {
+        BranchPredictor::default()
+    }
+
+    fn key(&self, site: BranchSite) -> u64 {
+        ((site as u64) << Self::HISTORY_BITS) ^ (self.history & ((1 << Self::HISTORY_BITS) - 1))
+    }
+
+    /// Predict the direction of the branch at `site`.
+    pub fn predict(&self, site: BranchSite) -> bool {
+        let c = self.counters.get(&self.key(site)).copied().unwrap_or(1);
+        c >= 2
+    }
+
+    /// Update the predictor with the architecturally resolved direction and
+    /// record whether the preceding prediction was correct.
+    pub fn update(&mut self, site: BranchSite, taken: bool) {
+        let key = self.key(site);
+        let predicted = self.predict(site);
+        self.predictions += 1;
+        if predicted != taken {
+            self.mispredictions += 1;
+        }
+        let c = self.counters.entry(key).or_insert(1);
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = (self.history << 1) | (taken as u64);
+    }
+
+    /// Total predictions made so far.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Total mispredictions observed so far.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Forget everything (power-on state).
+    pub fn reset(&mut self) {
+        *self = BranchPredictor::default();
+    }
+}
+
+/// Branch target buffer for indirect jumps: predicts the last observed
+/// target of each site (the mechanism behind Spectre V2).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Btb {
+    targets: HashMap<BranchSite, BlockId>,
+}
+
+impl Btb {
+    /// Empty BTB.
+    pub fn new() -> Btb {
+        Btb::default()
+    }
+
+    /// Predicted target for the site, if any.
+    pub fn predict(&self, site: BranchSite) -> Option<BlockId> {
+        self.targets.get(&site).copied()
+    }
+
+    /// Record the architecturally resolved target.
+    pub fn update(&mut self, site: BranchSite, target: BlockId) {
+        self.targets.insert(site, target);
+    }
+
+    /// Forget everything.
+    pub fn reset(&mut self) {
+        self.targets.clear();
+    }
+}
+
+/// Return stack buffer: predicts return targets from a small hardware stack
+/// (the mechanism behind Spectre V5 / ret2spec).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rsb {
+    stack: Vec<BlockId>,
+    capacity: usize,
+}
+
+impl Rsb {
+    /// RSB with the conventional 16-entry capacity.
+    pub fn new() -> Rsb {
+        Rsb::with_capacity(16)
+    }
+
+    /// RSB with a specific capacity.
+    pub fn with_capacity(capacity: usize) -> Rsb {
+        Rsb { stack: Vec::new(), capacity }
+    }
+
+    /// Record a call's return target.
+    pub fn push(&mut self, target: BlockId) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(target);
+    }
+
+    /// Predict (and consume) the target of the next return.
+    pub fn pop_predict(&mut self) -> Option<BlockId> {
+        self.stack.pop()
+    }
+
+    /// Number of live entries.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Forget everything.
+    pub fn reset(&mut self) {
+        self.stack.clear();
+    }
+}
+
+impl Default for Rsb {
+    fn default() -> Self {
+        Rsb::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_initially_predicts_not_taken() {
+        let p = BranchPredictor::new();
+        assert!(!p.predict(0));
+    }
+
+    #[test]
+    fn predictor_trains_towards_taken() {
+        let mut p = BranchPredictor::new();
+        // With history involved, train repeatedly until stable.
+        for _ in 0..8 {
+            p.update(5, true);
+        }
+        assert!(p.predict(5));
+        assert!(p.predictions() >= 8);
+    }
+
+    #[test]
+    fn predictor_counts_mispredictions() {
+        let mut p = BranchPredictor::new();
+        p.update(1, true); // initial prediction is not-taken -> mispredict
+        assert_eq!(p.mispredictions(), 1);
+        for _ in 0..8 {
+            p.update(1, true);
+        }
+        let before = p.mispredictions();
+        p.update(1, true);
+        assert_eq!(p.mispredictions(), before, "well-trained branch predicts correctly");
+    }
+
+    #[test]
+    fn predictor_reset() {
+        let mut p = BranchPredictor::new();
+        for _ in 0..8 {
+            p.update(3, true);
+        }
+        p.reset();
+        assert!(!p.predict(3));
+        assert_eq!(p.predictions(), 0);
+    }
+
+    #[test]
+    fn alternating_pattern_causes_mispredictions() {
+        let mut p = BranchPredictor::new();
+        for i in 0..32 {
+            p.update(7, i % 2 == 0);
+        }
+        assert!(p.mispredictions() > 0);
+    }
+
+    #[test]
+    fn btb_predicts_last_target() {
+        let mut b = Btb::new();
+        assert_eq!(b.predict(0), None);
+        b.update(0, BlockId(3));
+        assert_eq!(b.predict(0), Some(BlockId(3)));
+        b.update(0, BlockId(5));
+        assert_eq!(b.predict(0), Some(BlockId(5)));
+        b.reset();
+        assert_eq!(b.predict(0), None);
+    }
+
+    #[test]
+    fn rsb_predicts_in_lifo_order() {
+        let mut r = Rsb::new();
+        r.push(BlockId(1));
+        r.push(BlockId(2));
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop_predict(), Some(BlockId(2)));
+        assert_eq!(r.pop_predict(), Some(BlockId(1)));
+        assert_eq!(r.pop_predict(), None);
+    }
+
+    #[test]
+    fn rsb_overflows_by_dropping_oldest() {
+        let mut r = Rsb::with_capacity(2);
+        r.push(BlockId(1));
+        r.push(BlockId(2));
+        r.push(BlockId(3));
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop_predict(), Some(BlockId(3)));
+        assert_eq!(r.pop_predict(), Some(BlockId(2)));
+        assert_eq!(r.pop_predict(), None, "oldest entry was dropped");
+    }
+}

@@ -1,0 +1,41 @@
+//! Contract sensitivity (§6.6, Figure 6): CT-SEQ vs ARCH-SEQ.
+//!
+//! ARCH-SEQ permits exposure of non-speculatively loaded values, so it can
+//! be used to test STT-like defences: it is violated by the classic V1
+//! gadget (speculative load + use) but not by a gadget that only leaks a
+//! non-speculatively loaded value.
+//!
+//! Run with: `cargo run --release --example contract_sensitivity`
+
+use revizor_suite::prelude::*;
+
+fn main() {
+    let target = Target::target5();
+    let cases = [
+        ("Figure 6a: non-speculative load, speculative use", gadgets::arch_seq_insensitive()),
+        ("Figure 6b: classic V1 (speculative load + use)", gadgets::arch_seq_sensitive()),
+    ];
+
+    for (name, gadget) in &cases {
+        println!("=== {name} ===");
+        println!("{}", gadget.to_asm());
+        for contract in [Contract::ct_seq(), Contract::arch_seq()] {
+            let mut verdict = "complies (no violation within 150 inputs)".to_string();
+            for seed in 0..5u64 {
+                if let Some(n) = detection::inputs_to_violation(
+                    &target,
+                    contract.clone(),
+                    gadget,
+                    seed * 31 + 7,
+                    150,
+                ) {
+                    verdict = format!("VIOLATED after {n} random inputs");
+                    break;
+                }
+            }
+            println!("  {:9} -> {verdict}", contract.name());
+        }
+        println!();
+    }
+    println!("Expected: both violate CT-SEQ; only Figure 6b violates ARCH-SEQ.");
+}

@@ -1,0 +1,44 @@
+//! End-to-end fuzzing campaign: automatically surface Spectre V1 as a CT-SEQ
+//! contract violation on the paper's Target 5 (Skylake, AR+MEM+CB,
+//! Prime+Probe), using randomly generated test cases only.
+//!
+//! Run with: `cargo run --release --example detect_spectre_v1`
+
+use revizor_suite::prelude::*;
+
+fn main() {
+    let target = Target::target5();
+    println!("Fuzzing {target}");
+    println!("Contract under test: CT-SEQ (speculation may expose nothing)\n");
+
+    let generator = GeneratorConfig::for_subset(target.isa)
+        .with_basic_blocks(4)
+        .with_instructions(14);
+    let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+        .with_generator(generator)
+        .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
+        .with_inputs_per_test_case(20)
+        .with_max_test_cases(200)
+        .with_seed(7);
+    let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+    let report = fuzzer.run();
+
+    println!("test cases executed : {}", report.test_cases);
+    println!("inputs executed     : {}", report.total_inputs);
+    println!("duration            : {:?}", report.duration);
+    println!("pattern coverage    : {}", report.coverage);
+    println!("mean effectiveness  : {:.2}", report.mean_effectiveness);
+    println!();
+
+    match report.violation {
+        Some(v) => {
+            println!("VIOLATION of {} detected after {} test cases", v.contract, v.test_cases_until_detection);
+            println!("classified as: {}", v.vulnerability);
+            println!("diverging inputs: #{} and #{}", v.violation.input_a, v.violation.input_b);
+            println!("  htrace A: {}", v.violation.htrace_a);
+            println!("  htrace B: {}", v.violation.htrace_b);
+            println!("\nviolating test case:\n{}", v.test_case.to_asm());
+        }
+        None => println!("no violation found within the budget — rerun with a larger budget"),
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the end-to-end MRT pipeline: the fuzzer on the
+//! paper's targets, the diversity feedback, the minimizer and the detection
+//! harnesses.
+
+use revizor_suite::prelude::*;
+
+#[test]
+fn target1_baseline_produces_no_false_violations() {
+    // Table 3, Target 1: arithmetic-only test cases on the speculative part
+    // comply with every contract — the noise filtering and the relational
+    // analysis produce no false positives.
+    let target = Target::target1();
+    for contract in [Contract::ct_seq(), Contract::ct_cond_bpas()] {
+        let config = FuzzerConfig::for_target(&target, contract)
+            .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
+            .with_inputs_per_test_case(15)
+            .with_max_test_cases(15)
+            .with_seed(5);
+        let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let report = fuzzer.run();
+        assert!(!report.found_violation());
+        assert_eq!(report.test_cases, 15);
+    }
+}
+
+#[test]
+fn full_campaign_detects_and_classifies_spectre_v1() {
+    let outcome = detection::detection_time(&Target::target5(), Contract::ct_seq(), 9, 80);
+    assert!(outcome.found);
+    assert_eq!(outcome.vulnerability.as_deref(), Some("V1"));
+    assert!(outcome.inputs > 0);
+}
+
+#[test]
+fn assist_campaigns_detect_mds_and_lvi_with_random_test_cases() {
+    // Targets 7 and 8 of Table 3, with randomly generated test cases.
+    let mds = detection::detection_time(&Target::target7(), Contract::ct_cond_bpas(), 3, 80);
+    assert!(mds.found, "MDS must surface on Target 7");
+    assert_eq!(mds.vulnerability.as_deref(), Some("MDS"));
+
+    let lvi = detection::detection_time(&Target::target8(), Contract::ct_cond_bpas(), 3, 80);
+    assert!(lvi.found, "LVI-Null must surface on Target 8");
+    assert_eq!(lvi.vulnerability.as_deref(), Some("LVI-Null"));
+}
+
+#[test]
+fn fuzzer_escalates_generator_configuration_over_rounds() {
+    // The diversity analysis must reconfigure the generator when coverage
+    // goals are reached (§5.6); on the AR-only target nothing is ever
+    // detected, so several rounds complete and escalations accumulate.
+    let target = Target::target1();
+    let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+        .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
+        .with_inputs_per_test_case(10)
+        .with_max_test_cases(30)
+        .with_seed(2);
+    let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+    let report = fuzzer.run();
+    assert!(report.rounds >= 2);
+    assert!(report.escalations >= 1, "coverage feedback should escalate the generator");
+    assert!(!report.coverage.covered().is_empty(), "patterns should be covered");
+}
+
+#[test]
+fn minimizer_shrinks_a_generated_counterexample() {
+    // Find a violation with random test cases, then minimize it and check
+    // the violation still reproduces on the minimized artifact.
+    let target = Target::target5();
+    let generator = GeneratorConfig::for_subset(target.isa)
+        .with_basic_blocks(4)
+        .with_instructions(14);
+    let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+        .with_generator(generator)
+        .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
+        .with_inputs_per_test_case(20)
+        .with_max_test_cases(80)
+        .with_seed(9);
+    let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+    let report = fuzzer.run();
+    let violation = report.violation.expect("campaign must find a violation");
+
+    let original_len = violation.test_case.instruction_count();
+    let minimized = Postprocessor::new().minimize(&mut fuzzer, &violation.test_case, &violation.inputs);
+    let check = fuzzer.test_with_inputs(&minimized.test_case, &minimized.inputs).unwrap();
+    assert!(check.confirmed_violation.is_some(), "minimized test case must still violate");
+    assert!(minimized.test_case.instruction_count() <= original_len + minimized_fence_count(&minimized));
+    assert!(!minimized.leaking_region.is_empty(), "the leak must be localized");
+}
+
+fn minimized_fence_count(m: &revizor::minimize::MinimizedViolation) -> usize {
+    m.test_case
+        .blocks()
+        .iter()
+        .map(|b| b.instrs.iter().filter(|i| i.is_fence()).count())
+        .sum()
+}
+
+#[test]
+fn detection_works_across_measurement_repetition_settings() {
+    // The paper repeats each measurement 50 times; the detection result must
+    // not depend on the exact repetition count on a deterministic CPU.
+    let gadget = gadgets::spectre_v1();
+    let target = Target::target5();
+    for reps in [2usize, 5, 10] {
+        let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+            .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(reps));
+        let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let inputs = InputGenerator::new(2).generate(&gadget, 11, 24);
+        let outcome = fuzzer.test_with_inputs(&gadget, &inputs).unwrap();
+        assert!(outcome.confirmed_violation.is_some(), "reps={reps}");
+    }
+}
+
+#[test]
+fn noisy_executor_still_reaches_the_same_verdicts() {
+    // With synthetic one-off noise and SMI pollution enabled, the filtering
+    // machinery (§5.3) keeps both the positive and the negative verdict.
+    use rvz_executor::NoiseConfig;
+    let target = Target::target5();
+    let noisy = ExecutorConfig::fast(target.mode)
+        .with_repetitions(10)
+        .with_noise(NoiseConfig { one_off_probability: 0.05, smi_probability: 0.05, seed: 17 });
+
+    // Positive verdict: the V1 gadget still violates CT-SEQ.
+    let config = FuzzerConfig::for_target(&target, Contract::ct_seq()).with_executor(noisy);
+    let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+    let inputs = InputGenerator::new(2).generate(&gadgets::spectre_v1(), 11, 24);
+    let outcome = fuzzer.test_with_inputs(&gadgets::spectre_v1(), &inputs).unwrap();
+    assert!(outcome.confirmed_violation.is_some());
+
+    // Negative verdict: the AR-only baseline still complies.
+    let baseline = Target::target1();
+    let config = FuzzerConfig::for_target(&baseline, Contract::ct_seq())
+        .with_executor(noisy)
+        .with_inputs_per_test_case(10)
+        .with_max_test_cases(10);
+    let mut fuzzer = Revizor::new(baseline.cpu(), config).with_target(baseline.clone());
+    let report = fuzzer.run();
+    assert!(!report.found_violation(), "noise must not create false violations");
+}

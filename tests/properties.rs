@@ -1,0 +1,143 @@
+//! Property-based tests (proptest) on the core invariants of the system:
+//! the generator's fault-freedom guarantee, determinism of every pipeline
+//! stage, the analyzer's relational properties, and trace algebra.
+
+use proptest::prelude::*;
+use revizor_suite::prelude::*;
+use rvz_cache::SetVector;
+use rvz_model::Observation;
+
+fn arb_isa() -> impl Strategy<Value = IsaSubset> {
+    prop_oneof![
+        Just(IsaSubset::AR),
+        Just(IsaSubset::AR_MEM),
+        Just(IsaSubset::AR_MEM_VAR),
+        Just(IsaSubset::AR_CB),
+        Just(IsaSubset::AR_MEM_CB),
+        Just(IsaSubset::AR_MEM_CB_VAR),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §5.1 step 4: instrumentation guarantees that generated test cases
+    /// never fault, for any seed, any ISA subset and any input.
+    #[test]
+    fn generated_test_cases_never_fault(
+        seed in 0u64..5000,
+        input_seed in 0u64..5000,
+        isa in arb_isa(),
+        instructions in 4usize..24,
+        blocks in 1usize..6,
+    ) {
+        let config = GeneratorConfig::for_subset(isa)
+            .with_instructions(instructions)
+            .with_basic_blocks(blocks);
+        let tc = ProgramGenerator::new(config).generate(seed);
+        prop_assert_eq!(tc.validate(), Ok(()));
+        let input = InputGenerator::new(4).generate_one(&tc, input_seed);
+        prop_assert!(Runner::new(&tc).run(&input).is_ok());
+    }
+
+    /// The contract model is a pure function of (test case, input).
+    #[test]
+    fn contract_traces_are_deterministic(seed in 0u64..2000, input_seed in 0u64..2000) {
+        let config = GeneratorConfig::for_subset(IsaSubset::AR_MEM_CB).with_instructions(12);
+        let tc = ProgramGenerator::new(config).generate(seed);
+        let input = InputGenerator::new(2).generate_one(&tc, input_seed);
+        let model = ContractModel::new(Contract::ct_cond_bpas());
+        let a = model.collect_trace(&tc, &input).unwrap();
+        let b = model.collect_trace(&tc, &input).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Weakening the contract (SEQ -> COND -> COND-BPAS) never removes
+    /// observations: the SEQ trace observations are a prefix-preserving
+    /// subset (here checked as multiset inclusion of memory addresses).
+    #[test]
+    fn more_permissive_contracts_expose_at_least_as_much(
+        seed in 0u64..2000,
+        input_seed in 0u64..2000,
+    ) {
+        let config = GeneratorConfig::for_subset(IsaSubset::AR_MEM_CB).with_instructions(12);
+        let tc = ProgramGenerator::new(config).generate(seed);
+        let input = InputGenerator::new(2).generate_one(&tc, input_seed);
+        let seq = ContractModel::new(Contract::ct_seq()).collect_trace(&tc, &input).unwrap();
+        let cond = ContractModel::new(Contract::ct_cond()).collect_trace(&tc, &input).unwrap();
+        let both = ContractModel::new(Contract::ct_cond_bpas()).collect_trace(&tc, &input).unwrap();
+        prop_assert!(seq.len() <= cond.len());
+        prop_assert!(cond.len() <= both.len());
+        for addr in seq.mem_addrs() {
+            prop_assert!(cond.mem_addrs().contains(&addr));
+        }
+    }
+
+    /// The CPU under test is deterministic: the same priming sequence
+    /// produces the same hardware traces, measurement after measurement.
+    #[test]
+    fn hardware_traces_are_reproducible(seed in 0u64..1000) {
+        let config = GeneratorConfig::for_subset(IsaSubset::AR_MEM_CB).with_instructions(10);
+        let tc = ProgramGenerator::new(config).generate(seed);
+        let inputs = InputGenerator::new(2).generate(&tc, seed, 8);
+        let run = || {
+            let cpu = SpecCpu::new(UarchConfig::skylake());
+            let mut ex = Executor::new(cpu, ExecutorConfig::fast(MeasurementMode::prime_probe()));
+            ex.collect_htraces(&tc, &inputs).unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Relational soundness of the analyzer: violations are only ever
+    /// reported between inputs whose contract traces are equal, and no
+    /// violation is reported when all hardware traces are identical.
+    #[test]
+    fn analyzer_reports_only_within_classes(
+        ctrace_ids in proptest::collection::vec(0u64..4, 2..40),
+        hset in proptest::collection::vec(0usize..8, 2..40),
+    ) {
+        let n = ctrace_ids.len().min(hset.len());
+        let ctraces: Vec<_> =
+            ctrace_ids[..n].iter().map(|&i| rvz_model::CTrace::new(vec![Observation::MemAddr(i)])).collect();
+        let htraces: Vec<_> =
+            hset[..n].iter().map(|&s| HTrace::from_sets(SetVector::from_sets([s]))).collect();
+        let result = Analyzer::new().check(&ctraces, &htraces);
+        for v in &result.violations {
+            prop_assert_eq!(ctraces[v.input_a].clone(), ctraces[v.input_b].clone());
+            prop_assert!(!htraces[v.input_a].equivalent(&htraces[v.input_b]));
+        }
+        let uniform: Vec<_> = (0..n).map(|_| HTrace::from_sets(SetVector::from_sets([1]))).collect();
+        prop_assert!(!Analyzer::new().check(&ctraces, &uniform).has_violation());
+    }
+
+    /// Set-vector algebra: union is commutative/idempotent and the subset
+    /// relation used by the analyzer is consistent with union.
+    #[test]
+    fn set_vector_algebra(a in any::<u64>(), b in any::<u64>()) {
+        let va = SetVector::from_bits(a);
+        let vb = SetVector::from_bits(b);
+        prop_assert_eq!(va.union(vb), vb.union(va));
+        prop_assert_eq!(va.union(va), va);
+        prop_assert!(va.is_subset_of(va.union(vb)));
+        prop_assert!(vb.is_subset_of(va.union(vb)));
+        prop_assert_eq!(va.intersection(vb).union(va), va);
+    }
+
+    /// The in-order CPU complies with CT-SEQ on arbitrary generated test
+    /// cases: speculation-free hardware cannot leak more than the
+    /// architectural trace (the fuzzer-level no-false-positive guarantee).
+    #[test]
+    fn in_order_cpu_has_no_ct_seq_violations(seed in 0u64..300) {
+        let config = GeneratorConfig::for_subset(IsaSubset::AR_MEM_CB).with_instructions(10);
+        let tc = ProgramGenerator::new(config).generate(seed);
+        let inputs = InputGenerator::new(2).generate(&tc, seed ^ 0xabcd, 10);
+        let model = ContractModel::new(Contract::ct_seq());
+        let ctraces: Result<Vec<_>, _> =
+            inputs.iter().map(|i| model.collect_trace(&tc, i)).collect();
+        let ctraces = ctraces.unwrap();
+        let cpu = SpecCpu::new(UarchConfig::in_order());
+        let mut ex = Executor::new(cpu, ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        let htraces = ex.collect_htraces(&tc, &inputs).unwrap();
+        prop_assert!(!Analyzer::new().check(&ctraces, &htraces).has_violation());
+    }
+}
