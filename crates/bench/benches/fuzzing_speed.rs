@@ -36,5 +36,36 @@ fn bench_full_test_case(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_test_case);
+fn bench_parallel_rounds(c: &mut Criterion) {
+    // Round throughput of the campaign driver at different parallelism
+    // levels (§6.5): each iteration runs a fixed-budget campaign on the
+    // non-violating baseline target so every round is processed in full.
+    // On a multi-core host the 4-thread row should show ≥ 2× the rounds/s
+    // of the 1-thread row; the campaigns are seed-for-seed identical in
+    // their results regardless of parallelism.
+    let mut group = c.benchmark_group("parallel_rounds");
+    group.sample_size(10);
+
+    for parallelism in [1usize, 2, 4] {
+        let target = Target::target1();
+        let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+            .with_generator(GeneratorConfig::for_subset(target.isa).with_instructions(12))
+            .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
+            .with_inputs_per_test_case(20)
+            .with_max_test_cases(30)
+            .with_parallelism(parallelism);
+        group.bench_function(format!("threads_{parallelism}_30_test_cases"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut fuzzer = Revizor::new(target.cpu(), config.clone().with_seed(seed))
+                    .with_target(target.clone());
+                fuzzer.run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_test_case, bench_parallel_rounds);
 criterion_main!(benches);

@@ -101,7 +101,7 @@ impl FlushReload {
     fn victim_lines(&self, cache: &Cache) -> Vec<u64> {
         let line = cache.config().line_size;
         let first = self.victim_base / line;
-        let last = (self.victim_base + self.victim_len + line - 1) / line;
+        let last = (self.victim_base + self.victim_len).div_ceil(line);
         (first..last).map(|l| l * line).collect()
     }
 }

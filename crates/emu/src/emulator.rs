@@ -171,7 +171,7 @@ impl Emulator {
         let r = width.truncate(result);
         self.state.set_flag(Flag::Zf, r == 0);
         self.state.set_flag(Flag::Sf, r & width.sign_bit() != 0);
-        self.state.set_flag(Flag::Pf, (r as u8).count_ones() % 2 == 0);
+        self.state.set_flag(Flag::Pf, (r as u8).count_ones().is_multiple_of(2));
     }
 
     fn exec_alu(

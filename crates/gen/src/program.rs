@@ -57,8 +57,8 @@ impl ProgramGenerator {
         let mut blocks: Vec<BasicBlock> = (0..n_blocks).map(|i| BasicBlock::new(BlockId(i))).collect();
 
         // Step 1+2: DAG structure realized through terminators.
-        for i in 0..n_blocks {
-            blocks[i].terminator = if i + 1 == n_blocks {
+        for (i, block) in blocks.iter_mut().enumerate() {
+            block.terminator = if i + 1 == n_blocks {
                 Terminator::Exit
             } else if self.config.isa.cb && rng.gen_bool(0.7) {
                 let taken = BlockId(rng.gen_range(i + 1..n_blocks));

@@ -505,15 +505,11 @@ impl Instr {
                 push(a, false);
                 push(b, false);
             }
-            Instr::Shift { dest, .. } | Instr::Unary { dest, .. } => {
-                if dest.is_mem() {
-                    push(dest, true);
-                }
+            Instr::Shift { dest, .. } | Instr::Unary { dest, .. } if dest.is_mem() => {
+                push(dest, true);
             }
-            Instr::Xchg { src, .. } => {
-                if src.is_mem() {
-                    push(src, true);
-                }
+            Instr::Xchg { src, .. } if src.is_mem() => {
+                push(src, true);
             }
             _ => {}
         }

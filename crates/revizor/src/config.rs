@@ -29,6 +29,12 @@ pub struct FuzzerConfig {
     /// Number of test cases per testing round; the diversity analysis runs
     /// at round boundaries (§5.6).
     pub round_size: usize,
+    /// Number of worker threads the campaign driver fans test cases out to
+    /// within a round.  `1` processes rounds on the calling thread; larger
+    /// values evaluate the test cases of one round concurrently.  Per-test-
+    /// case seeding keeps the confirmed violations identical for any value
+    /// of `parallelism` with a fixed campaign seed.
+    pub parallelism: usize,
 }
 
 impl FuzzerConfig {
@@ -44,6 +50,7 @@ impl FuzzerConfig {
             verify_with_nesting: true,
             priming_swap_check: true,
             round_size: 10,
+            parallelism: 1,
         }
     }
 
@@ -76,6 +83,13 @@ impl FuzzerConfig {
         self.executor = executor;
         self
     }
+
+    /// Builder: set the number of round-driver worker threads (`0` and `1`
+    /// both mean single-threaded).
+    pub fn with_parallelism(mut self, n: usize) -> FuzzerConfig {
+        self.parallelism = n.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +117,14 @@ mod tests {
         assert_eq!(c.max_test_cases, 5);
         assert_eq!(c.generator.inputs_per_test_case, 7);
         assert_eq!(c.seed, 42);
+    }
+
+    #[test]
+    fn parallelism_defaults_to_one_and_is_clamped() {
+        let c = FuzzerConfig::for_target(&Target::target1(), Contract::ct_seq());
+        assert_eq!(c.parallelism, 1);
+        assert_eq!(c.with_parallelism(0).parallelism, 1);
+        let c = FuzzerConfig::for_target(&Target::target1(), Contract::ct_seq());
+        assert_eq!(c.with_parallelism(4).parallelism, 4);
     }
 }

@@ -245,7 +245,11 @@ mod tests {
 
     #[test]
     fn detection_time_finds_v1_on_target5() {
-        let outcome = detection_time(&Target::target5(), Contract::ct_seq(), 11, 40);
+        // Detection is stochastic in the PRNG stream (the vendored `rand`
+        // stand-in finds the first V1 around test case 50 for this seed);
+        // the budget leaves headroom so the assertion tests the mechanism,
+        // not one particular random stream.
+        let outcome = detection_time(&Target::target5(), Contract::ct_seq(), 11, 120);
         assert!(outcome.found);
         assert_eq!(outcome.vulnerability.as_deref(), Some("V1"));
         assert!(outcome.test_cases >= 1);
@@ -253,7 +257,9 @@ mod tests {
 
     #[test]
     fn detection_stats_aggregate() {
-        let stats = detection_stats(&Target::target5(), Contract::ct_seq(), 2, 60);
+        // Budget sized so both sample seeds detect under the vendored PRNG
+        // stream (first violations near test cases 75 and 120).
+        let stats = detection_stats(&Target::target5(), Contract::ct_seq(), 2, 150);
         assert_eq!(stats.samples, 2);
         assert!(stats.detected >= 1);
         assert!(stats.mean_test_cases >= 1.0);

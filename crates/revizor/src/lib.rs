@@ -32,7 +32,11 @@
 //!
 //! # Example: detect Spectre V1 as a CT-SEQ violation
 //!
-//! ```
+//! Compiled but not executed by `cargo test --doc` — it runs a full
+//! (unoptimized) fuzzing campaign; the same property is exercised by the
+//! `tests/pipeline.rs` integration tests in release-speed test runs.
+//!
+//! ```no_run
 //! use revizor::detection::detection_time;
 //! use revizor::targets::Target;
 //! use rvz_model::Contract;

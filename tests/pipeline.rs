@@ -138,3 +138,70 @@ fn noisy_executor_still_reaches_the_same_verdicts() {
     let report = fuzzer.run();
     assert!(!report.found_violation(), "noise must not create false violations");
 }
+
+#[test]
+fn smoke_one_full_round_finds_spectre_v1_end_to_end() {
+    // One full fuzzing round, end to end with a fixed seed: the generator
+    // samples test cases, the model collects contract traces, the executor
+    // collects hardware traces on the vulnerable target, and the analyzer's
+    // relational check confirms a Spectre-V1 violation of CT-SEQ.
+    let target = Target::target5();
+    let generator = GeneratorConfig::for_subset(target.isa)
+        .with_basic_blocks(4)
+        .with_instructions(14);
+    let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+        .with_generator(generator)
+        .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
+        .with_inputs_per_test_case(20)
+        .with_max_test_cases(120)
+        .with_seed(9);
+    let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+    let report = fuzzer.run();
+    assert!(report.found_violation(), "Spectre V1 must surface within the budget");
+    let v = report.violation.expect("violation report");
+    assert_eq!(v.vulnerability, VulnClass::SpectreV1);
+    assert!(v.test_case.conditional_branch_count() > 0);
+    assert_ne!(v.violation.input_a, v.violation.input_b);
+    assert!(v.inputs_until_detection >= v.test_cases_until_detection);
+}
+
+#[test]
+fn parallel_rounds_reproduce_the_sequential_campaign() {
+    // The acceptance property of the parallel round driver: for a fixed
+    // campaign seed, `parallelism = N` confirms exactly the violations that
+    // `parallelism = 1` confirms, with identical counters.
+    let campaign = |parallelism: usize| {
+        let target = Target::target5();
+        let generator = GeneratorConfig::for_subset(target.isa)
+            .with_basic_blocks(4)
+            .with_instructions(14);
+        let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+            .with_generator(generator)
+            .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
+            .with_inputs_per_test_case(20)
+            .with_max_test_cases(120)
+            .with_seed(1)
+            .with_parallelism(parallelism);
+        let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+        fuzzer.run()
+    };
+    let sequential = campaign(1);
+    let parallel = campaign(4);
+
+    assert_eq!(sequential.test_cases, parallel.test_cases);
+    assert_eq!(sequential.total_inputs, parallel.total_inputs);
+    assert_eq!(sequential.rounds, parallel.rounds);
+    assert_eq!(sequential.escalations, parallel.escalations);
+    assert_eq!(sequential.coverage, parallel.coverage);
+
+    let (a, b) = (
+        sequential.violation.expect("sequential campaign finds V1"),
+        parallel.violation.expect("parallel campaign finds V1"),
+    );
+    assert_eq!(a.test_cases_until_detection, b.test_cases_until_detection);
+    assert_eq!(a.inputs_until_detection, b.inputs_until_detection);
+    assert_eq!(a.vulnerability, b.vulnerability);
+    assert_eq!(a.violation.input_a, b.violation.input_a);
+    assert_eq!(a.violation.input_b, b.violation.input_b);
+    assert_eq!(a.inputs, b.inputs);
+}

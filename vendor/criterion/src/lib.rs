@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of criterion's API its benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and `Bencher::iter`.  Instead of
+//! criterion's statistical machinery it reports the mean wall-clock time
+//! per iteration over `sample_size` timed iterations (after one warm-up),
+//! which is enough to compare configurations — e.g. the parallel-fuzzing
+//! speedup — without external dependencies.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, like `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (subset of
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark id rendered from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Benchmark id rendered from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-benchmark timing loop (subset of `criterion::Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`: one untimed warm-up call, then `sample_size` timed
+    /// iterations whose mean the harness reports.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = self.sample_size as u64;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<50} (no measurement)");
+            return;
+        }
+        let per_iter = self.total / self.iters as u32;
+        println!("{name:<50} {:>12} /iter ({} iters)", fmt_duration(per_iter), self.iters);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// A named group of related benchmarks (subset of
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.should_run(&full) {
+            let mut b = Bencher { sample_size: self.sample_size, total: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (a no-op in the stub, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Parse harness arguments the way cargo invokes bench binaries:
+    /// `--bench` selects bench mode, `--test` selects cargo-test's
+    /// compile-check mode (benches are skipped), anything not starting with
+    /// `-` is a name filter.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmark a closure directly on the harness (no group).
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.to_string();
+        if self.should_run(&full) {
+            let mut b = Bencher { sample_size: 10, total: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    fn should_run(&self, name: &str) -> bool {
+        if self.test_mode {
+            return false;
+        }
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Declare a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        // 1 warm-up + 3 timed iterations.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn test_mode_skips_measurement() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        let mut ran = false;
+        c.bench_function("f", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,282 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of proptest's API its property tests use: the `proptest!`
+//! test-block macro, `prop_assert!`/`prop_assert_eq!`, `Strategy`, `Just`,
+//! `prop_oneof!`, `any`, range strategies, `collection::vec`, and
+//! `ProptestConfig::with_cases`.  Cases are sampled deterministically (the
+//! per-test seed is derived from the test name and case index) and there is
+//! no shrinking: a failing case panics with its case number and seed so it
+//! can be replayed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Configuration for a `proptest!` block (subset of
+/// `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property for `cases` sampled inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for property tests (subset of
+/// `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+/// Strategy producing one constant value (mirror of `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform + rand::One + PartialOrd + std::ops::Sub<Output = T>> Strategy
+    for Range<T>
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy drawing any value of a type from raw generator bits (mirror of
+/// `proptest::arbitrary::any`).
+pub fn any<T: rand::FromRng>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::FromRng> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}
+
+/// One boxed alternative of a [`OneOf`] strategy.
+pub type OneOfArm<V> = Box<dyn Fn(&mut SmallRng) -> V>;
+
+/// Strategy choosing uniformly among boxed alternatives (the expansion of
+/// [`prop_oneof!`]).
+pub struct OneOf<V> {
+    /// The alternative samplers.
+    pub arms: Vec<OneOfArm<V>>,
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut SmallRng) -> V {
+        let idx = rng.gen_range(0..self.arms.len());
+        (self.arms[idx])(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob import mirroring `proptest::prelude`.
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Derive a deterministic per-test seed from the test name.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a, stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Sample `strategy` once for `case` of the test seeded by `seed`.
+pub fn sample_case<S: Strategy>(strategy: &S, seed: u64, case: u32, arm: u32) -> S::Value {
+    let mut rng = SmallRng::seed_from_u64(
+        seed.wrapping_add((case as u64) << 32).wrapping_add(arm as u64),
+    );
+    strategy.sample(&mut rng)
+}
+
+/// Assert a condition inside a `proptest!` body (mirror of
+/// `proptest::prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body (mirror of
+/// `proptest::prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly among strategies (mirror of `proptest::prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf {
+            arms: vec![
+                $({
+                    let s = $strategy;
+                    ::std::boxed::Box::new(move |rng: &mut _| $crate::Strategy::sample(&s, rng))
+                        as ::std::boxed::Box<dyn Fn(&mut _) -> _>
+                }),+
+            ],
+        }
+    };
+}
+
+/// Define property tests (mirror of `proptest::proptest!`).
+///
+/// Each property runs `cases` times with deterministically sampled inputs;
+/// a `prop_assert*` failure panics with the case index and seed.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($param:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let seed = $crate::seed_for(stringify!($name));
+                for case in 0..cfg.cases {
+                    let mut arm = 0u32;
+                    $(
+                        arm += 1;
+                        let $param = $crate::sample_case(&$strategy, seed, case, arm);
+                    )+
+                    let outcome = (|| -> ::std::result::Result<(), String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{} (seed {:#x}):\n{}",
+                            stringify!($name), case, cfg.cases, seed, msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, v in crate::collection::vec(0usize..4, 1..5)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+
+        #[test]
+        fn oneof_and_just(y in prop_oneof![Just(1u8), Just(2u8)], z in any::<u64>()) {
+            prop_assert!(y == 1u8 || y == 2u8);
+            prop_assert_eq!(z, z);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = 0u64..1000;
+        let seed = crate::seed_for("t");
+        assert_eq!(crate::sample_case(&s, seed, 7, 1), crate::sample_case(&s, seed, 7, 1));
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the small slice of rayon's API the fuzzer uses: `ThreadPoolBuilder` /
+//! `ThreadPool::install`, `into_par_iter().map(..).collect()` over vectors,
+//! and `current_num_threads`.  Parallelism is implemented with
+//! `std::thread::scope`: items are split into one contiguous chunk per
+//! worker, mapped on scoped threads, and re-assembled in order, so `collect`
+//! preserves input order exactly as rayon's indexed collect does.
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operations on this thread will use.
+///
+/// Inside [`ThreadPool::install`] this is the pool's configured size;
+/// outside it defaults to `std::thread::available_parallelism`.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|p| p.get())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]; never produced by the stub.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`] (subset of `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads; `0` means auto-detect, as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.  The stub cannot fail, but keeps rayon's fallible
+    /// signature so call sites stay source-compatible.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: records a thread count that parallel operations
+/// executed under [`ThreadPool::install`] will use.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count as the ambient parallelism.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|p| p.replace(Some(self.num_threads)));
+        let result = op();
+        POOL_THREADS.with(|p| p.set(prev));
+        result
+    }
+
+    /// The configured number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Conversion into a parallel iterator (subset of rayon's trait of the same
+/// name).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over an owned `Vec` (rayon's `vec::IntoIter` analogue).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each element through `f`, to be executed in parallel at collect
+    /// time.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> MapParIter<T, R, F> {
+        MapParIter { items: self.items, f, _out: PhantomData }
+    }
+}
+
+/// The result of [`ParIter::map`]: a deferred parallel map.
+pub struct MapParIter<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    _out: PhantomData<R>,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> MapParIter<T, R, F> {
+    /// Execute the map across [`current_num_threads`] scoped threads and
+    /// collect the results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let threads = current_num_threads().max(1);
+        let len = self.items.len();
+        if threads <= 1 || len <= 1 {
+            return C::from_ordered(self.items.into_iter().map(self.f).collect());
+        }
+        let chunk_len = len.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk_len));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let f = &self.f;
+        let mapped: Vec<Vec<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rayon stub worker panicked")).collect()
+        });
+        C::from_ordered(mapped.into_iter().flatten().collect())
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T> {
+    /// Build the collection from results already in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{FromParallelIterator, IntoParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_sets_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
+        let out: Vec<u32> =
+            pool.install(|| (0..10).collect::<Vec<u32>>().into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

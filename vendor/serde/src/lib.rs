@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes at runtime, so this stub provides the trait names and
+//! re-exports the no-op derive macros from the vendored `serde_derive`.
+//! Replacing the `[workspace.dependencies]` path entry with the real
+//! crates.io `serde` requires no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

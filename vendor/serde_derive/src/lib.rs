@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors API-compatible stubs for its external dependencies.  Nothing in
+//! the workspace serializes values at runtime — the `#[derive(Serialize,
+//! Deserialize)]` annotations only declare intent — so the derives here
+//! expand to nothing.  Swapping the `[workspace.dependencies]` path entries
+//! back to the crates.io versions requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// Derive macro for `serde::Serialize`; expands to nothing in this stub.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro for `serde::Deserialize`; expands to nothing in this stub.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
