@@ -17,14 +17,42 @@ fn bench_full_test_case(c: &mut Criterion) {
         ("target1_ar_50_inputs", Target::target1(), 50),
         ("target5_ar_mem_cb_50_inputs", Target::target5(), 50),
     ] {
+        let gen_cfg = GeneratorConfig::for_subset(target.isa).with_instructions(12);
         let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
-            .with_generator(GeneratorConfig::for_subset(target.isa).with_instructions(12))
+            .with_generator(gen_cfg.clone())
             .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
             .with_inputs_per_test_case(inputs);
         let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
-        let generator =
-            rvz_gen::ProgramGenerator::new(GeneratorConfig::for_subset(target.isa).with_instructions(12));
+        let generator = rvz_gen::ProgramGenerator::new(gen_cfg);
         group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let tc = generator.generate(seed);
+                fuzzer.test_case(&tc, seed).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_repetition_sweep(c: &mut Criterion) {
+    // The full per-test-case pipeline at the paper-realistic repetition
+    // counts (§5.3 repeats each measurement 50 times): this is where the
+    // measurement session pays off, since trace collection dominates the
+    // round time at `repetitions ≥ 3`.
+    let mut group = c.benchmark_group("fuzzing_speed_repetitions");
+    group.sample_size(10);
+    for reps in [3usize, 5, 10] {
+        let target = Target::target1();
+        let gen_cfg = GeneratorConfig::for_subset(target.isa).with_instructions(12);
+        let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+            .with_generator(gen_cfg.clone())
+            .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(reps))
+            .with_inputs_per_test_case(50);
+        let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let generator = rvz_gen::ProgramGenerator::new(gen_cfg);
+        group.bench_function(format!("target1_50_inputs_reps{reps}"), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed = seed.wrapping_add(1);
@@ -67,5 +95,5 @@ fn bench_parallel_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_test_case, bench_parallel_rounds);
+criterion_group!(benches, bench_full_test_case, bench_repetition_sweep, bench_parallel_rounds);
 criterion_main!(benches);

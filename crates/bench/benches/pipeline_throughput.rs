@@ -61,6 +61,64 @@ fn bench_executor(c: &mut Criterion) {
             b.iter(|| ex.collect_htraces(&tc, &inputs).unwrap())
         });
     }
+    // The measurement-session payoff grows with the repetition count: every
+    // repetition of every input reuses the channel's precomputed address
+    // lists and the per-input sample buffers (the paper runs 50 repetitions).
+    for reps in [3usize, 5, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("prime_probe_20_inputs_reps", reps),
+            &reps,
+            |b, &reps| {
+                let cpu = SpecCpu::new(UarchConfig::skylake());
+                let mut ex = Executor::new(
+                    cpu,
+                    ExecutorConfig::fast(MeasurementMode::prime_probe()).with_repetitions(reps),
+                );
+                b.iter(|| ex.collect_htraces(&tc, &inputs).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_executor_batch(c: &mut Criterion) {
+    // A round's worth of test cases through one executor.  The session
+    // persists across single `collect_htraces` calls too, so the batch API
+    // must add no overhead over a caller-side loop — these two entries
+    // guard that the numbers stay indistinguishable.
+    let mut group = c.benchmark_group("executor_batch");
+    group.sample_size(20);
+    let cases: Vec<_> = [gadgets::spectre_v1(), gadgets::spectre_v1_1(), gadgets::spectre_v4()]
+        .into_iter()
+        .map(|tc| {
+            let inputs = InputGenerator::new(2).generate(&tc, 7, 20);
+            (tc, inputs)
+        })
+        .collect();
+    let batch: Vec<(&rvz_isa::TestCase, &[rvz_isa::Input])> =
+        cases.iter().map(|(tc, inputs)| (tc, inputs.as_slice())).collect();
+
+    group.bench_function("batch_3_test_cases_reps3", |b| {
+        let cpu = SpecCpu::new(UarchConfig::skylake());
+        let mut ex = Executor::new(
+            cpu,
+            ExecutorConfig::fast(MeasurementMode::prime_probe()).with_repetitions(3),
+        );
+        b.iter(|| ex.collect_htraces_batch(&batch).unwrap())
+    });
+    group.bench_function("single_3_test_cases_reps3", |b| {
+        let cpu = SpecCpu::new(UarchConfig::skylake());
+        let mut ex = Executor::new(
+            cpu,
+            ExecutorConfig::fast(MeasurementMode::prime_probe()).with_repetitions(3),
+        );
+        b.iter(|| {
+            cases
+                .iter()
+                .map(|(tc, inputs)| ex.collect_htraces(tc, inputs).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
     group.finish();
 }
 
@@ -98,6 +156,7 @@ criterion_group!(
     bench_generation,
     bench_model,
     bench_executor,
+    bench_executor_batch,
     bench_analyzer,
     bench_uarch
 );

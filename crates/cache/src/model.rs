@@ -123,6 +123,102 @@ impl Cache {
         }
     }
 
+    /// Bulk-fill one set with the given lines, exactly as if the `tags`
+    /// (distinct) had been [`access`](Cache::access)ed in order: hits
+    /// refresh in place, misses evict the LRU victim, survivors age, and
+    /// the access/miss counters advance — the resulting set (line order
+    /// included) is bit-identical to the sequential walk's.
+    ///
+    /// This is the executor's priming fast path: a Prime+Probe prepare
+    /// walks `sets × ways` attacker lines, and replaying that walk through
+    /// the generic access path costs `O(ways²)` aging *writes* per set;
+    /// here the ages are reconstructed once at the end.
+    pub fn prime_set(&mut self, set: usize, tags: &[u64]) {
+        if tags.is_empty() {
+            return;
+        }
+        self.accesses += tags.len() as u64;
+        let ways = self.config.ways;
+        let lines = &mut self.sets[set];
+        let walk_len = tags.len() as u32;
+
+        // Steady-state fast path: the set already holds exactly the walk's
+        // lines in walk order (true for every set the victim left alone
+        // since the previous prime — misses append in walk order and hits
+        // refresh in place, so a full prime always leaves this layout).
+        // Every access hits; only the ages move.
+        if lines.len() == tags.len() && lines.iter().map(|l| l.tag).eq(tags.iter().copied()) {
+            for (i, line) in lines.iter_mut().enumerate() {
+                line.age = walk_len - 1 - i as u32;
+            }
+            return;
+        }
+
+        // Replay the walk on a scratch list mirroring the real line order,
+        // without the per-access aging writes.  `Some(i)` marks a line
+        // (re-)accessed at walk index `i` — "fresh".  At any point a fresh
+        // line is strictly younger than every stale occupant, so the LRU
+        // victim of a miss is the stale line `access` would pick (greatest
+        // age, last position on ties; stale lines age uniformly and never
+        // reorder).  Only once no stale occupant is left (more tags than
+        // ways) does the oldest fresh line — the smallest walk index — get
+        // evicted.
+        let mut scratch: Vec<(u64, u32, Option<u32>)> =
+            lines.iter().map(|l| (l.tag, l.age, None)).collect();
+        for (walk_idx, &tag) in tags.iter().enumerate() {
+            if let Some(entry) = scratch.iter_mut().find(|e| e.0 == tag) {
+                entry.2 = Some(walk_idx as u32);
+                continue;
+            }
+            self.misses += 1;
+            if scratch.len() >= ways {
+                let victim = scratch
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.2.is_none())
+                    .max_by_key(|&(i, &(_, age, _))| (age, i))
+                    .map(|(i, _)| i)
+                    .or_else(|| {
+                        // No stale occupant left (more tags than ways):
+                        // the oldest fresh line is the LRU victim.
+                        scratch
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, &(_, _, idx))| idx)
+                            .map(|(i, _)| i)
+                    });
+                if let Some(v) = victim {
+                    scratch.remove(v);
+                }
+            }
+            scratch.push((tag, 0, Some(walk_idx as u32)));
+        }
+
+        lines.clear();
+        lines.extend(scratch.into_iter().map(|(tag, age, fresh)| match fresh {
+            // Fresh lines: accessed at walk index `i`, then aged once per
+            // later access.
+            Some(i) => Line { tag, age: walk_len - 1 - i },
+            // Stale survivors (partial fill): aged once per access.
+            None => Line { tag, age: age.saturating_add(walk_len) },
+        }));
+    }
+
+    /// Probe one set for the given lines: returns how many of the `tags`
+    /// (distinct) are resident, refreshing the LRU age of each hit exactly
+    /// like [`probe_access`](Cache::probe_access) — but in a single pass
+    /// over the set instead of one lookup per tag.
+    pub fn probe_set(&mut self, set: usize, tags: &[u64]) -> usize {
+        let mut hits = 0;
+        for line in self.sets[set].iter_mut() {
+            if tags.contains(&line.tag) {
+                line.age = 0;
+                hits += 1;
+            }
+        }
+        hits
+    }
+
     /// Is the line containing `addr` currently cached?
     pub fn is_cached(&self, addr: u64) -> bool {
         let tag = self.tag_of(addr);
@@ -255,6 +351,120 @@ mod tests {
         assert_eq!(c.accesses(), 0);
         assert_eq!(c.misses(), 0);
         assert!(c.is_cached(0), "contents preserved");
+    }
+
+    #[test]
+    fn prime_set_matches_sequential_accesses() {
+        // The bulk fill must leave the set bit-identical (tags and LRU ages)
+        // to accessing the same lines in order through the generic path.
+        let cfg = CacheConfig::tiny(2, 4);
+        let stride = cfg.sets as u64 * cfg.line_size;
+        let attacker: Vec<u64> = (0..4u64).map(|w| (0x8000 + w * stride) / cfg.line_size).collect();
+
+        let mut slow = Cache::new(cfg);
+        let mut fast = Cache::new(cfg);
+        // Pre-pollute both with victim lines in set 0.
+        for c in [&mut slow, &mut fast] {
+            c.access(0);
+            c.access(2 * stride);
+        }
+        for &tag in &attacker {
+            slow.access(tag * cfg.line_size);
+        }
+        fast.prime_set(0, &attacker);
+        assert_eq!(slow.sets[0], fast.sets[0]);
+        assert_eq!(slow.accesses(), fast.accesses());
+        assert_eq!(slow.misses(), fast.misses());
+
+        // Warm re-prime after a victim eviction: the victim displaces the
+        // oldest attacker line, and during the re-prime walk a still-resident
+        // attacker line becomes the LRU victim before its own access — the
+        // corner where membership-at-entry accounting would undercount
+        // misses.  State and counters must still match the sequential walk.
+        for c in [&mut slow, &mut fast] {
+            c.access(4 * stride);
+        }
+        for &tag in &attacker {
+            slow.access(tag * cfg.line_size);
+        }
+        fast.prime_set(0, &attacker);
+        assert_eq!(slow.sets[0], fast.sets[0]);
+        assert_eq!(slow.accesses(), fast.accesses());
+        assert_eq!(slow.misses(), fast.misses());
+    }
+
+    #[test]
+    fn partial_prime_matches_sequential_and_keeps_occupants() {
+        // Fewer tags than ways: room remains, so a resident victim line
+        // survives the walk (aged) instead of being evicted.
+        let cfg = CacheConfig::tiny(1, 4);
+        let mut slow = Cache::new(cfg);
+        let mut fast = Cache::new(cfg);
+        for c in [&mut slow, &mut fast] {
+            c.access(0);
+        }
+        let tags = [100u64, 200];
+        for &t in &tags {
+            slow.access(t * cfg.line_size);
+        }
+        fast.prime_set(0, &tags);
+        assert_eq!(slow.sets[0], fast.sets[0]);
+        assert_eq!(slow.misses(), fast.misses());
+        assert!(fast.is_cached(0), "occupant survives a partial prime");
+    }
+
+    #[test]
+    fn warm_prime_with_hits_preserves_line_order() {
+        // Hits refresh lines in place: when the resident order differs from
+        // the walk order, the final line order (which decides future LRU
+        // tie-breaks) must match the sequential walk, not the tag list.
+        let cfg = CacheConfig::tiny(1, 2);
+        let mut slow = Cache::new(cfg);
+        let mut fast = Cache::new(cfg);
+        for c in [&mut slow, &mut fast] {
+            c.access(11 * cfg.line_size);
+            c.access(10 * cfg.line_size);
+        }
+        let tags = [10u64, 11];
+        for &t in &tags {
+            slow.access(t * cfg.line_size);
+        }
+        fast.prime_set(0, &tags);
+        assert_eq!(slow.sets[0], fast.sets[0]);
+        assert_eq!(slow.accesses(), fast.accesses());
+        assert_eq!(slow.misses(), fast.misses());
+    }
+
+    #[test]
+    fn prime_set_is_idempotent_and_counts_hits() {
+        let cfg = CacheConfig::tiny(1, 2);
+        let mut c = Cache::new(cfg);
+        c.prime_set(0, &[10, 11]);
+        assert_eq!(c.misses(), 2);
+        c.prime_set(0, &[10, 11]);
+        assert_eq!(c.misses(), 2, "resident lines hit on re-prime");
+        assert_eq!(c.accesses(), 4);
+        assert_eq!(c.set_tags(0), vec![10, 11]);
+        c.prime_set(0, &[]);
+        assert_eq!(c.set_tags(0), vec![10, 11], "empty prime is a no-op");
+    }
+
+    #[test]
+    fn probe_set_counts_and_refreshes_like_probe_access() {
+        let cfg = CacheConfig::tiny(1, 3);
+        let mut a = Cache::new(cfg);
+        let mut b = Cache::new(cfg);
+        for c in [&mut a, &mut b] {
+            c.prime_set(0, &[1, 2, 3]);
+            c.access(9 * 64); // victim evicts tag 1 (oldest)
+        }
+        let tags = [1u64, 2, 3];
+        let hits_slow =
+            tags.iter().filter(|&&t| a.probe_access(t * cfg.line_size)).count();
+        let hits_fast = b.probe_set(0, &tags);
+        assert_eq!(hits_slow, hits_fast);
+        assert_eq!(hits_fast, 2);
+        assert_eq!(a.sets[0], b.sets[0], "hit ages refreshed identically");
     }
 
     #[test]

@@ -4,8 +4,14 @@
 //! against the CPU under test, but "in a fully controlled environment"
 //! (§5.3).  These types implement the three attacks supported by the paper —
 //! Prime+Probe, Flush+Reload and Evict+Reload — against the [`Cache`] model.
+//!
+//! A channel is built once per measurement session and reused across every
+//! repetition of every input: the attacker's address lists are a pure
+//! function of the cache geometry (or of the victim sandbox), so they are
+//! computed once per geometry and cached inside the channel instead of being
+//! rebuilt on each of the `repetitions × inputs` measurements.
 
-use crate::model::Cache;
+use crate::model::{Cache, CacheConfig};
 use crate::set_vector::SetVector;
 
 /// Base address of the attacker's probing buffer.  It is disjoint from any
@@ -14,7 +20,11 @@ pub const ATTACKER_BASE: u64 = 0xF000_0000;
 
 /// A cache side channel: prepares the cache before the victim executes and
 /// measures the victim's footprint afterwards.
-pub trait SideChannel {
+///
+/// Channels are stateful so they can cache derived data (attacker address
+/// lists, victim line lists) across measurements; [`reset`](SideChannel::reset)
+/// clears the measurement state without discarding those caches.
+pub trait SideChannel: std::fmt::Debug {
     /// Human-readable name (e.g. `P+P`).
     fn name(&self) -> &'static str;
 
@@ -23,16 +33,26 @@ pub trait SideChannel {
 
     /// Measure the victim's footprint after it ran, as a [`SetVector`].
     fn measure(&mut self, cache: &mut Cache) -> SetVector;
+
+    /// Forget any in-flight measurement state so the channel can be reused
+    /// for a fresh session.  Cached per-geometry data (which is a pure
+    /// function of the cache configuration) survives a reset.
+    fn reset(&mut self) {}
 }
 
 /// Prime+Probe: fill every set with attacker lines, then detect which sets
 /// lost at least one attacker line to the victim.
 ///
 /// This is the paper's default threat model; the executor uses the L1D miss
-/// counter while re-probing, which is modelled by
-/// [`Cache::probe_access`] misses.
+/// counter while re-probing, which is modelled by missing probes of the
+/// attacker's lines.
 #[derive(Debug, Clone, Default)]
 pub struct PrimeProbe {
+    /// Geometry the cached tag table was built for.
+    geometry: Option<CacheConfig>,
+    /// Attacker line tags, `ways` consecutive entries per set, in the order
+    /// the sequential prime walk would access them.
+    tags: Vec<u64>,
     primed: bool,
 }
 
@@ -42,9 +62,29 @@ impl PrimeProbe {
         PrimeProbe::default()
     }
 
-    fn attacker_addr(cache: &Cache, set: usize, way: usize) -> u64 {
-        let cfg = cache.config();
+    /// The attacker line covering `(set, way)` of the given geometry.
+    pub fn attacker_addr(cfg: CacheConfig, set: usize, way: usize) -> u64 {
         ATTACKER_BASE + ((way * cfg.sets + set) as u64) * cfg.line_size
+    }
+
+    /// (Re)build the per-set attacker tag table when the geometry changes.
+    fn ensure_geometry(&mut self, cfg: CacheConfig) {
+        if self.geometry == Some(cfg) {
+            return;
+        }
+        self.tags.clear();
+        self.tags.reserve(cfg.sets * cfg.ways);
+        for set in 0..cfg.sets {
+            for way in 0..cfg.ways {
+                self.tags.push(Self::attacker_addr(cfg, set, way) / cfg.line_size);
+            }
+        }
+        self.geometry = Some(cfg);
+    }
+
+    /// Attacker tags of one set, ordered way 0 to way `ways - 1`.
+    fn set_tags(&self, cfg: CacheConfig, set: usize) -> &[u64] {
+        &self.tags[set * cfg.ways..(set + 1) * cfg.ways]
     }
 }
 
@@ -55,29 +95,30 @@ impl SideChannel for PrimeProbe {
 
     fn prepare(&mut self, cache: &mut Cache) {
         let cfg = cache.config();
-        for way in 0..cfg.ways {
-            for set in 0..cfg.sets {
-                cache.access(Self::attacker_addr(cache, set, way));
-            }
+        self.ensure_geometry(cfg);
+        // The sequential walk (way-major over all sets) touches each set's
+        // lines in way order and never mixes sets, so bulk-filling one set
+        // at a time leaves the cache in the identical state.
+        for set in 0..cfg.sets {
+            cache.prime_set(set, self.set_tags(cfg, set));
         }
         self.primed = true;
     }
 
     fn measure(&mut self, cache: &mut Cache) -> SetVector {
         let cfg = cache.config();
+        self.ensure_geometry(cfg);
         let mut v = SetVector::EMPTY;
         for set in 0..cfg.sets.min(SetVector::SETS) {
-            let mut evicted = 0;
-            for way in 0..cfg.ways {
-                if !cache.probe_access(Self::attacker_addr(cache, set, way)) {
-                    evicted += 1;
-                }
-            }
-            if evicted > 0 {
+            if cache.probe_set(set, self.set_tags(cfg, set)) < cfg.ways {
                 v.insert(set);
             }
         }
         v
+    }
+
+    fn reset(&mut self) {
+        self.primed = false;
     }
 }
 
@@ -90,19 +131,29 @@ impl SideChannel for PrimeProbe {
 pub struct FlushReload {
     victim_base: u64,
     victim_len: u64,
+    /// Line size the cached victim line list was built for.
+    line_size: Option<u64>,
+    /// Line-aligned addresses of the monitored victim lines.
+    lines: Vec<u64>,
 }
 
 impl FlushReload {
     /// Create a Flush+Reload channel monitoring `[victim_base, victim_base + victim_len)`.
     pub fn new(victim_base: u64, victim_len: u64) -> FlushReload {
-        FlushReload { victim_base, victim_len }
+        FlushReload { victim_base, victim_len, line_size: None, lines: Vec::new() }
     }
 
-    fn victim_lines(&self, cache: &Cache) -> Vec<u64> {
+    /// (Re)build the victim line list when the line size changes.
+    fn ensure_lines(&mut self, cache: &Cache) {
         let line = cache.config().line_size;
+        if self.line_size == Some(line) {
+            return;
+        }
         let first = self.victim_base / line;
         let last = (self.victim_base + self.victim_len).div_ceil(line);
-        (first..last).map(|l| l * line).collect()
+        self.lines.clear();
+        self.lines.extend((first..last).map(|l| l * line));
+        self.line_size = Some(line);
     }
 }
 
@@ -112,14 +163,16 @@ impl SideChannel for FlushReload {
     }
 
     fn prepare(&mut self, cache: &mut Cache) {
-        for addr in self.victim_lines(cache) {
+        self.ensure_lines(cache);
+        for &addr in &self.lines {
             cache.flush(addr);
         }
     }
 
     fn measure(&mut self, cache: &mut Cache) -> SetVector {
+        self.ensure_lines(cache);
         let mut v = SetVector::EMPTY;
-        for addr in self.victim_lines(cache) {
+        for &addr in &self.lines {
             if cache.is_cached(addr) {
                 v.insert(cache.set_of(addr));
             }
@@ -133,13 +186,16 @@ impl SideChannel for FlushReload {
 /// available to the attacker).
 #[derive(Debug, Clone)]
 pub struct EvictReload {
+    /// Eviction sets: filling every cache set with attacker lines pushes out
+    /// any victim line, exactly like a Prime+Probe prepare.
+    evict: PrimeProbe,
     inner: FlushReload,
 }
 
 impl EvictReload {
     /// Create an Evict+Reload channel monitoring `[victim_base, victim_base + victim_len)`.
     pub fn new(victim_base: u64, victim_len: u64) -> EvictReload {
-        EvictReload { inner: FlushReload::new(victim_base, victim_len) }
+        EvictReload { evict: PrimeProbe::new(), inner: FlushReload::new(victim_base, victim_len) }
     }
 }
 
@@ -149,18 +205,16 @@ impl SideChannel for EvictReload {
     }
 
     fn prepare(&mut self, cache: &mut Cache) {
-        // Evict by filling every set with attacker lines (an eviction set of
-        // `ways` addresses per set), which pushes out any victim line.
-        let cfg = cache.config();
-        for way in 0..cfg.ways {
-            for set in 0..cfg.sets {
-                cache.access(PrimeProbe::attacker_addr(cache, set, way));
-            }
-        }
+        self.evict.prepare(cache);
     }
 
     fn measure(&mut self, cache: &mut Cache) -> SetVector {
         self.inner.measure(cache)
+    }
+
+    fn reset(&mut self) {
+        self.evict.reset();
+        self.inner.reset();
     }
 }
 
@@ -194,6 +248,36 @@ mod tests {
         pp.prepare(&mut cache);
         let v = pp.measure(&mut cache);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn prime_probe_survives_geometry_change() {
+        // The cached tag table is keyed by geometry; reusing one channel
+        // across caches with different shapes must rebuild it.
+        let mut pp = PrimeProbe::new();
+        let mut big = Cache::new(CacheConfig::l1d());
+        pp.prepare(&mut big);
+        let mut tiny = Cache::new(CacheConfig::tiny(4, 2));
+        pp.prepare(&mut tiny);
+        victim_touch(&mut tiny, &[0x40]);
+        let v = pp.measure(&mut tiny);
+        assert!(v.contains(1));
+        assert_eq!(v.count(), 1);
+    }
+
+    #[test]
+    fn reset_clears_measurement_state_only() {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        let mut pp = PrimeProbe::new();
+        pp.prepare(&mut cache);
+        assert!(pp.primed);
+        pp.reset();
+        assert!(!pp.primed);
+        assert!(pp.geometry.is_some(), "per-geometry cache survives reset");
+        // The channel is immediately reusable.
+        pp.prepare(&mut cache);
+        victim_touch(&mut cache, &[0x10_0080]);
+        assert!(pp.measure(&mut cache).contains(2));
     }
 
     #[test]

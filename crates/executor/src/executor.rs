@@ -78,18 +78,81 @@ impl Default for ExecutorConfig {
     }
 }
 
+/// Reusable per-executor measurement state: the side channel and the
+/// per-input sample buffers.
+///
+/// Constructing a boxed channel and growing fresh sample vectors for every
+/// single measurement used to dominate `collect_htraces`; the session is
+/// built once and reused across all repetitions, inputs and — as long as the
+/// channel key (attack kind + victim sandbox) stays the same — across whole
+/// test cases and batches.
+#[derive(Debug)]
+struct MeasurementSession {
+    /// What the channel was built for: the attack kind plus the victim
+    /// sandbox `(base, size)` it monitors.
+    key: (SideChannelKind, u64, u64),
+    channel: Box<dyn SideChannel>,
+    /// Per-input sample buffers, cleared (but not deallocated) per
+    /// collection.
+    samples: Vec<Vec<SetVector>>,
+}
+
+impl MeasurementSession {
+    /// Session key for a measurement of `tc` under `kind`.  Prime+Probe
+    /// never reads the victim sandbox, so its sessions are shared across
+    /// all test cases; the reload channels monitor the sandbox and are
+    /// keyed by it.
+    fn key_for(kind: SideChannelKind, tc: &TestCase) -> (SideChannelKind, u64, u64) {
+        match kind {
+            SideChannelKind::PrimeProbe => (kind, 0, 0),
+            SideChannelKind::FlushReload | SideChannelKind::EvictReload => {
+                let sandbox = tc.sandbox();
+                (kind, sandbox.base, sandbox.size())
+            }
+        }
+    }
+
+    fn new(kind: SideChannelKind, tc: &TestCase) -> MeasurementSession {
+        let sandbox = tc.sandbox();
+        let channel: Box<dyn SideChannel> = match kind {
+            SideChannelKind::PrimeProbe => Box::new(PrimeProbe::new()),
+            SideChannelKind::FlushReload => Box::new(FlushReload::new(sandbox.base, sandbox.size())),
+            SideChannelKind::EvictReload => Box::new(EvictReload::new(sandbox.base, sandbox.size())),
+        };
+        MeasurementSession { key: Self::key_for(kind, tc), channel, samples: Vec::new() }
+    }
+
+    /// Clear the sample buffers for a fresh collection over `inputs` inputs,
+    /// keeping their allocations.
+    fn begin_collection(&mut self, inputs: usize) {
+        self.channel.reset();
+        self.samples.resize_with(inputs, Vec::new);
+        for s in &mut self.samples {
+            s.clear();
+        }
+    }
+}
+
 /// The executor: collects hardware traces from a [`CpuUnderTest`].
 #[derive(Debug)]
 pub struct Executor<C: CpuUnderTest> {
     cpu: C,
     config: ExecutorConfig,
     noise_rng: SmallRng,
+    session: Option<MeasurementSession>,
+    collections: u64,
 }
 
 impl<C: CpuUnderTest> Executor<C> {
     /// Create an executor around a CPU under test.
     pub fn new(cpu: C, config: ExecutorConfig) -> Executor<C> {
-        Executor { cpu, config, noise_rng: SmallRng::seed_from_u64(config.noise.seed) }
+        Executor {
+            cpu,
+            config,
+            noise_rng: SmallRng::seed_from_u64(config.noise.seed),
+            session: None,
+            collections: 0,
+        }
     }
 
     /// The CPU under test.
@@ -107,12 +170,30 @@ impl<C: CpuUnderTest> Executor<C> {
         &self.config
     }
 
-    fn channel(&self, tc: &TestCase) -> Box<dyn SideChannel> {
-        let sandbox = tc.sandbox();
-        match self.config.mode.channel {
-            SideChannelKind::PrimeProbe => Box::new(PrimeProbe::new()),
-            SideChannelKind::FlushReload => Box::new(FlushReload::new(sandbox.base, sandbox.size())),
-            SideChannelKind::EvictReload => Box::new(EvictReload::new(sandbox.base, sandbox.size())),
+    /// Number of [`collect_htraces`](Executor::collect_htraces) sequence
+    /// collections performed so far (each collection runs the full
+    /// warm-up + repetition schedule over one priming sequence).
+    pub fn collection_count(&self) -> u64 {
+        self.collections
+    }
+
+    /// Replace the noise model and restart its stream from the new seed.
+    ///
+    /// Campaign round workers derive one noise stream per test case (see
+    /// [`NoiseConfig::for_test_case_seed`]) so that a measurement never
+    /// depends on which worker — or in which order — it runs; this hook lets
+    /// the sequential replay APIs do the same on a long-lived executor.
+    pub fn reseed_noise(&mut self, noise: NoiseConfig) {
+        self.config.noise = noise;
+        self.noise_rng = SmallRng::seed_from_u64(noise.seed);
+    }
+
+    /// Take (or build) the measurement session for this test case.
+    fn session_for(&mut self, tc: &TestCase) -> MeasurementSession {
+        let key = MeasurementSession::key_for(self.config.mode.channel, tc);
+        match self.session.take() {
+            Some(session) if session.key == key => session,
+            _ => MeasurementSession::new(self.config.mode.channel, tc),
         }
     }
 
@@ -123,8 +204,12 @@ impl<C: CpuUnderTest> Executor<C> {
     /// Perform a single measurement of one input: prepare the side channel,
     /// run the test case, probe.  Returns `None` when the sample is
     /// discarded (simulated SMI pollution).
-    fn measure_once(&mut self, tc: &TestCase, input: &Input) -> Result<Option<HTrace>, Fault> {
-        let mut channel = self.channel(tc);
+    fn measure_once(
+        &mut self,
+        channel: &mut dyn SideChannel,
+        tc: &TestCase,
+        input: &Input,
+    ) -> Result<Option<SetVector>, Fault> {
         channel.prepare(self.cpu.cache_mut());
         let opts = self.run_options();
         self.cpu.run(tc, input, &opts)?;
@@ -141,20 +226,7 @@ impl<C: CpuUnderTest> Executor<C> {
                 sets = sets.union(SetVector::from_sets([spurious]));
             }
         }
-        Ok(Some(HTrace::from_sets(sets)))
-    }
-
-    /// Run the whole priming sequence once, measuring every input.
-    fn run_sequence_once(
-        &mut self,
-        tc: &TestCase,
-        inputs: &[Input],
-    ) -> Result<Vec<Option<HTrace>>, Fault> {
-        let mut out = Vec::with_capacity(inputs.len());
-        for input in inputs {
-            out.push(self.measure_once(tc, input)?);
-        }
-        Ok(out)
+        Ok(Some(sets))
     }
 
     /// Collect one merged hardware trace per input (§5.3).
@@ -166,27 +238,74 @@ impl<C: CpuUnderTest> Executor<C> {
     /// # Errors
     /// Propagates architectural faults from the CPU under test.
     pub fn collect_htraces(&mut self, tc: &TestCase, inputs: &[Input]) -> Result<Vec<HTrace>, Fault> {
+        self.collections += 1;
         if self.config.reset_between_test_cases {
             self.cpu.reset_uarch();
         }
-        for _ in 0..self.config.warmup_rounds {
-            let _ = self.run_sequence_once(tc, inputs)?;
-        }
+        let mut session = self.session_for(tc);
+        session.begin_collection(inputs.len());
+        let result = self.collect_into_session(&mut session, tc, inputs);
+        let traces = result.map(|()| {
+            session.samples.iter().map(|s| self.merge_samples(s)).collect()
+        });
+        // Keep the session (channel caches, buffers) for the next collection
+        // even on a faulting test case.
+        self.session = Some(session);
+        traces
+    }
 
-        let mut samples: Vec<Vec<SetVector>> = vec![Vec::new(); inputs.len()];
+    /// The warm-up + repetition schedule of one collection, filling the
+    /// session's per-input sample buffers.
+    fn collect_into_session(
+        &mut self,
+        session: &mut MeasurementSession,
+        tc: &TestCase,
+        inputs: &[Input],
+    ) -> Result<(), Fault> {
+        for _ in 0..self.config.warmup_rounds {
+            for input in inputs {
+                let _ = self.measure_once(session.channel.as_mut(), tc, input)?;
+            }
+        }
         for _ in 0..self.config.repetitions.max(1) {
-            for (i, trace) in self.run_sequence_once(tc, inputs)?.into_iter().enumerate() {
-                if let Some(t) = trace {
-                    samples[i].push(t.sets());
+            for (i, input) in inputs.iter().enumerate() {
+                if let Some(sets) = self.measure_once(session.channel.as_mut(), tc, input)? {
+                    session.samples[i].push(sets);
                 }
             }
         }
+        Ok(())
+    }
 
-        Ok(samples.into_iter().map(|s| self.merge_samples(&s)).collect())
+    /// Collect hardware traces for a batch of test cases in one call,
+    /// reusing the measurement session (side channel and sample buffers)
+    /// across the whole batch.
+    ///
+    /// The batch is measured in order and produces byte-identical traces to
+    /// calling [`collect_htraces`](Executor::collect_htraces) once per entry
+    /// on the same executor — including under synthetic noise, which draws
+    /// from a single stream across the batch.
+    ///
+    /// # Errors
+    /// Propagates architectural faults from the CPU under test.
+    pub fn collect_htraces_batch(
+        &mut self,
+        batch: &[(&TestCase, &[Input])],
+    ) -> Result<Vec<Vec<HTrace>>, Fault> {
+        let mut out = Vec::with_capacity(batch.len());
+        for &(tc, inputs) in batch {
+            out.push(self.collect_htraces(tc, inputs)?);
+        }
+        Ok(out)
     }
 
     /// Discard one-off traces and merge the rest by union.
-    fn merge_samples(&self, samples: &[SetVector]) -> HTrace {
+    ///
+    /// When every distinct sample falls below the outlier threshold, the
+    /// most frequent sample is kept (ties broken toward the greater set
+    /// vector, so the merge is a deterministic function of the sample
+    /// multiset rather than of hash order).
+    pub fn merge_samples(&self, samples: &[SetVector]) -> HTrace {
         if samples.is_empty() {
             return HTrace::empty();
         }
@@ -203,10 +322,12 @@ impl<C: CpuUnderTest> Executor<C> {
             counts.iter().filter(|(_, &c)| c >= threshold).map(|(s, _)| *s).collect();
         if kept.is_empty() {
             // Everything looked like noise; fall back to the most frequent
-            // sample so the input still has a trace.
+            // sample so the input still has a trace.  Ties are broken by the
+            // set vector itself: `HashMap` iteration order must not leak
+            // into the merged trace.
             kept = counts
                 .iter()
-                .max_by_key(|(_, &c)| c)
+                .max_by_key(|(s, &c)| (c, *s))
                 .map(|(s, _)| vec![*s])
                 .unwrap_or_default();
         }
@@ -218,12 +339,23 @@ impl<C: CpuUnderTest> Executor<C> {
     }
 
     /// The priming-swap check of §5.3: given two inputs (by index) whose
-    /// traces diverge, swap them in the priming sequence and re-measure.  If
-    /// each input reproduces the other's trace in the other's context, the
-    /// divergence was caused by the microarchitectural context — a
-    /// measurement artifact, not a leak.
+    /// already-collected traces (`baseline`) diverge, swap them in the
+    /// priming sequence and re-measure.  If each input reproduces the
+    /// other's trace in the other's context, the divergence was caused by
+    /// the microarchitectural context — a measurement artifact, not a leak.
+    ///
+    /// `baseline` must be the traces collected from the unswapped `inputs`
+    /// (the caller already has them from the collection that surfaced the
+    /// divergence).  Reusing them cuts the check from three sequence
+    /// collections to two, and — under synthetic noise — keeps the verdict
+    /// independent of measurement order: re-measuring the baseline would
+    /// advance the noise stream, so the same divergence could produce
+    /// different verdicts depending on how many checks ran before it.
     ///
     /// Returns `true` when the divergence is an artifact (false positive).
+    ///
+    /// # Panics
+    /// If `i`/`j` are out of range or `baseline` does not cover `inputs`.
     ///
     /// # Errors
     /// Propagates architectural faults from the CPU under test.
@@ -231,11 +363,12 @@ impl<C: CpuUnderTest> Executor<C> {
         &mut self,
         tc: &TestCase,
         inputs: &[Input],
+        baseline: &[HTrace],
         i: usize,
         j: usize,
     ) -> Result<bool, Fault> {
         assert!(i < inputs.len() && j < inputs.len(), "input indices out of range");
-        let original = self.collect_htraces(tc, inputs)?;
+        assert_eq!(baseline.len(), inputs.len(), "baseline must cover every input");
 
         // Data_j measured in Ctx_i.
         let mut seq_i = inputs.to_vec();
@@ -247,8 +380,8 @@ impl<C: CpuUnderTest> Executor<C> {
         seq_j[j] = inputs[i].clone();
         let swapped_j = self.collect_htraces(tc, &seq_j)?;
 
-        let same_in_ctx_i = swapped_i[i].equivalent(&original[i]);
-        let same_in_ctx_j = swapped_j[j].equivalent(&original[j]);
+        let same_in_ctx_i = swapped_i[i].equivalent(&baseline[i]);
+        let same_in_ctx_j = swapped_j[j].equivalent(&baseline[j]);
         Ok(same_in_ctx_i && same_in_ctx_j)
     }
 }
@@ -401,7 +534,24 @@ mod tests {
         });
         let inputs = vec![a.clone(), a];
         let mut ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
-        assert!(ex.is_measurement_artifact(&tc, &inputs, 0, 1).unwrap());
+        let baseline = ex.collect_htraces(&tc, &inputs).unwrap();
+        assert!(ex.is_measurement_artifact(&tc, &inputs, &baseline, 0, 1).unwrap());
+    }
+
+    #[test]
+    fn swap_check_performs_exactly_two_collections() {
+        // §5.3 with baseline reuse: the check itself must only collect the
+        // two swapped sequences — the unswapped baseline comes from the
+        // caller.
+        let tc = direct_load_tc();
+        let a = input_with(&tc, |i| i.set_reg(Reg::Rax, 0x80));
+        let b = input_with(&tc, |i| i.set_reg(Reg::Rax, 0x800));
+        let inputs = vec![a, b];
+        let mut ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        let baseline = ex.collect_htraces(&tc, &inputs).unwrap();
+        let before = ex.collection_count();
+        ex.is_measurement_artifact(&tc, &inputs, &baseline, 0, 1).unwrap();
+        assert_eq!(ex.collection_count() - before, 2);
     }
 
     #[test]
@@ -413,7 +563,80 @@ mod tests {
         let b = input_with(&tc, |i| i.set_reg(Reg::Rax, 0x800));
         let inputs = vec![a, b];
         let mut ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
-        assert!(!ex.is_measurement_artifact(&tc, &inputs, 0, 1).unwrap());
+        let baseline = ex.collect_htraces(&tc, &inputs).unwrap();
+        assert!(!ex.is_measurement_artifact(&tc, &inputs, &baseline, 0, 1).unwrap());
+    }
+
+    #[test]
+    fn batch_collection_matches_repeated_single_calls() {
+        // The batch API must be byte-identical to sequential single calls on
+        // one executor, including under synthetic noise (one shared stream).
+        let v1 = v1_tc();
+        let direct = direct_load_tc();
+        let v1_inputs: Vec<Input> = (0..4)
+            .map(|k| {
+                input_with(&v1, |i| {
+                    i.set_reg(Reg::Rax, 1);
+                    i.set_reg(Reg::Rbx, 0x40 * k);
+                })
+            })
+            .collect();
+        let direct_inputs = vec![
+            input_with(&direct, |i| i.set_reg(Reg::Rax, 0x80)),
+            input_with(&direct, |i| i.set_reg(Reg::Rax, 0x800)),
+        ];
+        let cfg = ExecutorConfig::fast(MeasurementMode::prime_probe())
+            .with_repetitions(6)
+            .with_noise(NoiseConfig { one_off_probability: 0.2, smi_probability: 0.1, seed: 21 });
+
+        let mut single = executor(cfg);
+        let expected = vec![
+            single.collect_htraces(&v1, &v1_inputs).unwrap(),
+            single.collect_htraces(&direct, &direct_inputs).unwrap(),
+        ];
+        let mut batched = executor(cfg);
+        let got = batched
+            .collect_htraces_batch(&[(&v1, &v1_inputs), (&direct, &direct_inputs)])
+            .unwrap();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn session_is_reused_across_collections() {
+        // Back-to-back collections (and batches) must not rebuild the side
+        // channel; the session key only changes with the sandbox or mode.
+        let tc = direct_load_tc();
+        let inputs = vec![input_with(&tc, |i| i.set_reg(Reg::Rax, 0x80))];
+        let mut ex = executor(ExecutorConfig::fast(MeasurementMode::flush_reload()));
+        let t1 = ex.collect_htraces(&tc, &inputs).unwrap();
+        let t2 = ex.collect_htraces(&tc, &inputs).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(ex.collection_count(), 2);
+        assert!(ex.session.is_some(), "session survives between collections");
+    }
+
+    #[test]
+    fn prime_probe_session_is_shared_across_sandboxes() {
+        // P+P never reads the victim sandbox, so mixing sandbox sizes in a
+        // batch must not rotate the session key (and with it the channel's
+        // precomputed attacker tags).
+        use rvz_isa::SandboxLayout;
+        let one_page = direct_load_tc();
+        let two_pages = TestCaseBuilder::new()
+            .sandbox(SandboxLayout::two_pages())
+            .block("entry", |b| {
+                b.and_imm(Reg::Rax, 0b111111000000);
+                b.load(Reg::Rbx, Reg::R14, Reg::Rax);
+                b.exit();
+            })
+            .build();
+        let inputs_one = vec![input_with(&one_page, |i| i.set_reg(Reg::Rax, 0x80))];
+        let inputs_two = vec![input_with(&two_pages, |i| i.set_reg(Reg::Rax, 0x80))];
+        let mut ex = executor(ExecutorConfig::fast(MeasurementMode::prime_probe()));
+        ex.collect_htraces(&one_page, &inputs_one).unwrap();
+        let key = ex.session.as_ref().unwrap().key;
+        ex.collect_htraces(&two_pages, &inputs_two).unwrap();
+        assert_eq!(ex.session.as_ref().unwrap().key, key, "P+P session key is sandbox-free");
     }
 
     #[test]

@@ -115,6 +115,22 @@ impl NoiseConfig {
     pub fn is_enabled(&self) -> bool {
         self.one_off_probability > 0.0 || self.smi_probability > 0.0
     }
+
+    /// Derive the noise stream for one test case of a campaign from the
+    /// test case's seed.
+    ///
+    /// Campaign round workers and the sequential replay APIs
+    /// (`Revizor::test_case`) must share this derivation: it makes the
+    /// stream a function of the test case alone, so a measurement does not
+    /// depend on which worker — or after how many other test cases — it
+    /// runs, and a campaign violation reproduces exactly when replayed.
+    #[must_use]
+    pub fn for_test_case_seed(mut self, test_case_seed: u64) -> NoiseConfig {
+        if self.is_enabled() {
+            self.seed ^= test_case_seed.rotate_left(17);
+        }
+        self
+    }
 }
 
 impl Default for NoiseConfig {
@@ -146,5 +162,14 @@ mod tests {
         assert!(!NoiseConfig::none().is_enabled());
         assert!(NoiseConfig::realistic(1).is_enabled());
         assert_eq!(NoiseConfig::default(), NoiseConfig::none());
+    }
+
+    #[test]
+    fn per_test_case_noise_derivation() {
+        let base = NoiseConfig::realistic(5);
+        assert_eq!(base.for_test_case_seed(1), base.for_test_case_seed(1));
+        assert_ne!(base.for_test_case_seed(1).seed, base.for_test_case_seed(2).seed);
+        // Disabled noise keeps its (unused) seed untouched.
+        assert_eq!(NoiseConfig::none().for_test_case_seed(9), NoiseConfig::none());
     }
 }

@@ -41,6 +41,16 @@ pub struct ViolationReport {
     pub violation: Violation,
     /// The violated contract.
     pub contract: Contract,
+    /// The per-test-case seed the campaign evaluated this test case with.
+    /// Replaying it through [`Revizor::test_case`] on a fuzzer with the
+    /// generator configuration that was in effect for this round
+    /// reproduces the same inputs and (under synthetic noise) the same
+    /// noise stream.  Escalations (§5.6) change that configuration at round
+    /// boundaries; when one happened before the violation, replay the
+    /// recorded [`inputs`](ViolationReport::inputs) directly via
+    /// [`Revizor::test_with_inputs`] after seeding the executor's noise
+    /// stream with [`NoiseConfig::for_test_case_seed`](rvz_executor::NoiseConfig::for_test_case_seed).
+    pub test_case_seed: u64,
     /// Heuristic classification of the underlying vulnerability.
     pub vulnerability: VulnClass,
     /// Number of test cases executed up to and including this one.
@@ -143,14 +153,19 @@ impl<C: CpuUnderTest> Revizor<C> {
         &mut self.executor
     }
 
-    /// Test one test case with a deterministic input batch.
+    /// Test one test case with the deterministic input batch and noise
+    /// stream a campaign round worker would use for `seed` — the sequential
+    /// half of the replay contract: evaluating the test case the campaign
+    /// generated for `seed` through this method reproduces the campaign's
+    /// measurement exactly (see [`ViolationReport::test_case_seed`]).
     ///
     /// # Errors
     /// Propagates architectural faults (which generated test cases never
     /// produce).
-    pub fn test_case(&mut self, tc: &TestCase, input_seed: u64) -> Result<TestCaseOutcome, Fault> {
+    pub fn test_case(&mut self, tc: &TestCase, seed: u64) -> Result<TestCaseOutcome, Fault> {
         let n = self.config.generator.inputs_per_test_case;
-        let inputs = self.input_gen.generate(tc, input_seed, n);
+        let inputs = self.input_gen.generate(tc, input_stream_seed(seed), n);
+        self.executor.reseed_noise(self.config.executor.noise.for_test_case_seed(seed));
         self.test_with_inputs(tc, &inputs)
     }
 
@@ -179,9 +194,19 @@ impl<C: CpuUnderTest> Revizor<C> {
     }
 }
 
+/// Derivation of the per-test-case input-generation seed from the test
+/// case's campaign seed.  Shared by the campaign round workers and the
+/// sequential [`Revizor::test_case`] replay path — the two must never
+/// diverge, or a campaign violation would not reproduce through the public
+/// API.
+fn input_stream_seed(test_case_seed: u64) -> u64 {
+    test_case_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
 /// One evaluated test case of a round, produced by a (possibly parallel)
 /// round worker and merged by the driver in campaign order.
 struct RoundUnit {
+    seed: u64,
     tc: TestCase,
     outcome: TestCaseOutcome,
     class_members: Vec<Vec<ExecutionInfo>>,
@@ -208,21 +233,16 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
             let generator = ProgramGenerator::new(gen_cfg.clone());
             let input_gen = InputGenerator::new(gen_cfg.input_entropy_bits);
             let tc = generator.generate(seed);
-            let inputs = input_gen.generate(
-                &tc,
-                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                gen_cfg.inputs_per_test_case,
-            );
+            let inputs =
+                input_gen.generate(&tc, input_stream_seed(seed), gen_cfg.inputs_per_test_case);
             // Derive the synthetic-noise stream from the test-case seed so
             // that measurements do not depend on which worker (or in which
             // order) the test case runs.
             let mut exec_cfg = config.executor;
-            if exec_cfg.noise.is_enabled() {
-                exec_cfg.noise.seed ^= seed.rotate_left(17);
-            }
+            exec_cfg.noise = exec_cfg.noise.for_test_case_seed(seed);
             let mut executor = Executor::new(cpu_template.clone(), exec_cfg);
             match evaluate_test_case(&mut executor, &analyzer, config, &tc, &inputs) {
-                Ok((outcome, class_members)) => Some(RoundUnit { tc, outcome, class_members }),
+                Ok((outcome, class_members)) => Some(RoundUnit { seed, tc, outcome, class_members }),
                 // Malformed test case; skipped (never happens for generated
                 // code).
                 Err(_) => None,
@@ -316,7 +336,7 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
             let units = self.evaluate_round(pool.as_ref(), round_start..round_end);
 
             for unit in units.into_iter().flatten() {
-                let RoundUnit { tc, outcome, class_members } = unit;
+                let RoundUnit { seed, tc, outcome, class_members } = unit;
                 round_improved |= self.absorb_coverage(&class_members);
                 test_cases += 1;
                 total_inputs += outcome.inputs.len();
@@ -332,6 +352,7 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
                         inputs: outcome.inputs,
                         violation: v,
                         contract: self.config.contract.clone(),
+                        test_case_seed: seed,
                         vulnerability,
                         test_cases_until_detection: test_cases,
                         inputs_until_detection: total_inputs,
@@ -340,13 +361,18 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
                 }
             }
 
+            // Every round that runs to completion counts — including a
+            // final partial one (budget not a multiple of the round size).
+            // A round cut short by a confirmed violation is not counted:
+            // the campaign stops mid-round (`break 'campaign` above).
+            rounds += 1;
+
             // Round boundary: diversity feedback (§5.6).  The generator is
             // escalated when the current coverage goal is met (all single
             // patterns, then all pattern pairs) or when a whole round went
-            // by without improving coverage.  A final partial round (budget
-            // not a multiple of the round size) has no boundary.
+            // by without improving coverage.  A final partial round has no
+            // boundary, so it never escalates the generator.
             if round_end.is_multiple_of(round_size) {
-                rounds += 1;
                 let isa = self.config.generator.isa;
                 let goal_met = match coverage_level {
                     1 => self.coverage.all_single_covered(isa),
@@ -419,7 +445,9 @@ fn evaluate_test_case<C: CpuUnderTest>(
     let mut confirmed = None;
     for v in &analysis.violations {
         if config.priming_swap_check
-            && executor.is_measurement_artifact(tc, inputs, v.input_a, v.input_b)?
+            // The unswapped baseline was already collected above; the swap
+            // check re-measures only the two swapped sequences (§5.3).
+            && executor.is_measurement_artifact(tc, inputs, &htraces, v.input_a, v.input_b)?
         {
             discarded_as_artifact += 1;
             continue;
@@ -519,6 +547,66 @@ mod tests {
         let tc = gadgets::spectre_v1();
         let outcome = r.test_case(&tc, 7).unwrap();
         assert!(outcome.confirmed_violation.is_some(), "handwritten V1 gadget must violate CT-SEQ");
+    }
+
+    #[test]
+    fn noisy_campaign_violation_reproduces_through_public_api() {
+        use rvz_executor::NoiseConfig;
+        let target = Target::target5();
+        let generator = rvz_gen::GeneratorConfig::for_subset(target.isa)
+            .with_basic_blocks(4)
+            .with_instructions(14);
+        let noise = NoiseConfig { one_off_probability: 0.05, smi_probability: 0.05, seed: 17 };
+        let mut config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+            .with_generator(generator)
+            .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(5).with_noise(noise))
+            .with_inputs_per_test_case(20)
+            // Under this noise stream the first violating test case sits at
+            // absolute seed ~162; start nearby so the test stays fast.
+            .with_max_test_cases(60)
+            .with_seed(150);
+        // One (partial) round for the whole budget: the generator never
+        // escalates, so the violating test case can be regenerated from its
+        // campaign seed alone.
+        config.round_size = 1000;
+
+        let mut fuzzer = Revizor::new(target.cpu(), config.clone()).with_target(target.clone());
+        let report = fuzzer.run();
+        let v = report.violation.expect("noisy campaign must find Spectre V1");
+
+        // Replay through the public sequential API on a fresh fuzzer: the
+        // shared seed derivation must reproduce the same inputs, the same
+        // noise stream, and therefore the exact same confirmed violation.
+        let tc = ProgramGenerator::new(config.generator.clone()).generate(v.test_case_seed);
+        let mut replay = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let outcome = replay.test_case(&tc, v.test_case_seed).unwrap();
+        assert_eq!(outcome.inputs, v.inputs, "input batch must match the campaign's");
+        let rv = outcome.confirmed_violation.expect("violation must reproduce under replay");
+        assert_eq!((rv.input_a, rv.input_b), (v.violation.input_a, v.violation.input_b));
+        assert_eq!(rv.htrace_a, v.violation.htrace_a);
+        assert_eq!(rv.htrace_b, v.violation.htrace_b);
+    }
+
+    #[test]
+    fn partial_final_round_is_counted_without_escalation() {
+        // `max_test_cases = 10, round_size = 4` runs rounds of 4, 4 and 2
+        // test cases: the final partial round counts toward `rounds` but
+        // has no boundary, so it never escalates the generator.
+        let run_with_budget = |max: usize| {
+            let target = Target::target1();
+            let mut config = quick_config(&target, Contract::ct_seq()).with_max_test_cases(max);
+            config.round_size = 4;
+            Revizor::new(target.cpu(), config).with_target(target.clone()).run()
+        };
+        let full = run_with_budget(8);
+        let partial = run_with_budget(10);
+        assert_eq!(full.rounds, 2);
+        assert_eq!(partial.test_cases, 10);
+        assert_eq!(partial.rounds, 3, "the final partial round must be counted");
+        assert_eq!(
+            partial.escalations, full.escalations,
+            "a partial round has no boundary and must not escalate"
+        );
     }
 
     #[test]

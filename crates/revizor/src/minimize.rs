@@ -128,9 +128,14 @@ impl Postprocessor {
         }
         leaking_region.reverse();
 
+        // `instruction_count()` includes the stage-3 fences, so add them
+        // back before subtracting: summing first keeps the arithmetic in
+        // range when stage 3 inserts more fences than stage 2 removed
+        // instructions (an already-minimal test case).
+        let fences: usize =
+            tc.blocks().iter().map(|b| b.instrs.iter().filter(|i| i.is_fence()).count()).sum();
         MinimizedViolation {
-            removed_instructions: original_instrs - tc.instruction_count()
-                + tc.blocks().iter().map(|b| b.instrs.iter().filter(|i| i.is_fence()).count()).sum::<usize>(),
+            removed_instructions: original_instrs + fences - tc.instruction_count(),
             removed_inputs: original_inputs - inputs.len(),
             test_case: tc,
             inputs,
@@ -184,6 +189,43 @@ mod tests {
             .map(|b| b.instrs.iter().filter(|i| i.is_fence()).count())
             .sum();
         assert!(fences > 0, "stage 3 must have inserted at least one LFENCE");
+    }
+
+    #[test]
+    fn minimizing_an_already_minimal_test_case_does_not_underflow() {
+        // A stripped V1 gadget: every instruction is load-bearing, so stage 2
+        // removes nothing, while stage 3 can still fence positions outside
+        // the speculative path.  `removed_instructions` must come out as 0 —
+        // computing it as `original - final + fences` would underflow.
+        let tc = rvz_isa::builder::TestCaseBuilder::new()
+            .block("entry", |b| {
+                b.cmp_imm(rvz_isa::Reg::Rax, 128);
+                b.jcc(rvz_isa::Cond::B, "in", "done");
+            })
+            .block("in", |b| {
+                b.load(rvz_isa::Reg::Rcx, rvz_isa::Reg::R14, rvz_isa::Reg::Rbx);
+                b.jmp("done");
+            })
+            .block("done", |b| b.exit())
+            .build();
+        let original = tc.instruction_count();
+
+        let mut fuzzer = v1_fuzzer();
+        let inputs = InputGenerator::new(2).generate(&tc, 11, 24);
+        let outcome = fuzzer.test_with_inputs(&tc, &inputs).unwrap();
+        assert!(outcome.confirmed_violation.is_some(), "minimal gadget must violate CT-SEQ");
+
+        let minimized = Postprocessor::new().minimize(&mut fuzzer, &tc, &inputs);
+        assert_eq!(minimized.removed_instructions, 0, "nothing removable in a minimal gadget");
+        let fences: usize = minimized
+            .test_case
+            .blocks()
+            .iter()
+            .map(|b| b.instrs.iter().filter(|i| i.is_fence()).count())
+            .sum();
+        assert!(fences > 0, "stage 3 must fence the non-leaking prefix");
+        assert_eq!(minimized.test_case.instruction_count(), original + fences);
+        assert!(!minimized.leaking_region.is_empty());
     }
 
     #[test]

@@ -73,6 +73,94 @@ proptest! {
         }
     }
 
+    /// Outlier filtering is order-independent: the merged trace is a
+    /// function of the sample *multiset*, so any reordering of the raw
+    /// samples must merge identically (§5.3 — the union and the one-off
+    /// discard do not depend on measurement order).
+    #[test]
+    fn merge_samples_is_order_independent(
+        bits in proptest::collection::vec(0u64..64, 1..24),
+        min_count in 1usize..4,
+        rotation in 0usize..24,
+    ) {
+        let samples: Vec<SetVector> = bits.iter().map(|&b| SetVector::from_bits(b)).collect();
+        let mut cfg = ExecutorConfig::fast(MeasurementMode::prime_probe());
+        cfg.outlier_min_count = min_count;
+        let ex = Executor::new(SpecCpu::new(UarchConfig::skylake()), cfg);
+
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        let mut rotated = samples.clone();
+        rotated.rotate_left(rotation % samples.len());
+        prop_assert_eq!(ex.merge_samples(&samples), ex.merge_samples(&reversed));
+        prop_assert_eq!(ex.merge_samples(&samples), ex.merge_samples(&rotated));
+    }
+
+    /// The merged trace is exactly the union of the samples that survive the
+    /// outlier threshold; when every sample is discarded as an outlier, the
+    /// most frequent sample survives, so a non-empty input never merges to
+    /// zero samples.
+    #[test]
+    fn merge_samples_is_union_of_kept_samples(
+        bits in proptest::collection::vec(0u64..256, 1..32),
+    ) {
+        let samples: Vec<SetVector> = bits.iter().map(|&b| SetVector::from_bits(b)).collect();
+        let cfg = ExecutorConfig::fast(MeasurementMode::prime_probe());
+        let ex = Executor::new(SpecCpu::new(UarchConfig::skylake()), cfg);
+        let merged = ex.merge_samples(&samples);
+        prop_assert!(merged.samples() >= 1, "non-empty input must keep at least one sample");
+
+        let mut counts = std::collections::BTreeMap::new();
+        for s in &samples {
+            *counts.entry(*s).or_insert(0usize) += 1;
+        }
+        let threshold = if samples.len() >= cfg.outlier_min_count { cfg.outlier_min_count } else { 1 };
+        let kept: Vec<SetVector> =
+            counts.iter().filter(|(_, &c)| c >= threshold).map(|(s, _)| *s).collect();
+        if kept.is_empty() {
+            // Fallback: the most frequent sample, ties broken by the set
+            // vector itself (deterministic, independent of hash order).
+            let expected =
+                counts.iter().map(|(s, &c)| (c, *s)).max().map(|(_, s)| s).unwrap();
+            prop_assert_eq!(merged.sets(), expected);
+        } else {
+            let mut expected = SetVector::EMPTY;
+            for s in &kept {
+                expected = expected.union(*s);
+            }
+            prop_assert_eq!(merged.sets(), expected);
+            prop_assert_eq!(merged.samples() as usize, kept.len());
+        }
+    }
+
+    /// The batch API is byte-identical to repeated single-test-case calls on
+    /// an identically configured executor — including under synthetic
+    /// noise, which draws from one stream across the whole batch.
+    #[test]
+    fn batch_collection_matches_single_calls(seed in 0u64..400) {
+        use rvz_executor::NoiseConfig;
+        let config = GeneratorConfig::for_subset(IsaSubset::AR_MEM_CB).with_instructions(10);
+        let gen = ProgramGenerator::new(config);
+        let tc_a = gen.generate(seed);
+        let tc_b = gen.generate(seed ^ 0x5555);
+        let inputs_a = InputGenerator::new(2).generate(&tc_a, seed, 8);
+        let inputs_b = InputGenerator::new(2).generate(&tc_b, !seed, 8);
+        let cfg = ExecutorConfig::fast(MeasurementMode::prime_probe())
+            .with_repetitions(3)
+            .with_noise(NoiseConfig { one_off_probability: 0.1, smi_probability: 0.05, seed });
+
+        let mut single = Executor::new(SpecCpu::new(UarchConfig::skylake()), cfg);
+        let expected = vec![
+            single.collect_htraces(&tc_a, &inputs_a).unwrap(),
+            single.collect_htraces(&tc_b, &inputs_b).unwrap(),
+        ];
+        let mut batched = Executor::new(SpecCpu::new(UarchConfig::skylake()), cfg);
+        let got = batched
+            .collect_htraces_batch(&[(&tc_a, &inputs_a), (&tc_b, &inputs_b)])
+            .unwrap();
+        prop_assert_eq!(expected, got);
+    }
+
     /// The CPU under test is deterministic: the same priming sequence
     /// produces the same hardware traces, measurement after measurement.
     #[test]
