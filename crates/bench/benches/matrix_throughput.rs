@@ -1,0 +1,74 @@
+//! Criterion bench for the campaign orchestrator: the wall-clock cost of a
+//! Table 3-style matrix run with cross-contract trace sharing versus the
+//! pre-orchestrator shape (one fully independent campaign per cell).
+//!
+//! Both sides run the same cells, the same budgets and the same per-cell
+//! seed streams, and produce identical per-cell verdicts — the orchestrator
+//! guarantees cell results are independent of the slate's composition — so
+//! the comparison isolates the scheduling + htrace-sharing win: each
+//! target's hardware traces are collected once and checked against all four
+//! contracts instead of once per contract.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revizor::orchestrator::CampaignMatrix;
+use revizor::targets::Target;
+use rvz_model::Contract;
+
+/// A small Table 3 slice: one violating and two complying targets against
+/// the full CT-* contract family (12 cells, 3 cell groups).
+fn slice_targets() -> Vec<Target> {
+    vec![Target::target1(), Target::target4(), Target::target5()]
+}
+
+const BUDGET: usize = 24;
+const SEED: u64 = 11;
+
+fn matrix(parallelism: usize) -> CampaignMatrix {
+    let mut m = CampaignMatrix::new(SEED).with_budget(BUDGET).with_parallelism(parallelism);
+    for target in slice_targets() {
+        m = m.add_cells(target, Contract::table3_contracts());
+    }
+    m
+}
+
+fn bench_matrix_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_throughput");
+    group.sample_size(10);
+
+    // The pre-orchestrator Table 3 loop: every cell is an independent
+    // campaign that collects its own hardware traces.
+    group.bench_function("sequential_per_cell_12_cells", |b| {
+        b.iter(|| {
+            let mut reports = Vec::new();
+            for target in slice_targets() {
+                for contract in Contract::table3_contracts() {
+                    let report = CampaignMatrix::new(SEED)
+                        .with_budget(BUDGET)
+                        .add_cell(target.clone(), contract)
+                        .run();
+                    reports.push(report);
+                }
+            }
+            reports
+        })
+    });
+
+    // The orchestrated run: same cells, same seeds, shared pool, htraces
+    // collected once per (target, test case).
+    group.bench_function("shared_matrix_12_cells", |b| {
+        let m = matrix(1);
+        b.iter(|| m.run())
+    });
+
+    // Same, with the shared pool fanned out (single-core containers show no
+    // extra win here; multi-core hosts overlap the cell groups).
+    group.bench_function("shared_matrix_12_cells_threads_4", |b| {
+        let m = matrix(4);
+        b.iter(|| m.run())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix_throughput);
+criterion_main!(benches);

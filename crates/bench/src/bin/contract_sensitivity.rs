@@ -6,8 +6,14 @@
 //! ARCH-SEQ permits exposure of non-speculative data, so only the classic V1
 //! gadget violates it — which is exactly the property needed to test
 //! STT-like defences.
+//!
+//! Both contracts are evaluated as one *slate* per gadget
+//! ([`inputs_to_violation_slate`]): each growing input batch is measured
+//! once and the hardware traces are checked against CT-SEQ and ARCH-SEQ
+//! together, halving the measurement cost relative to per-contract runs
+//! while reporting identical input counts.
 
-use revizor::detection::inputs_to_violation;
+use revizor::detection::first_violations_over_seeds;
 use revizor::gadgets;
 use revizor::targets::Target;
 use rvz_bench::{budget_from_args, row};
@@ -32,20 +38,20 @@ fn main() {
     );
     println!("{}", "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len()));
     for (name, gadget) in &gadgets {
+        // Try a few seeds; report the first detection per contract.  The
+        // whole contract slate shares each seed's measurements.
+        let first = first_violations_over_seeds(
+            &target,
+            &contracts,
+            gadget,
+            (0..5u64).map(|s| s * 31 + 7),
+            max_inputs,
+        );
         let mut line = vec![name.to_string()];
-        for contract in &contracts {
-            // Try a few seeds; report the first detection.
-            let mut cell = "no violation".to_string();
-            for seed in 0..5u64 {
-                if let Some(n) =
-                    inputs_to_violation(&target, contract.clone(), gadget, seed * 31 + 7, max_inputs)
-                {
-                    cell = format!("violated ({n} inputs)");
-                    break;
-                }
-            }
-            line.push(cell);
-        }
+        line.extend(first.iter().map(|r| match r {
+            Some(n) => format!("violated ({n} inputs)"),
+            None => "no violation".to_string(),
+        }));
         println!("{}", row(&line, &widths));
     }
 

@@ -1,0 +1,553 @@
+//! A small hand-rolled JSON tree, writer and parser.
+//!
+//! The vendored `serde` stand-ins have no-op derives (the build environment
+//! is offline), so machine-readable output from the table binaries is built
+//! explicitly through this module: construct a [`Json`] tree, [`Json::render`]
+//! it.  The parser exists so that smoke tests (and CI) can validate that
+//! emitted documents round-trip; it accepts exactly the subset the writer
+//! produces (objects, arrays, strings with `\uXXXX` escapes, finite
+//! numbers, booleans, null).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (rendered without a trailing `.0` when integral).
+    Num(f64),
+    /// A non-negative integer, kept exact (an `f64` detour would corrupt
+    /// values above 2^53 — campaign seeds are arbitrary `u64`s).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl PartialEq for Json {
+    fn eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            // The two numeric variants compare by value: `7` round-trips
+            // to `UInt(7)` no matter which variant wrote it.
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::UInt(a), Json::UInt(b)) => a == b,
+            (Json::Num(a), Json::UInt(b)) | (Json::UInt(b), Json::Num(a)) => *a == *b as f64,
+            _ => false,
+        }
+    }
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert a field into an object (panics on non-objects — construction
+    /// is always code-driven).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("field() on a non-object"),
+        }
+        self
+    }
+
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value of a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value of a number (exact integers are converted; values above
+    /// 2^53 should be read with [`Json::as_u64`] instead).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact value of a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value of a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Render the value as a compact JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render the value with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::UInt(n) => out.push_str(&format!("{n}")),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                if !fields.is_empty() {
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<u8> for Json {
+    fn from(n: u8) -> Json {
+        Json::UInt(u64::from(n))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map(Into::into).unwrap_or(Json::Null)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document (the subset the writer emits).
+///
+/// # Errors
+/// Returns a human-readable message with the byte offset of the first
+/// syntax error, or on trailing garbage.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected character at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or(format!("bad \\u escape at byte {start}"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {start}"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("bad \\u escape at byte {start}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {start}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        // Plain non-negative integers stay exact (u64 campaign seeds would
+        // be corrupted by an f64 detour above 2^53).
+        if !text.is_empty() && text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or(format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_compact_and_pretty() {
+        let doc = Json::obj()
+            .field("name", "table3")
+            .field("cells", vec![1usize, 2, 3])
+            .field("ok", true)
+            .field("missing", Json::Null);
+        assert_eq!(doc.render(), r#"{"name":"table3","cells":[1,2,3],"ok":true,"missing":null}"#);
+        assert!(doc.render_pretty().contains("\n  \"name\": \"table3\""));
+    }
+
+    #[test]
+    fn numbers_render_integral_when_integral() {
+        assert_eq!(Json::Num(42.0).render(), "42");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(-3.0).render(), "-3");
+    }
+
+    #[test]
+    fn u64_values_survive_exactly() {
+        // Seeds are arbitrary u64s; values above 2^53 must not be rounded
+        // through f64 on either the write or the parse path.
+        let seed = 0x9E37_79B9_7F4A_7C15u64; // 11400714819323198485
+        let doc = Json::obj().field("seed", seed);
+        let rendered = doc.render();
+        assert!(rendered.contains("11400714819323198485"), "{rendered}");
+        let parsed = parse(&rendered).unwrap();
+        assert_eq!(parsed.get("seed").and_then(Json::as_u64), Some(seed));
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn numeric_variants_compare_by_value() {
+        assert_eq!(Json::Num(7.0), Json::UInt(7));
+        assert_eq!(Json::UInt(7), Json::Num(7.0));
+        assert_ne!(Json::Num(7.5), Json::UInt(7));
+        assert_eq!(Json::Num(7.0).as_u64(), Some(7));
+        assert_eq!(Json::Num(7.5).as_u64(), None);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::Str("a\"b\\c\n\u{1}".into()).render(), r#""a\"b\\c\n\u0001""#);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let doc = Json::obj()
+            .field("budget", 200usize)
+            .field("vulnerability", Json::Null)
+            .field("label", "CT-COND-BPAS \"quoted\"\n")
+            .field(
+                "cells",
+                Json::Arr(vec![
+                    Json::obj().field("found", true).field("duration_ms", 12.25),
+                    Json::obj().field("found", false).field("duration_ms", 3usize),
+                ]),
+            );
+        for text in [doc.render(), doc.render_pretty()] {
+            assert_eq!(parse(&text).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = parse(r#"{"a": [1, "x", true], "b": null}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap()[0].as_f64(), Some(1.0));
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap()[1].as_str(), Some("x"));
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap()[2].as_bool(), Some(true));
+        assert_eq!(doc.get("b"), Some(&Json::Null));
+        assert_eq!(doc.get("c"), None);
+    }
+
+    #[test]
+    fn unicode_survives_the_round_trip() {
+        let doc = Json::Str("ünïcodé × контракт".into());
+        assert_eq!(parse(&doc.render()).unwrap(), doc);
+    }
+}

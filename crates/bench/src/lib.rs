@@ -24,14 +24,71 @@
 //! cell / samples per row) so that quick smoke runs and longer, more
 //! paper-like runs use the same code.
 
+pub mod json;
+
+use json::Json;
+use revizor::orchestrator::MatrixReport;
 use std::time::Duration;
 
-/// Parse the first CLI argument as a budget, with a default.
+/// Parse the first positional numeric CLI argument as a budget, with a
+/// default.  The table binaries take flags exclusively in `--name` /
+/// `--name=value` form (see [`flag_value_from_args`]), so everything
+/// starting with `--` is skipped — a flag's value can never be mistaken
+/// for the budget.
 pub fn budget_from_args(default: usize) -> usize {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
+    budget_from(std::env::args().skip(1), default)
+}
+
+/// Testable core of [`budget_from_args`].
+fn budget_from(args: impl IntoIterator<Item = String>, default: usize) -> usize {
+    args.into_iter()
+        .filter(|arg| !arg.starts_with("--"))
+        .find_map(|arg| arg.parse().ok())
         .unwrap_or(default)
+}
+
+/// Is a `--flag` present on the command line?
+pub fn flag_from_args(flag: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag)
+}
+
+/// The parsed value of a `--name=value` flag, if present and parseable.
+pub fn flag_value_from_args<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::args().skip(1).find_map(|arg| {
+        arg.strip_prefix(name)
+            .and_then(|rest| rest.strip_prefix('='))
+            .and_then(|value| value.parse().ok())
+    })
+}
+
+/// The machine-readable form of a matrix run (the `table3 --json` output):
+/// one object per cell with `target`, `contract`, `found`, `vulnerability`,
+/// `test_cases`, `duration_ms` and `seed` fields, plus the run parameters.
+/// A cell's `duration_ms` is its group's attributed evaluation time
+/// ([`CellReport::detection_time`](revizor::CellReport)) — comparable to an
+/// independent per-cell campaign's duration; the top-level `duration_ms` is
+/// the matrix's wall clock.
+pub fn matrix_report_json(report: &MatrixReport, budget: usize) -> Json {
+    let cells: Vec<Json> = report
+        .cells
+        .iter()
+        .map(|cell| {
+            Json::obj()
+                .field("target", cell.target.id)
+                .field("contract", cell.contract.name())
+                .field("found", cell.found())
+                .field("vulnerability", cell.vulnerability().map(|v| v.to_string()))
+                .field("test_cases", cell.test_cases)
+                .field("duration_ms", cell.detection_time.as_secs_f64() * 1000.0)
+                .field("seed", report.seed)
+        })
+        .collect();
+    Json::obj()
+        .field("budget", budget)
+        .field("seed", report.seed)
+        .field("measured_test_cases", report.test_cases)
+        .field("duration_ms", report.duration.as_secs_f64() * 1000.0)
+        .field("cells", Json::Arr(cells))
 }
 
 /// Render a duration as the paper does (`4m 51s` / `5.3s`).
@@ -76,5 +133,18 @@ mod tests {
     #[test]
     fn default_budget_used_without_args() {
         assert_eq!(budget_from_args(42), 42);
+    }
+
+    #[test]
+    fn budget_parsing_skips_flags() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(budget_from(args(&["120"]), 42), 120);
+        assert_eq!(budget_from(args(&["--json", "120"]), 42), 120);
+        assert_eq!(budget_from(args(&["120", "--json"]), 42), 120);
+        // A flag's value (`--name=value` form) is never read as the budget.
+        assert_eq!(budget_from(args(&["--threads=4"]), 42), 42);
+        assert_eq!(budget_from(args(&["--json", "--threads=4"]), 42), 42);
+        assert_eq!(budget_from(args(&["--threads=4", "120"]), 42), 120);
+        assert_eq!(budget_from(args(&["garbage"]), 42), 42);
     }
 }

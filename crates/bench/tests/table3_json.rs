@@ -1,0 +1,54 @@
+//! Smoke test for the `table3 --json` serialization seam: a tiny-budget
+//! matrix run must emit a JSON document that parses and covers all 32
+//! Table 3 cells with the full field set.  CI runs the actual binary with
+//! the same tiny budget; this test validates the document shape.
+
+use revizor::orchestrator::CampaignMatrix;
+use rvz_bench::json::{parse, Json};
+use rvz_bench::matrix_report_json;
+use std::collections::BTreeSet;
+
+#[test]
+fn tiny_budget_table3_json_parses_and_covers_all_32_cells() {
+    let budget = 2;
+    let report = CampaignMatrix::table3(3).with_budget(budget).run();
+    let rendered = matrix_report_json(&report, budget).render_pretty();
+
+    let doc = parse(&rendered).expect("emitted JSON must parse");
+    assert_eq!(doc.get("budget").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(doc.get("seed").and_then(Json::as_f64), Some(3.0));
+    assert!(doc.get("duration_ms").and_then(Json::as_f64).is_some());
+    assert!(doc.get("measured_test_cases").and_then(Json::as_f64).is_some());
+
+    let cells = doc.get("cells").and_then(Json::as_array).expect("cells array");
+    assert_eq!(cells.len(), 32, "8 targets x 4 contracts");
+
+    let mut seen: BTreeSet<(u8, String)> = BTreeSet::new();
+    for cell in cells {
+        let target = cell.get("target").and_then(Json::as_f64).expect("target id") as u8;
+        let contract = cell.get("contract").and_then(Json::as_str).expect("contract").to_string();
+        assert!((1..=8).contains(&target));
+        assert!(contract.starts_with("CT-"));
+        let found = cell.get("found").and_then(Json::as_bool).expect("found flag");
+        match cell.get("vulnerability").expect("vulnerability field") {
+            Json::Null => {}
+            Json::Str(label) => {
+                assert!(found, "a vulnerability label implies a violation, got {label}");
+            }
+            other => panic!("vulnerability must be a string or null, got {other}"),
+        }
+        let tcs = cell.get("test_cases").and_then(Json::as_f64).expect("test_cases");
+        assert!(tcs <= budget as f64);
+        assert!(cell.get("duration_ms").and_then(Json::as_f64).is_some());
+        assert_eq!(cell.get("seed").and_then(Json::as_f64), Some(3.0));
+        seen.insert((target, contract));
+    }
+    assert_eq!(seen.len(), 32, "every (target, contract) cell appears exactly once");
+}
+
+#[test]
+fn compact_rendering_parses_too() {
+    let report = CampaignMatrix::table3(1).with_budget(1).run();
+    let compact = matrix_report_json(&report, 1).render();
+    assert_eq!(parse(&compact).unwrap(), parse(&matrix_report_json(&report, 1).render_pretty()).unwrap());
+}

@@ -133,6 +133,21 @@ impl MeasurementSession {
     }
 }
 
+/// Opaque snapshot of the executor's synthetic-noise stream, taken with
+/// [`Executor::noise_checkpoint`].
+///
+/// Restoring it rewinds the noise PRNG to the snapshot position without
+/// touching the seed configuration.  The campaign pipeline uses this to
+/// check one collected set of hardware traces against a whole contract
+/// slate: each contract's false-positive filters re-measure (priming swap,
+/// §5.3) starting from the stream position right after the shared baseline
+/// collection — exactly where an independent single-contract evaluation
+/// would stand — so verdicts do not depend on the slate's composition.
+#[derive(Debug, Clone)]
+pub struct NoiseCheckpoint {
+    rng: SmallRng,
+}
+
 /// The executor: collects hardware traces from a [`CpuUnderTest`].
 #[derive(Debug)]
 pub struct Executor<C: CpuUnderTest> {
@@ -186,6 +201,18 @@ impl<C: CpuUnderTest> Executor<C> {
     pub fn reseed_noise(&mut self, noise: NoiseConfig) {
         self.config.noise = noise;
         self.noise_rng = SmallRng::seed_from_u64(noise.seed);
+    }
+
+    /// Snapshot the current position of the synthetic-noise stream.
+    pub fn noise_checkpoint(&self) -> NoiseCheckpoint {
+        NoiseCheckpoint { rng: self.noise_rng.clone() }
+    }
+
+    /// Rewind the synthetic-noise stream to a snapshot taken with
+    /// [`Executor::noise_checkpoint`] on this (or an identically seeded)
+    /// executor.  The noise configuration itself is left untouched.
+    pub fn restore_noise_checkpoint(&mut self, checkpoint: &NoiseCheckpoint) {
+        self.noise_rng = checkpoint.rng.clone();
     }
 
     /// Take (or build) the measurement session for this test case.
@@ -637,6 +664,25 @@ mod tests {
         let key = ex.session.as_ref().unwrap().key;
         ex.collect_htraces(&two_pages, &inputs_two).unwrap();
         assert_eq!(ex.session.as_ref().unwrap().key, key, "P+P session key is sandbox-free");
+    }
+
+    #[test]
+    fn noise_checkpoint_rewinds_the_stream() {
+        // Two collections from the same stream position must draw identical
+        // noise: checkpoint after the first, restore, repeat.
+        let tc = direct_load_tc();
+        let inputs = vec![input_with(&tc, |i| i.set_reg(Reg::Rax, 0x80))];
+        let cfg = ExecutorConfig::fast(MeasurementMode::prime_probe())
+            .with_repetitions(8)
+            .with_noise(NoiseConfig { one_off_probability: 0.4, smi_probability: 0.2, seed: 5 });
+        let mut ex = executor(cfg);
+        let mark = ex.noise_checkpoint();
+        let first = ex.collect_htraces(&tc, &inputs).unwrap();
+        // Without the restore the stream has advanced and the raw samples
+        // would differ; with it the collection replays exactly.
+        ex.restore_noise_checkpoint(&mark);
+        let replay = ex.collect_htraces(&tc, &inputs).unwrap();
+        assert_eq!(first, replay);
     }
 
     #[test]

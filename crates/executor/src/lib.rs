@@ -59,6 +59,6 @@ pub mod executor;
 pub mod htrace;
 pub mod mode;
 
-pub use executor::{Executor, ExecutorConfig};
+pub use executor::{Executor, ExecutorConfig, NoiseCheckpoint};
 pub use htrace::HTrace;
 pub use mode::{MeasurementMode, NoiseConfig, SideChannelKind};

@@ -135,14 +135,14 @@ impl ContractModel {
                 // BPAS execution clause: before committing a store, expose
                 // the observations of the path on which it is skipped.
                 if self.contract.execution.permits_bpas() && instr.writes_mem() {
-                    self.explore_store_bypass(&mut emu, tc, pos, &mut obs, &mut info, 0);
+                    explore(&self.contract, &mut emu, tc, pos, true, &mut obs, &mut info, 0);
                 }
 
                 if self.contract.observation.exposes_pc() {
                     obs.push(Observation::Pc(instr_pc(pos.block, pos.idx)));
                 }
                 let fx = emu.exec_instr(instr)?;
-                self.record_mem_events(&fx.mem_events, true, &mut obs);
+                record_mem_events(&self.contract, &fx.mem_events, true, &mut obs);
                 info.executed.push(Self::record_instr(pos, instr, &fx.mem_events));
                 pos.idx += 1;
             } else {
@@ -156,13 +156,22 @@ impl ContractModel {
                     if let Terminator::CondJmp { cond, taken, not_taken } = &block.terminator {
                         let actual = emu.eval_cond(*cond);
                         let wrong = if actual { *not_taken } else { *taken };
-                        self.explore_path(&mut emu, tc, Pos { block: wrong, idx: 0 }, &mut obs, &mut info, 0);
+                        explore(
+                            &self.contract,
+                            &mut emu,
+                            tc,
+                            Pos { block: wrong, idx: 0 },
+                            false,
+                            &mut obs,
+                            &mut info,
+                            0,
+                        );
                     }
                 }
 
                 let mut events = Vec::new();
                 let next = Runner::next_block(&mut emu, tc, pos.block, &mut events)?;
-                self.record_mem_events(&events, true, &mut obs);
+                record_mem_events(&self.contract, &events, true, &mut obs);
                 info.executed.push(Self::record_terminator(pos, &block.terminator, &events));
                 match next {
                     Some(b) => pos = Pos { block: b, idx: 0 },
@@ -174,30 +183,112 @@ impl ContractModel {
         Ok(ModelOutput { trace: CTrace::new(obs), info })
     }
 
+    /// Collect the contract traces of *several* contracts for one input in a
+    /// single pass: the architectural execution — which is the same for
+    /// every contract — runs once, and only the speculative exploration and
+    /// observation recording fork per contract.
+    ///
+    /// The outputs are identical to calling [`ContractModel::collect`] once
+    /// per contract (each speculative exploration checkpoints and restores
+    /// the shared emulator, so later contracts observe the same architectural
+    /// state as a fresh run would).  This is the model half of the
+    /// cross-contract sharing used by the campaign orchestrator: hardware
+    /// traces are collected once per (target, test case) and checked against
+    /// a whole contract slate, and `collect_many` keeps the model side from
+    /// re-running the architectural pass per contract.
+    ///
+    /// # Errors
+    /// Propagates architectural faults of the sequential execution (the
+    /// architectural pass is contract-independent, so every contract of the
+    /// slate would fault identically); faults on explored speculative paths
+    /// are suppressed, matching hardware.
+    pub fn collect_many(
+        contracts: &[Contract],
+        tc: &TestCase,
+        input: &Input,
+    ) -> Result<Vec<ModelOutput>, Fault> {
+        let mut emu = Emulator::new(tc.sandbox(), input);
+        let mut obs: Vec<Vec<Observation>> = (0..contracts.len()).map(|_| Vec::new()).collect();
+        let mut infos: Vec<ExecutionInfo> = vec![ExecutionInfo::default(); contracts.len()];
+        let mut pos = Pos { block: BlockId::ENTRY, idx: 0 };
+        let mut steps = 0usize;
+
+        loop {
+            if steps >= MAX_ARCH_STEPS {
+                return Err(Fault::StepLimitExceeded);
+            }
+            steps += 1;
+            let block = tc.block(pos.block).expect("valid block id");
+            if pos.idx < block.instrs.len() {
+                let instr = &block.instrs[pos.idx];
+                // Per-contract prelude, in each contract's own observation
+                // order: speculative store-bypass exploration first, then
+                // the program-counter observation (exactly as in `collect`).
+                for (k, c) in contracts.iter().enumerate() {
+                    if c.execution.permits_bpas() && instr.writes_mem() {
+                        explore(c, &mut emu, tc, pos, true, &mut obs[k], &mut infos[k], 0);
+                    }
+                    if c.observation.exposes_pc() {
+                        obs[k].push(Observation::Pc(instr_pc(pos.block, pos.idx)));
+                    }
+                }
+                // The architectural step itself runs once for all contracts.
+                let fx = emu.exec_instr(instr)?;
+                let record = Self::record_instr(pos, instr, &fx.mem_events);
+                for (k, c) in contracts.iter().enumerate() {
+                    record_mem_events(c, &fx.mem_events, true, &mut obs[k]);
+                    infos[k].executed.push(record.clone());
+                }
+                pos.idx += 1;
+            } else {
+                for (k, c) in contracts.iter().enumerate() {
+                    if c.observation.exposes_pc() {
+                        obs[k].push(Observation::Pc(instr_pc(pos.block, block.instrs.len())));
+                    }
+                    if c.execution.permits_cond() {
+                        if let Terminator::CondJmp { cond, taken, not_taken } = &block.terminator {
+                            let actual = emu.eval_cond(*cond);
+                            let wrong = if actual { *not_taken } else { *taken };
+                            explore(
+                                c,
+                                &mut emu,
+                                tc,
+                                Pos { block: wrong, idx: 0 },
+                                false,
+                                &mut obs[k],
+                                &mut infos[k],
+                                0,
+                            );
+                        }
+                    }
+                }
+                let mut events = Vec::new();
+                let next = Runner::next_block(&mut emu, tc, pos.block, &mut events)?;
+                let record = Self::record_terminator(pos, &block.terminator, &events);
+                for (k, c) in contracts.iter().enumerate() {
+                    record_mem_events(c, &events, true, &mut obs[k]);
+                    infos[k].executed.push(record.clone());
+                }
+                match next {
+                    Some(b) => pos = Pos { block: b, idx: 0 },
+                    None => break,
+                }
+            }
+        }
+
+        Ok(obs
+            .into_iter()
+            .zip(infos)
+            .map(|(o, info)| ModelOutput { trace: CTrace::new(o), info })
+            .collect())
+    }
+
     /// Convenience: collect only the contract trace.
     ///
     /// # Errors
     /// Same as [`ContractModel::collect`].
     pub fn collect_trace(&self, tc: &TestCase, input: &Input) -> Result<CTrace, Fault> {
         Ok(self.collect(tc, input)?.trace)
-    }
-
-    fn record_mem_events(&self, events: &[MemEvent], architectural: bool, obs: &mut Vec<Observation>) {
-        for ev in events {
-            match ev.kind {
-                MemEventKind::Read => {
-                    obs.push(Observation::MemAddr(ev.addr));
-                    if self.contract.observation.exposes_loaded_values() {
-                        obs.push(Observation::LoadValue(ev.value));
-                    }
-                }
-                MemEventKind::Write => {
-                    if architectural || self.contract.expose_speculative_stores {
-                        obs.push(Observation::MemAddr(ev.addr));
-                    }
-                }
-            }
-        }
     }
 
     fn record_instr(pos: Pos, instr: &Instr, events: &[MemEvent]) -> ExecutedInstr {
@@ -242,121 +333,122 @@ impl ContractModel {
             mem_addrs: events.iter().map(|e| e.addr).collect(),
         }
     }
+}
 
-    /// Explore the mis-speculated path starting at `start` (checkpointing
-    /// and rolling back the architectural state), recording observations.
-    fn explore_path(
-        &self,
-        emu: &mut Emulator,
-        tc: &TestCase,
-        start: Pos,
-        obs: &mut Vec<Observation>,
-        info: &mut ExecutionInfo,
-        depth: usize,
-    ) {
-        self.explore(emu, tc, start, false, obs, info, depth);
-    }
-
-    /// Explore the path on which the store at `store_pos` is speculatively
-    /// skipped (the BPAS clause).
-    fn explore_store_bypass(
-        &self,
-        emu: &mut Emulator,
-        tc: &TestCase,
-        store_pos: Pos,
-        obs: &mut Vec<Observation>,
-        info: &mut ExecutionInfo,
-        depth: usize,
-    ) {
-        self.explore(emu, tc, store_pos, true, obs, info, depth);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn explore(
-        &self,
-        emu: &mut Emulator,
-        tc: &TestCase,
-        start: Pos,
-        skip_first_store: bool,
-        obs: &mut Vec<Observation>,
-        info: &mut ExecutionInfo,
-        depth: usize,
-    ) {
-        if self.contract.speculation_window == 0 {
-            return;
-        }
-        let max_depth = if self.contract.nested_speculation { 4 } else { 0 };
-        if depth > max_depth {
-            return;
-        }
-        info.speculative_paths += 1;
-        let checkpoint = emu.checkpoint();
-        let obs_before = obs.len();
-
-        let mut pos = start;
-        let mut fuel = self.contract.speculation_window;
-        let mut first = true;
-        'path: while fuel > 0 {
-            let block = match tc.block(pos.block) {
-                Some(b) => b,
-                None => break,
-            };
-            if pos.idx < block.instrs.len() {
-                let instr = &block.instrs[pos.idx];
-                let skip = first && skip_first_store && instr.writes_mem();
-                first = false;
-                if instr.is_fence() {
-                    break 'path;
+/// Record the observations of a batch of memory events under `contract`'s
+/// observation clause.
+fn record_mem_events(
+    contract: &Contract,
+    events: &[MemEvent],
+    architectural: bool,
+    obs: &mut Vec<Observation>,
+) {
+    for ev in events {
+        match ev.kind {
+            MemEventKind::Read => {
+                obs.push(Observation::MemAddr(ev.addr));
+                if contract.observation.exposes_loaded_values() {
+                    obs.push(Observation::LoadValue(ev.value));
                 }
-                fuel -= 1;
-                if skip {
-                    pos.idx += 1;
-                    continue;
-                }
-                // Nested BPAS inside an explored path.
-                if depth < max_depth && self.contract.execution.permits_bpas() && instr.writes_mem()
-                {
-                    self.explore(emu, tc, pos, true, obs, info, depth + 1);
-                }
-                if self.contract.observation.exposes_pc() {
-                    obs.push(Observation::Pc(instr_pc(pos.block, pos.idx)));
-                }
-                match emu.exec_instr(instr) {
-                    Ok(fx) => self.record_mem_events(&fx.mem_events, false, obs),
-                    Err(_) => break 'path, // transient faults are suppressed
-                }
-                pos.idx += 1;
-            } else {
-                first = false;
-                fuel -= 1;
-                if self.contract.observation.exposes_pc() {
-                    obs.push(Observation::Pc(instr_pc(pos.block, block.instrs.len())));
-                }
-                // Nested COND inside an explored path.
-                if depth < max_depth && self.contract.execution.permits_cond() {
-                    if let Terminator::CondJmp { cond, taken, not_taken } = &block.terminator {
-                        let actual = emu.eval_cond(*cond);
-                        let wrong = if actual { *not_taken } else { *taken };
-                        self.explore(emu, tc, Pos { block: wrong, idx: 0 }, false, obs, info, depth + 1);
-                    }
-                }
-                let mut events = Vec::new();
-                match Runner::next_block(emu, tc, pos.block, &mut events) {
-                    Ok(Some(b)) => {
-                        self.record_mem_events(&events, false, obs);
-                        pos = Pos { block: b, idx: 0 };
-                    }
-                    Ok(None) | Err(_) => {
-                        self.record_mem_events(&events, false, obs);
-                        break 'path;
-                    }
+            }
+            MemEventKind::Write => {
+                if architectural || contract.expose_speculative_stores {
+                    obs.push(Observation::MemAddr(ev.addr));
                 }
             }
         }
-
-        info.speculative_observations += obs.len() - obs_before;
-        emu.restore(checkpoint);
     }
+}
+
+/// Explore a mis-speculated path starting at `start` under `contract`'s
+/// execution clause, checkpointing and rolling back the architectural state.
+/// With `skip_first_store` the first store at `start` is speculatively
+/// bypassed (the BPAS clause); otherwise the path is followed as a branch
+/// misprediction (the COND clause).
+#[allow(clippy::too_many_arguments)]
+fn explore(
+    contract: &Contract,
+    emu: &mut Emulator,
+    tc: &TestCase,
+    start: Pos,
+    skip_first_store: bool,
+    obs: &mut Vec<Observation>,
+    info: &mut ExecutionInfo,
+    depth: usize,
+) {
+    if contract.speculation_window == 0 {
+        return;
+    }
+    let max_depth = if contract.nested_speculation { 4 } else { 0 };
+    if depth > max_depth {
+        return;
+    }
+    info.speculative_paths += 1;
+    let checkpoint = emu.checkpoint();
+    let obs_before = obs.len();
+
+    let mut pos = start;
+    let mut fuel = contract.speculation_window;
+    let mut first = true;
+    'path: while fuel > 0 {
+        let block = match tc.block(pos.block) {
+            Some(b) => b,
+            None => break,
+        };
+        if pos.idx < block.instrs.len() {
+            let instr = &block.instrs[pos.idx];
+            let skip = first && skip_first_store && instr.writes_mem();
+            first = false;
+            if instr.is_fence() {
+                break 'path;
+            }
+            fuel -= 1;
+            if skip {
+                pos.idx += 1;
+                continue;
+            }
+            // Nested BPAS inside an explored path.
+            if depth < max_depth && contract.execution.permits_bpas() && instr.writes_mem() {
+                explore(contract, emu, tc, pos, true, obs, info, depth + 1);
+            }
+            if contract.observation.exposes_pc() {
+                obs.push(Observation::Pc(instr_pc(pos.block, pos.idx)));
+            }
+            match emu.exec_instr(instr) {
+                Ok(fx) => record_mem_events(contract, &fx.mem_events, false, obs),
+                Err(_) => break 'path, // transient faults are suppressed
+            }
+            pos.idx += 1;
+        } else {
+            first = false;
+            fuel -= 1;
+            if contract.observation.exposes_pc() {
+                obs.push(Observation::Pc(instr_pc(pos.block, block.instrs.len())));
+            }
+            // Nested COND inside an explored path.
+            if depth < max_depth && contract.execution.permits_cond() {
+                if let Terminator::CondJmp { cond, taken, not_taken } = &block.terminator {
+                    let actual = emu.eval_cond(*cond);
+                    let wrong = if actual { *not_taken } else { *taken };
+                    explore(contract, emu, tc, Pos { block: wrong, idx: 0 }, false, obs, info, depth + 1);
+                }
+            }
+            let mut events = Vec::new();
+            match Runner::next_block(emu, tc, pos.block, &mut events) {
+                Ok(Some(b)) => {
+                    record_mem_events(contract, &events, false, obs);
+                    pos = Pos { block: b, idx: 0 };
+                }
+                Ok(None) | Err(_) => {
+                    record_mem_events(contract, &events, false, obs);
+                    break 'path;
+                }
+            }
+        }
+    }
+
+    info.speculative_observations += obs.len() - obs_before;
+    emu.restore(checkpoint);
 }
 
 #[cfg(test)]
@@ -636,6 +728,59 @@ mod tests {
         let loads: Vec<_> =
             out.info.executed.iter().filter(|e| e.kind == InstrKind::Load).collect();
         assert!(!loads[0].mem_addrs.is_empty());
+    }
+
+    #[test]
+    fn collect_many_matches_independent_collection_per_contract() {
+        // The shared architectural pass must be invisible: every contract's
+        // output equals an independent `collect` run, including the
+        // speculative-path counters.
+        let contracts = [
+            Contract::ct_seq(),
+            Contract::ct_bpas(),
+            Contract::ct_cond(),
+            Contract::ct_cond_bpas(),
+            Contract::arch_seq(),
+            Contract::mem_cond().with_nesting(true),
+            Contract::ct_cond_no_spec_store(),
+        ];
+        for tc in [figure1(), bpas_gadget()] {
+            for (x, y) in [(0x100, 20), (0x100, 5), (0x40, 0x80)] {
+                let input = input_xy(&tc, x, y);
+                let shared = ContractModel::collect_many(&contracts, &tc, &input).unwrap();
+                assert_eq!(shared.len(), contracts.len());
+                for (c, out) in contracts.iter().zip(&shared) {
+                    let solo = ContractModel::new(c.clone()).collect(&tc, &input).unwrap();
+                    assert_eq!(out.trace, solo.trace, "{} trace differs", c.name());
+                    assert_eq!(out.info, solo.info, "{} info differs", c.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collect_many_handles_empty_and_single_slates() {
+        let tc = figure1();
+        let input = input_xy(&tc, 0x100, 20);
+        assert!(ContractModel::collect_many(&[], &tc, &input).unwrap().is_empty());
+        let single =
+            ContractModel::collect_many(std::slice::from_ref(&Contract::ct_seq()), &tc, &input)
+                .unwrap();
+        let solo = ContractModel::new(Contract::ct_seq()).collect(&tc, &input).unwrap();
+        assert_eq!(single[0], solo);
+    }
+
+    #[test]
+    fn collect_many_repeated_contract_gets_identical_outputs() {
+        // The same contract twice in a slate observes the same state: the
+        // first exploration's checkpoint/restore must be exact.
+        let tc = bpas_gadget();
+        let mut input = Input::zeroed(tc.sandbox());
+        input.write_mem_u64(0, 0x7c0);
+        input.set_reg(Reg::Rdx, 0x40);
+        let slate = [Contract::ct_bpas(), Contract::ct_bpas()];
+        let outs = ContractModel::collect_many(&slate, &tc, &input).unwrap();
+        assert_eq!(outs[0], outs[1]);
     }
 
     #[test]

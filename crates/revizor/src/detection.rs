@@ -1,10 +1,11 @@
 //! Detection-speed harnesses (Tables 4 and 5, §6.5).
 
+use crate::campaign::{self, SlateChecks};
 use crate::classify::VulnClass;
-use crate::config::FuzzerConfig;
-use crate::fuzzer::Revizor;
+use crate::orchestrator::CampaignMatrix;
 use crate::targets::Target;
-use rvz_executor::ExecutorConfig;
+use rvz_analyzer::Analyzer;
+use rvz_executor::{Executor, ExecutorConfig};
 use rvz_gen::InputGenerator;
 use rvz_isa::TestCase;
 use rvz_model::Contract;
@@ -26,45 +27,33 @@ pub struct DetectionOutcome {
     pub duration: Duration,
 }
 
-/// Run a full fuzzing campaign for `target` against `contract` and report
-/// how long the first confirmed violation took (one sample of Table 4).
+/// Run one fuzzing campaign for `target` against `contract` and report how
+/// long the first confirmed violation took (one sample of Table 4).
 ///
-/// To keep the harness comparable to the paper's minutes-long runs while
-/// executing on a simulator, the campaign starts from the generator
-/// parameters of a mid-campaign testing round (a few basic blocks and a
-/// dozen instructions) instead of the very first round; escalation still
-/// applies on top.
+/// The campaign runs as a single-cell [`CampaignMatrix`]: the orchestrator's
+/// detection-tuned defaults use mid-campaign generator parameters (a few
+/// basic blocks, a dozen instructions, branch-then-load placement bias) and
+/// a fixed configuration instead of the §5.6 diversity escalation, keeping
+/// the harness comparable to the paper's minutes-long runs while executing
+/// on a simulator — and making every sample a deterministic function of
+/// `(target, contract, seed)`.
 pub fn detection_time(
     target: &Target,
     contract: Contract,
     seed: u64,
     max_test_cases: usize,
 ) -> DetectionOutcome {
-    let generator = rvz_gen::GeneratorConfig::for_subset(target.isa)
-        .with_basic_blocks(4)
-        .with_instructions(14);
-    let config = FuzzerConfig::for_target(target, contract.clone())
-        .with_generator(generator)
-        .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
-        .with_inputs_per_test_case(20)
-        .with_max_test_cases(max_test_cases)
-        .with_seed(seed);
-    let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
-    let report = fuzzer.run();
+    let report = CampaignMatrix::new(seed)
+        .with_budget(max_test_cases)
+        .add_cell(target.clone(), contract)
+        .run();
+    let cell = report.cells.into_iter().next().expect("one cell in, one report out");
     DetectionOutcome {
-        found: report.found_violation(),
-        vulnerability: report.violation.as_ref().map(|v| v.vulnerability.to_string()),
-        test_cases: report
-            .violation
-            .as_ref()
-            .map(|v| v.test_cases_until_detection)
-            .unwrap_or(report.test_cases),
-        inputs: report
-            .violation
-            .as_ref()
-            .map(|v| v.inputs_until_detection)
-            .unwrap_or(report.total_inputs),
-        duration: report.duration,
+        found: cell.found(),
+        vulnerability: cell.vulnerability().map(|v| v.to_string()),
+        test_cases: cell.test_cases,
+        inputs: cell.total_inputs,
+        duration: cell.detection_time,
     }
 }
 
@@ -142,18 +131,83 @@ pub fn inputs_to_violation(
     seed: u64,
     max_inputs: usize,
 ) -> Option<usize> {
-    let config = FuzzerConfig::for_target(target, contract)
-        .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2));
-    let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+    inputs_to_violation_slate(target, std::slice::from_ref(&contract), gadget, seed, max_inputs)
+        .into_iter()
+        .next()
+        .expect("one contract in, one result out")
+}
+
+/// [`inputs_to_violation`] for a whole contract slate in one pass: each
+/// growing input batch is measured **once** and the collected hardware
+/// traces are checked against every contract (they depend only on the
+/// gadget and the inputs, never on the contract).  Returns, per contract in
+/// slate order, the minimal input count that surfaced a violation — exactly
+/// what independent per-contract runs with the same seed would report.
+///
+/// The §6.6 contract-sensitivity experiment uses this to evaluate CT-SEQ
+/// and ARCH-SEQ against both gadgets with half the measurements.
+pub fn inputs_to_violation_slate(
+    target: &Target,
+    contracts: &[Contract],
+    gadget: &TestCase,
+    seed: u64,
+    max_inputs: usize,
+) -> Vec<Option<usize>> {
+    let mut executor = Executor::new(target.cpu(), ExecutorConfig::fast(target.mode).with_repetitions(2));
+    let analyzer = Analyzer::new();
     let gen = InputGenerator::new(2);
+    let mut results: Vec<Option<usize>> = vec![None; contracts.len()];
     for n in 2..=max_inputs {
+        if results.iter().all(|r| r.is_some()) {
+            break;
+        }
         let inputs = gen.generate(gadget, seed, n);
-        match fuzzer.test_with_inputs(gadget, &inputs) {
-            Ok(outcome) if outcome.confirmed_violation.is_some() => return Some(n),
-            _ => continue,
+        let Ok(outcomes) = campaign::evaluate_slate(
+            &mut executor,
+            &analyzer,
+            SlateChecks::all(),
+            contracts,
+            gadget,
+            &inputs,
+        ) else {
+            continue;
+        };
+        for (result, outcome) in results.iter_mut().zip(&outcomes) {
+            if result.is_none() && outcome.confirmed_violation.is_some() {
+                *result = Some(n);
+            }
         }
     }
-    None
+    results
+}
+
+/// For each contract of a slate, the input count of the first detection
+/// across a schedule of input-generation seeds.  Seeds are tried in order;
+/// each one is measured **once** for the whole slate
+/// ([`inputs_to_violation_slate`]), a contract keeps the result of the
+/// first seed that surfaced a violation, and the search stops as soon as
+/// every contract has one.  The §6.6 contract-sensitivity experiment and
+/// example share this schedule.
+pub fn first_violations_over_seeds(
+    target: &Target,
+    contracts: &[Contract],
+    gadget: &TestCase,
+    seeds: impl IntoIterator<Item = u64>,
+    max_inputs: usize,
+) -> Vec<Option<usize>> {
+    let mut first: Vec<Option<usize>> = vec![None; contracts.len()];
+    for seed in seeds {
+        let results = inputs_to_violation_slate(target, contracts, gadget, seed, max_inputs);
+        for (slot, result) in first.iter_mut().zip(results) {
+            if slot.is_none() {
+                *slot = result;
+            }
+        }
+        if first.iter().all(|r| r.is_some()) {
+            break;
+        }
+    }
+    first
 }
 
 /// Aggregate of [`inputs_to_violation`] over several seeds (Table 5 reports
@@ -245,11 +299,18 @@ mod tests {
 
     #[test]
     fn detection_time_finds_v1_on_target5() {
-        // Detection is stochastic in the PRNG stream (the vendored `rand`
-        // stand-in finds the first V1 around test case 50 for this seed);
-        // the budget leaves headroom so the assertion tests the mechanism,
-        // not one particular random stream.
-        let outcome = detection_time(&Target::target5(), Contract::ct_seq(), 11, 120);
+        // Detection is stochastic in the PRNG stream, so the budget leaves
+        // headroom over the worst measured seed rather than encoding one
+        // particular stream.  Measured first V1 on Target 5 × CT-SEQ with
+        // the orchestrator's detection-tuned defaults (fixed 4-block /
+        // 14-instruction generator, branch-then-load bias):
+        //
+        //   seed  0   1   2   3   5   9   11  7920
+        //   tcs   15  16  4   12  29  13  2   19
+        //
+        // The same seeds under the unbiased placement need 15/68/142/105/
+        // 150/…, which is why the pre-orchestrator budget here was 120.
+        let outcome = detection_time(&Target::target5(), Contract::ct_seq(), 11, 40);
         assert!(outcome.found);
         assert_eq!(outcome.vulnerability.as_deref(), Some("V1"));
         assert!(outcome.test_cases >= 1);
@@ -257,11 +318,13 @@ mod tests {
 
     #[test]
     fn detection_stats_aggregate() {
-        // Budget sized so both sample seeds detect under the vendored PRNG
-        // stream (first violations near test cases 75 and 120).
-        let stats = detection_stats(&Target::target5(), Contract::ct_seq(), 2, 150);
+        // The two sample seeds (s * 7919 + 1 = 1 and 7920) find their first
+        // V1 at 16 and 19 test cases under the detection-tuned defaults
+        // (see the per-seed table above); budget 60 keeps ~3× headroom and
+        // still lets the test assert that *both* samples detect.
+        let stats = detection_stats(&Target::target5(), Contract::ct_seq(), 2, 60);
         assert_eq!(stats.samples, 2);
-        assert!(stats.detected >= 1);
+        assert_eq!(stats.detected, 2);
         assert!(stats.mean_test_cases >= 1.0);
         assert!(stats.coefficient_of_variation >= 0.0);
     }

@@ -1,5 +1,8 @@
 //! The end-to-end fuzzer (Figure 2).
 
+use crate::campaign::{
+    self, NoopObserver, ProgressObserver, RoundEvent, SlateSpec, SlateUnit,
+};
 use crate::classify::{classify, VulnClass};
 use crate::config::FuzzerConfig;
 use crate::diversity::PatternCoverage;
@@ -7,9 +10,9 @@ use crate::targets::Target;
 use rvz_analyzer::{AnalysisResult, Analyzer, Violation};
 use rvz_emu::Fault;
 use rvz_executor::Executor;
-use rvz_gen::{InputGenerator, ProgramGenerator};
+use rvz_gen::InputGenerator;
 use rvz_isa::{Input, TestCase};
-use rvz_model::{Contract, ContractModel, ExecutionInfo};
+use rvz_model::{Contract, ExecutionInfo};
 use rvz_uarch::{CpuUnderTest, SpecCpu};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -164,7 +167,7 @@ impl<C: CpuUnderTest> Revizor<C> {
     /// produce).
     pub fn test_case(&mut self, tc: &TestCase, seed: u64) -> Result<TestCaseOutcome, Fault> {
         let n = self.config.generator.inputs_per_test_case;
-        let inputs = self.input_gen.generate(tc, input_stream_seed(seed), n);
+        let inputs = self.input_gen.generate(tc, campaign::input_stream_seed(seed), n);
         self.executor.reseed_noise(self.config.executor.noise.for_test_case_seed(seed));
         self.test_with_inputs(tc, &inputs)
     }
@@ -194,15 +197,6 @@ impl<C: CpuUnderTest> Revizor<C> {
     }
 }
 
-/// Derivation of the per-test-case input-generation seed from the test
-/// case's campaign seed.  Shared by the campaign round workers and the
-/// sequential [`Revizor::test_case`] replay path — the two must never
-/// diverge, or a campaign violation would not reproduce through the public
-/// API.
-fn input_stream_seed(test_case_seed: u64) -> u64 {
-    test_case_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
-}
-
 /// One evaluated test case of a round, produced by a (possibly parallel)
 /// round worker and merged by the driver in campaign order.
 struct RoundUnit {
@@ -210,6 +204,27 @@ struct RoundUnit {
     tc: TestCase,
     outcome: TestCaseOutcome,
     class_members: Vec<Vec<ExecutionInfo>>,
+}
+
+impl RoundUnit {
+    /// Repackage a single-contract [`SlateUnit`] into the round driver's
+    /// unit shape.
+    fn from_slate(unit: SlateUnit) -> RoundUnit {
+        let SlateUnit { seed, tc, inputs, mut outcomes } = unit;
+        let o = outcomes.pop().expect("single-contract slate");
+        RoundUnit {
+            seed,
+            tc,
+            outcome: TestCaseOutcome {
+                inputs,
+                analysis: o.analysis,
+                confirmed_violation: o.confirmed_violation,
+                discarded_as_artifact: o.discarded_as_artifact,
+                discarded_by_nesting: o.discarded_by_nesting,
+            },
+            class_members: o.class_members,
+        }
+    }
 }
 
 impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
@@ -223,30 +238,17 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
         pool: Option<&rayon::ThreadPool>,
         range: std::ops::Range<usize>,
     ) -> Vec<Option<RoundUnit>> {
-        let gen_cfg = self.config.generator.clone();
-        let config = &self.config;
+        let spec = SlateSpec {
+            generator: self.config.generator.clone(),
+            executor: self.config.executor,
+            checks: (&self.config).into(),
+            contracts: vec![self.config.contract.clone()],
+        };
         let cpu_template = self.executor.cpu();
-        let analyzer = self.analyzer;
         let seeds: Vec<(usize, u64)> =
             range.map(|i| (i, self.config.seed.wrapping_add(i as u64))).collect();
         let evaluate_one = move |seed: u64| -> Option<RoundUnit> {
-            let generator = ProgramGenerator::new(gen_cfg.clone());
-            let input_gen = InputGenerator::new(gen_cfg.input_entropy_bits);
-            let tc = generator.generate(seed);
-            let inputs =
-                input_gen.generate(&tc, input_stream_seed(seed), gen_cfg.inputs_per_test_case);
-            // Derive the synthetic-noise stream from the test-case seed so
-            // that measurements do not depend on which worker (or in which
-            // order) the test case runs.
-            let mut exec_cfg = config.executor;
-            exec_cfg.noise = exec_cfg.noise.for_test_case_seed(seed);
-            let mut executor = Executor::new(cpu_template.clone(), exec_cfg);
-            match evaluate_test_case(&mut executor, &analyzer, config, &tc, &inputs) {
-                Ok((outcome, class_members)) => Some(RoundUnit { seed, tc, outcome, class_members }),
-                // Malformed test case; skipped (never happens for generated
-                // code).
-                Err(_) => None,
-            }
+            campaign::evaluate_seed(cpu_template, &spec, seed).map(RoundUnit::from_slate)
         };
         match pool {
             None => {
@@ -309,6 +311,14 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
     /// For a fixed campaign seed the confirmed violation and all report
     /// counters are independent of `parallelism`.
     pub fn run(&mut self) -> FuzzReport {
+        self.run_with_observer(&mut NoopObserver)
+    }
+
+    /// Run the fuzzing campaign (see [`Revizor::run`]), reporting a
+    /// [`RoundEvent`] to `observer` at every completed testing round.
+    /// Events are emitted from the driving thread in campaign order and do
+    /// not affect the campaign's results.
+    pub fn run_with_observer(&mut self, observer: &mut dyn ProgressObserver) -> FuzzReport {
         let start = Instant::now();
         // The pool is only needed (and only spawns worker threads) for
         // multi-threaded campaigns.
@@ -366,6 +376,12 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
             // A round cut short by a confirmed violation is not counted:
             // the campaign stops mid-round (`break 'campaign` above).
             rounds += 1;
+            observer.round_completed(&RoundEvent {
+                target_id: self.target.as_ref().map(|t| t.id),
+                round: rounds,
+                test_cases,
+                escalations,
+            });
 
             // Round boundary: diversity feedback (§5.6).  The generator is
             // escalated when the current coverage goal is met (all single
@@ -408,11 +424,9 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
     }
 }
 
-/// The per-test-case pipeline: contract traces, hardware traces, relational
-/// analysis, and the two false-positive filters (priming swap, nested
-/// speculation).  Free of fuzzer-level state so that round workers can run
-/// it concurrently; returns the effective input classes' execution metadata
-/// for the caller to feed into the shared pattern coverage.
+/// The per-test-case pipeline with a single contract: a thin wrapper over
+/// the slate-based [`campaign::evaluate_slate`] (which collects hardware
+/// traces once and can check them against whole contract slates).
 fn evaluate_test_case<C: CpuUnderTest>(
     executor: &mut Executor<C>,
     analyzer: &Analyzer,
@@ -420,63 +434,25 @@ fn evaluate_test_case<C: CpuUnderTest>(
     tc: &TestCase,
     inputs: &[Input],
 ) -> Result<(TestCaseOutcome, Vec<Vec<ExecutionInfo>>), Fault> {
-    let model = ContractModel::new(config.contract.clone());
-    let mut ctraces = Vec::with_capacity(inputs.len());
-    let mut infos: Vec<ExecutionInfo> = Vec::with_capacity(inputs.len());
-    for input in inputs {
-        let out = model.collect(tc, input)?;
-        ctraces.push(out.trace);
-        infos.push(out.info);
-    }
-    let htraces = executor.collect_htraces(tc, inputs)?;
-    let analysis = analyzer.check(&ctraces, &htraces);
-
-    // Execution metadata grouped by effective input class, for the
-    // diversity analysis.
-    let classes = analyzer.input_classes(&ctraces);
-    let class_members: Vec<Vec<ExecutionInfo>> = classes
-        .iter()
-        .filter(|c| c.is_effective())
-        .map(|c| c.members.iter().map(|&i| infos[i].clone()).collect())
-        .collect();
-
-    let mut discarded_as_artifact = 0;
-    let mut discarded_by_nesting = 0;
-    let mut confirmed = None;
-    for v in &analysis.violations {
-        if config.priming_swap_check
-            // The unswapped baseline was already collected above; the swap
-            // check re-measures only the two swapped sequences (§5.3).
-            && executor.is_measurement_artifact(tc, inputs, &htraces, v.input_a, v.input_b)?
-        {
-            discarded_as_artifact += 1;
-            continue;
-        }
-        if config.verify_with_nesting && config.contract.speculation_window > 0 {
-            let nested = ContractModel::new(config.contract.clone().with_nesting(true));
-            let a = nested.collect_trace(tc, &inputs[v.input_a])?;
-            let b = nested.collect_trace(tc, &inputs[v.input_b])?;
-            if a != b {
-                // Under the true (nested) contract the inputs are in
-                // different classes; the reported violation was an
-                // artifact of the nesting-disabled approximation.
-                discarded_by_nesting += 1;
-                continue;
-            }
-        }
-        confirmed = Some(v.clone());
-        break;
-    }
-
+    let outcome = campaign::evaluate_slate(
+        executor,
+        analyzer,
+        config.into(),
+        std::slice::from_ref(&config.contract),
+        tc,
+        inputs,
+    )?
+    .pop()
+    .expect("single-contract slate");
     Ok((
         TestCaseOutcome {
             inputs: inputs.to_vec(),
-            analysis,
-            confirmed_violation: confirmed,
-            discarded_as_artifact,
-            discarded_by_nesting,
+            analysis: outcome.analysis,
+            confirmed_violation: outcome.confirmed_violation,
+            discarded_as_artifact: outcome.discarded_as_artifact,
+            discarded_by_nesting: outcome.discarded_by_nesting,
         },
-        class_members,
+        outcome.class_members,
     ))
 }
 
@@ -485,6 +461,7 @@ mod tests {
     use super::*;
     use crate::gadgets;
     use rvz_executor::ExecutorConfig;
+    use rvz_gen::ProgramGenerator;
 
     fn quick_config(target: &Target, contract: Contract) -> FuzzerConfig {
         // Start from a mid-campaign generator configuration (as if a few

@@ -23,6 +23,12 @@
 //!
 //! * [`Revizor`] — the fuzzer: rounds of test-case generation, trace
 //!   collection, relational analysis and diversity feedback (§5.6);
+//! * [`campaign`] — the reusable per-test-case pipeline: evaluate one test
+//!   case against a whole *slate* of contracts, collecting hardware traces
+//!   once (plus the [`ProgressObserver`] live-progress hook);
+//! * [`orchestrator`] — [`CampaignMatrix`]: a matrix of (target, contract)
+//!   cells (e.g. all of Table 3) over one shared worker pool with
+//!   cross-contract trace sharing and per-cell early stop;
 //! * [`targets`] — the eight experimental setups of Table 2;
 //! * [`gadgets`] — handwritten test cases for the known vulnerabilities of
 //!   Table 5 and the paper's figures;
@@ -50,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod classify;
 pub mod config;
 pub mod detection;
@@ -57,11 +64,14 @@ pub mod diversity;
 pub mod fuzzer;
 pub mod gadgets;
 pub mod minimize;
+pub mod orchestrator;
 pub mod targets;
 
+pub use campaign::{CellEvent, ContractOutcome, NoopObserver, ProgressObserver, RoundEvent};
 pub use classify::VulnClass;
 pub use config::FuzzerConfig;
 pub use diversity::{Pattern, PatternCoverage};
 pub use fuzzer::{FuzzReport, Revizor, TestCaseOutcome, ViolationReport};
 pub use minimize::Postprocessor;
+pub use orchestrator::{CampaignMatrix, CellReport, MatrixReport};
 pub use targets::Target;

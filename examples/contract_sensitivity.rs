@@ -5,12 +5,17 @@
 //! gadget (speculative load + use) but not by a gadget that only leaks a
 //! non-speculatively loaded value.
 //!
+//! Both contracts are checked as one *slate* per input batch — the hardware
+//! traces are measured once and shared, exactly as the campaign
+//! orchestrator does for Table 3 cell groups.
+//!
 //! Run with: `cargo run --release --example contract_sensitivity`
 
 use revizor_suite::prelude::*;
 
 fn main() {
     let target = Target::target5();
+    let contracts = [Contract::ct_seq(), Contract::arch_seq()];
     let cases = [
         ("Figure 6a: non-speculative load, speculative use", gadgets::arch_seq_insensitive()),
         ("Figure 6b: classic V1 (speculative load + use)", gadgets::arch_seq_sensitive()),
@@ -19,20 +24,18 @@ fn main() {
     for (name, gadget) in &cases {
         println!("=== {name} ===");
         println!("{}", gadget.to_asm());
-        for contract in [Contract::ct_seq(), Contract::arch_seq()] {
-            let mut verdict = "complies (no violation within 150 inputs)".to_string();
-            for seed in 0..5u64 {
-                if let Some(n) = detection::inputs_to_violation(
-                    &target,
-                    contract.clone(),
-                    gadget,
-                    seed * 31 + 7,
-                    150,
-                ) {
-                    verdict = format!("VIOLATED after {n} random inputs");
-                    break;
-                }
-            }
+        let first = detection::first_violations_over_seeds(
+            &target,
+            &contracts,
+            gadget,
+            (0..5u64).map(|s| s * 31 + 7),
+            150,
+        );
+        for (contract, result) in contracts.iter().zip(&first) {
+            let verdict = match result {
+                Some(n) => format!("VIOLATED after {n} random inputs"),
+                None => "complies (no violation within 150 inputs)".to_string(),
+            };
             println!("  {:9} -> {verdict}", contract.name());
         }
         println!();

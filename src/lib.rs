@@ -47,10 +47,15 @@ pub use revizor;
 
 /// Convenient single import for examples and integration tests.
 pub mod prelude {
+    pub use revizor::campaign;
     pub use revizor::detection;
     pub use revizor::gadgets;
+    pub use revizor::orchestrator::CampaignMatrix;
     pub use revizor::targets::Target;
-    pub use revizor::{FuzzReport, FuzzerConfig, Postprocessor, Revizor, VulnClass};
+    pub use revizor::{
+        CellEvent, FuzzReport, FuzzerConfig, Postprocessor, ProgressObserver, Revizor, RoundEvent,
+        VulnClass,
+    };
     pub use rvz_analyzer::Analyzer;
     pub use rvz_emu::Runner;
     pub use rvz_executor::{Executor, ExecutorConfig, HTrace, MeasurementMode};

@@ -73,6 +73,36 @@ proptest! {
         }
     }
 
+    /// `ContractModel::collect_many` shares one architectural pass across a
+    /// whole contract slate; its per-contract traces and execution metadata
+    /// must be indistinguishable from independent `collect` runs, for every
+    /// Table 3 contract (plus ARCH-SEQ and a nested variant), on arbitrary
+    /// generated test cases and inputs.
+    #[test]
+    fn collect_many_equals_independent_collection(
+        seed in 0u64..3000,
+        input_seed in 0u64..3000,
+        isa in arb_isa(),
+        instructions in 4usize..20,
+        blocks in 2usize..6,
+    ) {
+        let config = GeneratorConfig::for_subset(isa)
+            .with_instructions(instructions)
+            .with_basic_blocks(blocks);
+        let tc = ProgramGenerator::new(config).generate(seed);
+        let input = InputGenerator::new(2).generate_one(&tc, input_seed);
+        let mut contracts = Contract::table3_contracts();
+        contracts.push(Contract::arch_seq());
+        contracts.push(Contract::ct_cond_bpas().with_nesting(true));
+        let shared = ContractModel::collect_many(&contracts, &tc, &input).unwrap();
+        prop_assert_eq!(shared.len(), contracts.len());
+        for (contract, out) in contracts.iter().zip(shared) {
+            let solo = ContractModel::new(contract.clone()).collect(&tc, &input).unwrap();
+            prop_assert!(out.trace == solo.trace, "trace mismatch for {}", contract.name());
+            prop_assert!(out.info == solo.info, "info mismatch for {}", contract.name());
+        }
+    }
+
     /// Outlier filtering is order-independent: the merged trace is a
     /// function of the sample *multiset*, so any reordering of the raw
     /// samples must merge identically (§5.3 — the union and the one-off
