@@ -119,18 +119,28 @@ impl Json {
     /// Render the value as a compact JSON document.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, None, 0);
+        self.write(&mut out, None, 0, false);
         out
     }
 
     /// Render the value with two-space indentation.
     pub fn render_pretty(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
+        self.write(&mut out, Some(2), 0, false);
         out
     }
 
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+    /// Render the value as a compact, pure-ASCII document: every non-ASCII
+    /// character is written as a `\uXXXX` escape, non-BMP characters as a
+    /// UTF-16 surrogate pair (the `ensure_ascii` form most JSON emitters
+    /// produce).  [`parse`] round-trips both this and [`Json::render`].
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0, true);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize, ascii: bool) {
         let (nl, pad, pad_in) = match indent {
             Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
             None => ("", String::new(), String::new()),
@@ -146,7 +156,7 @@ impl Json {
                 }
             }
             Json::UInt(n) => out.push_str(&format!("{n}")),
-            Json::Str(s) => write_escaped(out, s),
+            Json::Str(s) => write_escaped(out, s, ascii),
             Json::Arr(items) => {
                 out.push('[');
                 for (i, item) in items.iter().enumerate() {
@@ -155,7 +165,7 @@ impl Json {
                     }
                     out.push_str(nl);
                     out.push_str(&pad_in);
-                    item.write(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1, ascii);
                 }
                 if !items.is_empty() {
                     out.push_str(nl);
@@ -171,12 +181,12 @@ impl Json {
                     }
                     out.push_str(nl);
                     out.push_str(&pad_in);
-                    write_escaped(out, key);
+                    write_escaped(out, key, ascii);
                     out.push(':');
                     if indent.is_some() {
                         out.push(' ');
                     }
-                    value.write(out, indent, depth + 1);
+                    value.write(out, indent, depth + 1, ascii);
                 }
                 if !fields.is_empty() {
                     out.push_str(nl);
@@ -248,7 +258,7 @@ impl fmt::Display for Json {
     }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
+fn write_escaped(out: &mut String, s: &str, ascii: bool) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -258,6 +268,13 @@ fn write_escaped(out: &mut String, s: &str) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if ascii && !c.is_ascii() => {
+                // Escape as UTF-16 code units: one `\uXXXX` for BMP
+                // characters, a surrogate pair for the rest.
+                for unit in c.encode_utf16(&mut [0u16; 2]) {
+                    out.push_str(&format!("\\u{unit:04x}"));
+                }
+            }
             c => out.push(c),
         }
     }
@@ -378,6 +395,21 @@ impl Parser<'_> {
         }
     }
 
+    /// Consume a `uXXXX` escape body (the cursor sits on the `u`) and
+    /// return the code unit.  `start` is the byte offset of the escape's
+    /// backslash, for error messages.
+    fn hex4(&mut self, start: usize) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or(format!("bad \\u escape at byte {start}"))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad \\u escape at byte {start}"))?;
+        self.pos += 5;
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -401,18 +433,52 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or(format!("bad \\u escape at byte {start}"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at byte {start}"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or(format!("bad \\u escape at byte {start}"))?,
-                            );
-                            self.pos += 4;
+                            // `self.pos` sits on the `u`; `hex4` consumes it
+                            // and the four hex digits.
+                            let code = self.hex4(start)?;
+                            match code {
+                                // A high surrogate must be followed by an
+                                // escaped low surrogate; together they
+                                // encode one non-BMP scalar (RFC 8259 §7).
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\')
+                                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                    {
+                                        return Err(format!(
+                                            "lone high surrogate \\u{code:04x} at byte {start} \
+                                             (expected a \\uDC00-\\uDFFF low surrogate)"
+                                        ));
+                                    }
+                                    self.pos += 1; // consume the backslash
+                                    let low = self.hex4(start)?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(format!(
+                                            "high surrogate \\u{code:04x} at byte {start} followed \
+                                             by \\u{low:04x}, which is not a low surrogate"
+                                        ));
+                                    }
+                                    let scalar =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    out.push(
+                                        char::from_u32(scalar)
+                                            .expect("paired surrogates form a valid scalar"),
+                                    );
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(format!(
+                                        "lone low surrogate \\u{code:04x} at byte {start} \
+                                         (low surrogates may only follow a high surrogate)"
+                                    ));
+                                }
+                                _ => out.push(
+                                    char::from_u32(code)
+                                        .expect("non-surrogate BMP code points are scalars"),
+                                ),
+                            }
+                            // The shared `self.pos += 1` below accounted for
+                            // the single-byte escapes; `hex4` already
+                            // consumed everything, so compensate.
+                            self.pos -= 1;
                         }
                         _ => return Err(format!("bad escape at byte {start}")),
                     }
@@ -549,5 +615,83 @@ mod tests {
     fn unicode_survives_the_round_trip() {
         let doc = Json::Str("ünïcodé × контракт".into());
         assert_eq!(parse(&doc.render()).unwrap(), doc);
+        assert_eq!(parse(&doc.render_ascii()).unwrap(), doc);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_non_bmp_scalars() {
+        // Exactly what serde_json (and Python's json with ensure_ascii)
+        // emits for an emoji.
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+        assert_eq!(parse(r#""a😀b""#).unwrap(), Json::Str("a😀b".into()));
+        // U+10FFFF, the last scalar, and U+10000, the first non-BMP one.
+        assert_eq!(parse(r#""􏿿""#).unwrap(), Json::Str("\u{10FFFF}".into()));
+        assert_eq!(parse(r#""𐀀""#).unwrap(), Json::Str("\u{10000}".into()));
+    }
+
+    #[test]
+    fn render_ascii_emits_surrogate_pairs() {
+        assert_eq!(Json::Str("😀".into()).render_ascii(), r#""\ud83d\ude00""#);
+        assert_eq!(Json::Str("é".into()).render_ascii(), r#""\u00e9""#);
+        // ASCII passes through untouched, control characters stay escaped.
+        assert_eq!(Json::Str("a\n".into()).render_ascii(), r#""a\n""#);
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected_with_clear_messages() {
+        let err = parse(r#""\ud83d""#).unwrap_err();
+        assert!(err.contains("lone high surrogate"), "{err}");
+        let err = parse(r#""\ude00""#).unwrap_err();
+        assert!(err.contains("lone low surrogate"), "{err}");
+        // High surrogate followed by a non-surrogate escape.
+        let err = parse(r#""\ud83d\u0041""#).unwrap_err();
+        assert!(err.contains("not a low surrogate"), "{err}");
+        // High surrogate followed by a plain character.
+        let err = parse(r#""\ud83dx""#).unwrap_err();
+        assert!(err.contains("lone high surrogate"), "{err}");
+        // Truncated second escape.
+        assert!(parse(r#""\ud83d\u00""#).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Arbitrary scalar values including the interesting boundaries:
+        /// ASCII, escape-worthy controls, BMP edges and non-BMP planes.
+        fn char_from_code(code: u32) -> char {
+            char::from_u32(code).unwrap_or('\u{FFFD}')
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+
+            /// Writer ↔ parser round-trip over arbitrary Unicode strings,
+            /// through both the raw-UTF-8 and the ASCII-escaped renderings
+            /// (the latter exercises the surrogate-pair path for every
+            /// non-BMP character).
+            #[test]
+            fn arbitrary_unicode_strings_round_trip(
+                codes in proptest::collection::vec(0u32..0x110000, 0..24),
+            ) {
+                let s: String = codes.into_iter().map(char_from_code).collect();
+                let doc = Json::obj().field("s", s.clone()).field("k", vec![s]);
+                prop_assert_eq!(&parse(&doc.render()).unwrap(), &doc);
+                prop_assert_eq!(&parse(&doc.render_pretty()).unwrap(), &doc);
+                let ascii = doc.render_ascii();
+                prop_assert!(ascii.is_ascii(), "render_ascii must emit pure ASCII: {}", ascii);
+                prop_assert_eq!(&parse(&ascii).unwrap(), &doc);
+            }
+
+            /// Deliberately include the BMP/astral boundary characters with
+            /// high probability.
+            #[test]
+            fn boundary_characters_round_trip(pick in 0usize..7) {
+                let c = ['\u{7F}', '\u{80}', '\u{D7FF}', '\u{E000}', '\u{FFFF}', '\u{10000}', '\u{10FFFF}'][pick];
+                let doc = Json::Str(c.to_string());
+                prop_assert_eq!(&parse(&doc.render()).unwrap(), &doc);
+                prop_assert_eq!(&parse(&doc.render_ascii()).unwrap(), &doc);
+            }
+        }
     }
 }

@@ -25,6 +25,7 @@
 //! paper-like runs use the same code.
 
 pub mod json;
+pub mod report;
 
 use json::Json;
 use revizor::orchestrator::MatrixReport;

@@ -1,0 +1,1025 @@
+//! Registry-free JSON export/import of fuzzing reports.
+//!
+//! The vendored `serde` stand-ins have no-op derives, so the `Serialize`
+//! attributes sprinkled over the workspace never produced a wire format.
+//! This module is the real serialization seam: explicit `to_json` /
+//! `from_json` codecs for [`ViolationReport`] and [`FuzzReport`] (and every
+//! structure they embed, down to instructions and inputs), built on
+//! [`crate::json`].  The schema is also the result payload of the campaign
+//! service (`rvz-service`), and [`matrix_checkpoint_*`] is its spool format.
+//!
+//! Design rules:
+//!
+//! * `u64` values (campaign seeds, sandbox addresses, ctrace digests) are
+//!   written as [`Json::UInt`] and therefore survive exactly — no `f64`
+//!   detour (the same rule the `table3 --json` document follows).
+//! * Enumerations are written as their canonical display labels (`"ADD"`,
+//!   `"RAX"`, `"CT-SEQ"`, `"V1"`), so documents stay greppable.
+//! * Sandbox memory is hex-encoded into one string per input.
+//! * Decoding validates shapes and reports a path-qualified error message;
+//!   it never panics on malformed documents.
+
+use crate::json::Json;
+use revizor::diversity::{Pattern, PatternCoverage};
+use revizor::fuzzer::{FuzzReport, ViolationReport};
+use revizor::VulnClass;
+use rvz_analyzer::Violation;
+use rvz_cache::SetVector;
+use rvz_executor::HTrace;
+use rvz_isa::{
+    AluOp, BasicBlock, BlockId, Cond, FlagSet, Input, Instr, MemOperand, Operand, Reg,
+    SandboxLayout, ShiftOp, Terminator, TestCase, UnaryOp, Width,
+};
+use rvz_model::{Contract, ExecutionClause, ObservationClause};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Decoding errors are human-readable path + message strings.
+pub type DecodeError = String;
+
+// ---------------------------------------------------------------------------
+// Small shared accessors.
+
+fn get<'a>(v: &'a Json, key: &str) -> Result<&'a Json, DecodeError> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, DecodeError> {
+    get(v, key)?.as_str().ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, DecodeError> {
+    get(v, key)?.as_u64().ok_or_else(|| format!("field `{key}` is not an integer"))
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize, DecodeError> {
+    Ok(get_u64(v, key)? as usize)
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<bool, DecodeError> {
+    get(v, key)?.as_bool().ok_or_else(|| format!("field `{key}` is not a boolean"))
+}
+
+fn get_f64(v: &Json, key: &str) -> Result<f64, DecodeError> {
+    get(v, key)?.as_f64().ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+fn get_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], DecodeError> {
+    get(v, key)?.as_array().ok_or_else(|| format!("field `{key}` is not an array"))
+}
+
+fn get_int<T: TryFrom<u64>>(v: &Json, key: &str) -> Result<T, DecodeError> {
+    let n = get_u64(v, key)?;
+    T::try_from(n).map_err(|_| format!("field `{key}` value {n} is out of range"))
+}
+
+fn in_field<T>(key: &str, r: Result<T, DecodeError>) -> Result<T, DecodeError> {
+    r.map_err(|e| format!("{key}: {e}"))
+}
+
+/// Exact `i64` codec: non-negative values ride the exact `UInt` channel,
+/// negative ones store their magnitude (so `i64::MIN` and large
+/// displacements survive without an `f64` detour).
+fn i64_to_json(v: i64) -> Json {
+    if v >= 0 {
+        Json::UInt(v as u64)
+    } else {
+        Json::obj().field("neg", v.unsigned_abs())
+    }
+}
+
+fn i64_from_json(v: &Json) -> Result<i64, DecodeError> {
+    if let Some(n) = v.as_u64() {
+        return i64::try_from(n).map_err(|_| format!("integer {n} overflows i64"));
+    }
+    if let Some(m) = v.get("neg").and_then(Json::as_u64) {
+        if m == i64::MIN.unsigned_abs() {
+            return Ok(i64::MIN);
+        }
+        let m = i64::try_from(m).map_err(|_| format!("magnitude {m} overflows i64"))?;
+        return Ok(-m);
+    }
+    Err("expected an integer (or {\"neg\": magnitude})".to_string())
+}
+
+fn duration_to_json(d: Duration) -> Json {
+    Json::UInt(d.as_nanos().min(u128::from(u64::MAX)) as u64)
+}
+
+fn duration_from_json(v: &Json) -> Result<Duration, DecodeError> {
+    v.as_u64().map(Duration::from_nanos).ok_or_else(|| "duration is not an integer".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// ISA-level codecs.
+
+fn reg_to_json(r: Reg) -> Json {
+    Json::Str(r.name(Width::Qword))
+}
+
+fn reg_from_json(v: &Json) -> Result<Reg, DecodeError> {
+    let name = v.as_str().ok_or("register is not a string")?;
+    Reg::ALL
+        .into_iter()
+        .find(|r| r.name(Width::Qword) == name)
+        .ok_or_else(|| format!("unknown register `{name}`"))
+}
+
+fn width_label(w: Width) -> &'static str {
+    match w {
+        Width::Byte => "byte",
+        Width::Word => "word",
+        Width::Dword => "dword",
+        Width::Qword => "qword",
+    }
+}
+
+fn width_from_label(s: &str) -> Result<Width, DecodeError> {
+    Width::ALL
+        .into_iter()
+        .find(|w| width_label(*w) == s)
+        .ok_or_else(|| format!("unknown width `{s}`"))
+}
+
+fn cond_from_suffix(s: &str) -> Result<Cond, DecodeError> {
+    Cond::ALL
+        .into_iter()
+        .find(|c| c.suffix() == s)
+        .ok_or_else(|| format!("unknown condition code `{s}`"))
+}
+
+fn mem_operand_to_json(m: &MemOperand) -> Json {
+    Json::obj()
+        .field("base", reg_to_json(m.base))
+        .field("index", m.index.map(reg_to_json))
+        .field("scale", u64::from(m.scale))
+        .field("disp", i64_to_json(m.disp))
+}
+
+fn mem_operand_from_json(v: &Json) -> Result<MemOperand, DecodeError> {
+    let index = match get(v, "index")? {
+        Json::Null => None,
+        r => Some(reg_from_json(r)?),
+    };
+    Ok(MemOperand {
+        base: reg_from_json(get(v, "base")?)?,
+        index,
+        scale: get_int(v, "scale")?,
+        disp: in_field("disp", i64_from_json(get(v, "disp")?))?,
+    })
+}
+
+fn operand_to_json(o: &Operand) -> Json {
+    match o {
+        Operand::Reg(r, w) => Json::obj()
+            .field("kind", "reg")
+            .field("reg", reg_to_json(*r))
+            .field("width", width_label(*w)),
+        Operand::Imm(v) => Json::obj().field("kind", "imm").field("value", i64_to_json(*v)),
+        Operand::Mem(m, w) => Json::obj()
+            .field("kind", "mem")
+            .field("mem", mem_operand_to_json(m))
+            .field("width", width_label(*w)),
+    }
+}
+
+fn operand_from_json(v: &Json) -> Result<Operand, DecodeError> {
+    match get_str(v, "kind")? {
+        "reg" => Ok(Operand::Reg(
+            reg_from_json(get(v, "reg")?)?,
+            width_from_label(get_str(v, "width")?)?,
+        )),
+        "imm" => Ok(Operand::Imm(in_field("value", i64_from_json(get(v, "value")?))?)),
+        "mem" => Ok(Operand::Mem(
+            mem_operand_from_json(get(v, "mem")?)?,
+            width_from_label(get_str(v, "width")?)?,
+        )),
+        k => Err(format!("unknown operand kind `{k}`")),
+    }
+}
+
+fn instr_to_json(i: &Instr) -> Json {
+    match i {
+        Instr::Alu { op, dest, src, lock } => Json::obj()
+            .field("op", "alu")
+            .field("alu", op.mnemonic())
+            .field("dest", operand_to_json(dest))
+            .field("src", operand_to_json(src))
+            .field("lock", *lock),
+        Instr::Mov { dest, src } => Json::obj()
+            .field("op", "mov")
+            .field("dest", operand_to_json(dest))
+            .field("src", operand_to_json(src)),
+        Instr::Cmov { cond, dest, src, width } => Json::obj()
+            .field("op", "cmov")
+            .field("cond", cond.suffix())
+            .field("dest", reg_to_json(*dest))
+            .field("src", operand_to_json(src))
+            .field("width", width_label(*width)),
+        Instr::Setcc { cond, dest } => Json::obj()
+            .field("op", "setcc")
+            .field("cond", cond.suffix())
+            .field("dest", reg_to_json(*dest)),
+        Instr::Cmp { a, b } => Json::obj()
+            .field("op", "cmp")
+            .field("a", operand_to_json(a))
+            .field("b", operand_to_json(b)),
+        Instr::Test { a, b } => Json::obj()
+            .field("op", "test")
+            .field("a", operand_to_json(a))
+            .field("b", operand_to_json(b)),
+        Instr::Shift { op, dest, amount } => Json::obj()
+            .field("op", "shift")
+            .field("shift", op.mnemonic())
+            .field("dest", operand_to_json(dest))
+            .field("amount", operand_to_json(amount)),
+        Instr::Unary { op, dest } => Json::obj()
+            .field("op", "unary")
+            .field("unary", op.mnemonic())
+            .field("dest", operand_to_json(dest)),
+        Instr::Div { src } => Json::obj().field("op", "div").field("src", operand_to_json(src)),
+        Instr::Imul { dest, src } => Json::obj()
+            .field("op", "imul")
+            .field("dest", reg_to_json(*dest))
+            .field("src", operand_to_json(src)),
+        Instr::Lea { dest, addr } => Json::obj()
+            .field("op", "lea")
+            .field("dest", reg_to_json(*dest))
+            .field("addr", mem_operand_to_json(addr)),
+        Instr::Bswap { dest } => Json::obj().field("op", "bswap").field("dest", reg_to_json(*dest)),
+        Instr::Xchg { dest, src } => Json::obj()
+            .field("op", "xchg")
+            .field("dest", reg_to_json(*dest))
+            .field("src", operand_to_json(src)),
+        Instr::Lfence => Json::obj().field("op", "lfence"),
+        Instr::Mfence => Json::obj().field("op", "mfence"),
+        Instr::Nop => Json::obj().field("op", "nop"),
+    }
+}
+
+fn instr_from_json(v: &Json) -> Result<Instr, DecodeError> {
+    let op = get_str(v, "op")?;
+    match op {
+        "alu" => {
+            let mn = get_str(v, "alu")?;
+            let alu = AluOp::ALL
+                .into_iter()
+                .find(|a| a.mnemonic() == mn)
+                .ok_or_else(|| format!("unknown ALU op `{mn}`"))?;
+            Ok(Instr::Alu {
+                op: alu,
+                dest: operand_from_json(get(v, "dest")?)?,
+                src: operand_from_json(get(v, "src")?)?,
+                lock: get_bool(v, "lock")?,
+            })
+        }
+        "mov" => Ok(Instr::Mov {
+            dest: operand_from_json(get(v, "dest")?)?,
+            src: operand_from_json(get(v, "src")?)?,
+        }),
+        "cmov" => Ok(Instr::Cmov {
+            cond: cond_from_suffix(get_str(v, "cond")?)?,
+            dest: reg_from_json(get(v, "dest")?)?,
+            src: operand_from_json(get(v, "src")?)?,
+            width: width_from_label(get_str(v, "width")?)?,
+        }),
+        "setcc" => Ok(Instr::Setcc {
+            cond: cond_from_suffix(get_str(v, "cond")?)?,
+            dest: reg_from_json(get(v, "dest")?)?,
+        }),
+        "cmp" => Ok(Instr::Cmp {
+            a: operand_from_json(get(v, "a")?)?,
+            b: operand_from_json(get(v, "b")?)?,
+        }),
+        "test" => Ok(Instr::Test {
+            a: operand_from_json(get(v, "a")?)?,
+            b: operand_from_json(get(v, "b")?)?,
+        }),
+        "shift" => {
+            let mn = get_str(v, "shift")?;
+            let shift = ShiftOp::ALL
+                .into_iter()
+                .find(|s| s.mnemonic() == mn)
+                .ok_or_else(|| format!("unknown shift op `{mn}`"))?;
+            Ok(Instr::Shift {
+                op: shift,
+                dest: operand_from_json(get(v, "dest")?)?,
+                amount: operand_from_json(get(v, "amount")?)?,
+            })
+        }
+        "unary" => {
+            let mn = get_str(v, "unary")?;
+            let unary = UnaryOp::ALL
+                .into_iter()
+                .find(|u| u.mnemonic() == mn)
+                .ok_or_else(|| format!("unknown unary op `{mn}`"))?;
+            Ok(Instr::Unary { op: unary, dest: operand_from_json(get(v, "dest")?)? })
+        }
+        "div" => Ok(Instr::Div { src: operand_from_json(get(v, "src")?)? }),
+        "imul" => Ok(Instr::Imul {
+            dest: reg_from_json(get(v, "dest")?)?,
+            src: operand_from_json(get(v, "src")?)?,
+        }),
+        "lea" => Ok(Instr::Lea {
+            dest: reg_from_json(get(v, "dest")?)?,
+            addr: mem_operand_from_json(get(v, "addr")?)?,
+        }),
+        "bswap" => Ok(Instr::Bswap { dest: reg_from_json(get(v, "dest")?)? }),
+        "xchg" => Ok(Instr::Xchg {
+            dest: reg_from_json(get(v, "dest")?)?,
+            src: operand_from_json(get(v, "src")?)?,
+        }),
+        "lfence" => Ok(Instr::Lfence),
+        "mfence" => Ok(Instr::Mfence),
+        "nop" => Ok(Instr::Nop),
+        k => Err(format!("unknown instruction op `{k}`")),
+    }
+}
+
+fn terminator_to_json(t: &Terminator) -> Json {
+    match t {
+        Terminator::Exit => Json::obj().field("kind", "exit"),
+        Terminator::Jmp { target } => Json::obj().field("kind", "jmp").field("target", target.0),
+        Terminator::CondJmp { cond, taken, not_taken } => Json::obj()
+            .field("kind", "condjmp")
+            .field("cond", cond.suffix())
+            .field("taken", taken.0)
+            .field("not_taken", not_taken.0),
+        Terminator::IndirectJmp { src, table } => Json::obj()
+            .field("kind", "indirectjmp")
+            .field("src", reg_to_json(*src))
+            .field("table", table.iter().map(|b| b.0).collect::<Vec<_>>()),
+        Terminator::Call { target, return_to } => Json::obj()
+            .field("kind", "call")
+            .field("target", target.0)
+            .field("return_to", return_to.0),
+        Terminator::Ret => Json::obj().field("kind", "ret"),
+    }
+}
+
+fn terminator_from_json(v: &Json) -> Result<Terminator, DecodeError> {
+    match get_str(v, "kind")? {
+        "exit" => Ok(Terminator::Exit),
+        "jmp" => Ok(Terminator::Jmp { target: BlockId(get_usize(v, "target")?) }),
+        "condjmp" => Ok(Terminator::CondJmp {
+            cond: cond_from_suffix(get_str(v, "cond")?)?,
+            taken: BlockId(get_usize(v, "taken")?),
+            not_taken: BlockId(get_usize(v, "not_taken")?),
+        }),
+        "indirectjmp" => {
+            let table = get_arr(v, "table")?
+                .iter()
+                .map(|b| {
+                    b.as_u64()
+                        .map(|n| BlockId(n as usize))
+                        .ok_or_else(|| "jump-table entry is not an integer".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Terminator::IndirectJmp { src: reg_from_json(get(v, "src")?)?, table })
+        }
+        "call" => Ok(Terminator::Call {
+            target: BlockId(get_usize(v, "target")?),
+            return_to: BlockId(get_usize(v, "return_to")?),
+        }),
+        "ret" => Ok(Terminator::Ret),
+        k => Err(format!("unknown terminator kind `{k}`")),
+    }
+}
+
+fn sandbox_to_json(s: &SandboxLayout) -> Json {
+    Json::obj()
+        .field("base", s.base)
+        .field("data_pages", s.data_pages)
+        .field("assist_page", s.assist_page)
+        .field("line_offset", s.line_offset)
+}
+
+fn sandbox_from_json(v: &Json) -> Result<SandboxLayout, DecodeError> {
+    let assist_page = match get(v, "assist_page")? {
+        Json::Null => None,
+        n => Some(n.as_u64().ok_or("assist_page is not an integer")?),
+    };
+    Ok(SandboxLayout {
+        base: get_u64(v, "base")?,
+        data_pages: get_u64(v, "data_pages")?,
+        assist_page,
+        line_offset: get_u64(v, "line_offset")?,
+    })
+}
+
+/// Serialize a test case (blocks, sandbox, origin note).
+pub fn test_case_to_json(tc: &TestCase) -> Json {
+    let blocks: Vec<Json> = tc
+        .blocks()
+        .iter()
+        .map(|b| {
+            Json::obj()
+                .field("id", b.id.0)
+                .field("label", b.label.clone())
+                .field("instrs", Json::Arr(b.instrs.iter().map(instr_to_json).collect()))
+                .field("terminator", terminator_to_json(&b.terminator))
+        })
+        .collect();
+    Json::obj()
+        .field("origin", tc.origin())
+        .field("sandbox", sandbox_to_json(&tc.sandbox()))
+        .field("blocks", Json::Arr(blocks))
+}
+
+/// Deserialize a test case written by [`test_case_to_json`].
+pub fn test_case_from_json(v: &Json) -> Result<TestCase, DecodeError> {
+    let sandbox = in_field("sandbox", sandbox_from_json(get(v, "sandbox")?))?;
+    let mut blocks = Vec::new();
+    for (i, b) in get_arr(v, "blocks")?.iter().enumerate() {
+        let block = (|| -> Result<BasicBlock, DecodeError> {
+            let label = match get(b, "label")? {
+                Json::Null => None,
+                l => Some(l.as_str().ok_or("label is not a string")?.to_string()),
+            };
+            let instrs = get_arr(b, "instrs")?
+                .iter()
+                .enumerate()
+                .map(|(k, inst)| in_field(&format!("instrs[{k}]"), instr_from_json(inst)))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(BasicBlock {
+                id: BlockId(get_usize(b, "id")?),
+                label,
+                instrs,
+                terminator: in_field(
+                    "terminator",
+                    terminator_from_json(get(b, "terminator")?),
+                )?,
+            })
+        })();
+        blocks.push(in_field(&format!("blocks[{i}]"), block)?);
+    }
+    let origin = get_str(v, "origin")?.to_string();
+    Ok(TestCase::new(blocks, sandbox).with_origin(origin))
+}
+
+/// Serialize one architectural input (registers, flags, hex-encoded sandbox
+/// memory).
+pub fn input_to_json(input: &Input) -> Json {
+    let mut mem = String::with_capacity(input.mem.len() * 2);
+    for byte in &input.mem {
+        mem.push_str(&format!("{byte:02x}"));
+    }
+    Json::obj()
+        .field("regs", input.regs.to_vec())
+        .field("flags", u64::from(input.flags.bits()))
+        .field("mem", mem)
+        .field("seed_id", input.seed_id)
+}
+
+/// Deserialize an input written by [`input_to_json`].
+pub fn input_from_json(v: &Json) -> Result<Input, DecodeError> {
+    let regs_json = get_arr(v, "regs")?;
+    if regs_json.len() != 16 {
+        return Err(format!("expected 16 registers, found {}", regs_json.len()));
+    }
+    let mut regs = [0u64; 16];
+    for (i, r) in regs_json.iter().enumerate() {
+        regs[i] = r.as_u64().ok_or_else(|| format!("regs[{i}] is not an integer"))?;
+    }
+    let hex = get_str(v, "mem")?;
+    if hex.len() % 2 != 0 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err("mem is not an even-length hex string".to_string());
+    }
+    let mem = hex
+        .as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            u8::from_str_radix(std::str::from_utf8(pair).expect("ascii hex"), 16)
+                .expect("validated hex digits")
+        })
+        .collect();
+    Ok(Input {
+        regs,
+        flags: FlagSet::from_bits(get_int(v, "flags")?),
+        mem,
+        seed_id: get_u64(v, "seed_id")?,
+    })
+}
+
+fn htrace_to_json(t: &HTrace) -> Json {
+    Json::obj().field("sets", t.sets().bits()).field("samples", u64::from(t.samples()))
+}
+
+fn htrace_from_json(v: &Json) -> Result<HTrace, DecodeError> {
+    Ok(HTrace::from_parts(
+        SetVector::from_bits(get_u64(v, "sets")?),
+        get_int(v, "samples")?,
+    ))
+}
+
+fn violation_to_json(violation: &Violation) -> Json {
+    Json::obj()
+        .field("input_a", violation.input_a)
+        .field("input_b", violation.input_b)
+        .field("htrace_a", htrace_to_json(&violation.htrace_a))
+        .field("htrace_b", htrace_to_json(&violation.htrace_b))
+        .field("ctrace_digest", violation.ctrace_digest)
+}
+
+fn violation_from_json(v: &Json) -> Result<Violation, DecodeError> {
+    Ok(Violation {
+        input_a: get_usize(v, "input_a")?,
+        input_b: get_usize(v, "input_b")?,
+        htrace_a: in_field("htrace_a", htrace_from_json(get(v, "htrace_a")?))?,
+        htrace_b: in_field("htrace_b", htrace_from_json(get(v, "htrace_b")?))?,
+        ctrace_digest: get_u64(v, "ctrace_digest")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Contract / vulnerability codecs.
+
+/// Serialize a contract structurally (the name alone would lose the window /
+/// nesting parameters).
+pub fn contract_to_json(c: &Contract) -> Json {
+    Json::obj()
+        .field("observation", c.observation.name())
+        .field("execution", c.execution.name())
+        .field("speculation_window", c.speculation_window)
+        .field("nested_speculation", c.nested_speculation)
+        .field("expose_speculative_stores", c.expose_speculative_stores)
+}
+
+/// Deserialize a contract written by [`contract_to_json`].
+pub fn contract_from_json(v: &Json) -> Result<Contract, DecodeError> {
+    let obs = get_str(v, "observation")?;
+    let observation = [ObservationClause::Mem, ObservationClause::Ct, ObservationClause::Arch]
+        .into_iter()
+        .find(|o| o.name() == obs)
+        .ok_or_else(|| format!("unknown observation clause `{obs}`"))?;
+    let exe = get_str(v, "execution")?;
+    let execution = [
+        ExecutionClause::Seq,
+        ExecutionClause::Cond,
+        ExecutionClause::Bpas,
+        ExecutionClause::CondBpas,
+    ]
+    .into_iter()
+    .find(|e| e.name() == exe)
+    .ok_or_else(|| format!("unknown execution clause `{exe}`"))?;
+    Ok(Contract {
+        observation,
+        execution,
+        speculation_window: get_usize(v, "speculation_window")?,
+        nested_speculation: get_bool(v, "nested_speculation")?,
+        expose_speculative_stores: get_bool(v, "expose_speculative_stores")?,
+    })
+}
+
+/// Resolve a canonical contract name (`"CT-SEQ"`, `"ARCH-SEQ"`,
+/// `"CT-COND-NOSPECSTORE"`, ...) to the contract with default parameters —
+/// the ergonomic form job submissions use.
+pub fn contract_from_name(name: &str) -> Option<Contract> {
+    [
+        Contract::ct_seq(),
+        Contract::ct_bpas(),
+        Contract::ct_cond(),
+        Contract::ct_cond_bpas(),
+        Contract::mem_seq(),
+        Contract::mem_cond(),
+        Contract::arch_seq(),
+        Contract::ct_cond_no_spec_store(),
+    ]
+    .into_iter()
+    .find(|c| c.name() == name)
+}
+
+fn vuln_class_from_label(s: &str) -> Result<VulnClass, DecodeError> {
+    [
+        VulnClass::SpectreV1,
+        VulnClass::SpectreV1Var,
+        VulnClass::SpectreV4,
+        VulnClass::SpectreV4Var,
+        VulnClass::Mds,
+        VulnClass::LviNull,
+        VulnClass::SpeculativeStoreEviction,
+        VulnClass::Unknown,
+    ]
+    .into_iter()
+    .find(|v| v.to_string() == s)
+    .ok_or_else(|| format!("unknown vulnerability class `{s}`"))
+}
+
+// ---------------------------------------------------------------------------
+// Reports.
+
+/// Serialize a [`ViolationReport`]: the full counterexample (test case,
+/// inputs, diverging trace pair), the violated contract, the exact `u64`
+/// campaign seed and the detection counters.
+pub fn violation_report_to_json(r: &ViolationReport) -> Json {
+    Json::obj()
+        .field("test_case", test_case_to_json(&r.test_case))
+        .field("inputs", Json::Arr(r.inputs.iter().map(input_to_json).collect()))
+        .field("violation", violation_to_json(&r.violation))
+        .field("contract", contract_to_json(&r.contract))
+        .field("test_case_seed", r.test_case_seed)
+        .field("vulnerability", r.vulnerability.to_string())
+        .field("test_cases_until_detection", r.test_cases_until_detection)
+        .field("inputs_until_detection", r.inputs_until_detection)
+}
+
+/// Deserialize a report written by [`violation_report_to_json`].
+pub fn violation_report_from_json(v: &Json) -> Result<ViolationReport, DecodeError> {
+    let inputs = get_arr(v, "inputs")?
+        .iter()
+        .enumerate()
+        .map(|(i, input)| in_field(&format!("inputs[{i}]"), input_from_json(input)))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ViolationReport {
+        test_case: in_field("test_case", test_case_from_json(get(v, "test_case")?))?,
+        inputs,
+        violation: in_field("violation", violation_from_json(get(v, "violation")?))?,
+        contract: in_field("contract", contract_from_json(get(v, "contract")?))?,
+        test_case_seed: get_u64(v, "test_case_seed")?,
+        vulnerability: vuln_class_from_label(get_str(v, "vulnerability")?)?,
+        test_cases_until_detection: get_usize(v, "test_cases_until_detection")?,
+        inputs_until_detection: get_usize(v, "inputs_until_detection")?,
+    })
+}
+
+fn coverage_to_json(c: &PatternCoverage) -> Json {
+    let pairs: Vec<Json> = c
+        .covered_pairs()
+        .iter()
+        .map(|(a, b)| Json::Arr(vec![Json::Str(a.to_string()), Json::Str(b.to_string())]))
+        .collect();
+    Json::obj()
+        .field("patterns", c.covered().iter().map(|p| p.to_string()).collect::<Vec<_>>())
+        .field("pairs", Json::Arr(pairs))
+}
+
+fn coverage_from_json(v: &Json) -> Result<PatternCoverage, DecodeError> {
+    let mut covered = BTreeSet::new();
+    for p in get_arr(v, "patterns")? {
+        let name = p.as_str().ok_or("pattern is not a string")?;
+        covered
+            .insert(Pattern::from_name(name).ok_or_else(|| format!("unknown pattern `{name}`"))?);
+    }
+    let mut covered_pairs = BTreeSet::new();
+    for pair in get_arr(v, "pairs")? {
+        let items = pair.as_array().ok_or("pair is not an array")?;
+        let [a, b] = items else { return Err("pair is not a 2-element array".to_string()) };
+        let parse = |p: &Json| -> Result<Pattern, DecodeError> {
+            let name = p.as_str().ok_or("pattern is not a string")?;
+            Pattern::from_name(name).ok_or_else(|| format!("unknown pattern `{name}`"))
+        };
+        covered_pairs.insert((parse(a)?, parse(b)?));
+    }
+    Ok(PatternCoverage::from_parts(covered, covered_pairs))
+}
+
+/// Serialize a [`FuzzReport`].  The duration is stored in exact nanoseconds;
+/// `mean_effectiveness` round-trips through Rust's shortest-representation
+/// float formatting.
+pub fn fuzz_report_to_json(r: &FuzzReport) -> Json {
+    Json::obj()
+        .field("violation", r.violation.as_ref().map(violation_report_to_json))
+        .field("test_cases", r.test_cases)
+        .field("total_inputs", r.total_inputs)
+        .field("rounds", r.rounds)
+        .field("escalations", r.escalations)
+        .field("duration_ns", duration_to_json(r.duration))
+        .field("mean_effectiveness", r.mean_effectiveness)
+        .field("coverage", coverage_to_json(&r.coverage))
+}
+
+/// Deserialize a report written by [`fuzz_report_to_json`].
+pub fn fuzz_report_from_json(v: &Json) -> Result<FuzzReport, DecodeError> {
+    let violation = match get(v, "violation")? {
+        Json::Null => None,
+        r => Some(in_field("violation", violation_report_from_json(r))?),
+    };
+    Ok(FuzzReport {
+        violation,
+        test_cases: get_usize(v, "test_cases")?,
+        total_inputs: get_usize(v, "total_inputs")?,
+        rounds: get_usize(v, "rounds")?,
+        escalations: get_usize(v, "escalations")?,
+        duration: in_field("duration_ns", duration_from_json(get(v, "duration_ns")?))?,
+        mean_effectiveness: get_f64(v, "mean_effectiveness")?,
+        coverage: in_field("coverage", coverage_from_json(get(v, "coverage")?))?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Matrix checkpoints and result payloads (the campaign service's spool and
+// wire formats).
+
+use revizor::orchestrator::{
+    CellProgress, CellReport, GroupProgress, MatrixCheckpoint, MatrixReport,
+};
+
+fn cell_progress_to_json(c: &CellProgress) -> Json {
+    Json::obj()
+        .field("violation", c.violation.as_ref().map(violation_report_to_json))
+        .field("test_cases", c.test_cases)
+        .field("total_inputs", c.total_inputs)
+        .field("detection_ns", duration_to_json(c.detection_time))
+}
+
+fn cell_progress_from_json(v: &Json) -> Result<CellProgress, DecodeError> {
+    let violation = match get(v, "violation")? {
+        Json::Null => None,
+        r => Some(in_field("violation", violation_report_from_json(r))?),
+    };
+    Ok(CellProgress {
+        violation,
+        test_cases: get_usize(v, "test_cases")?,
+        total_inputs: get_usize(v, "total_inputs")?,
+        detection_time: in_field("detection_ns", duration_from_json(get(v, "detection_ns")?))?,
+    })
+}
+
+fn group_progress_to_json(g: &GroupProgress) -> Json {
+    Json::obj()
+        .field("target_id", g.target_id)
+        .field("next_index", g.next_index)
+        .field("test_cases", g.test_cases)
+        .field("total_inputs", g.total_inputs)
+        .field("round", g.round)
+        .field("work_ns", duration_to_json(g.work))
+        .field("escalations", g.escalations)
+        .field("coverage_level", g.coverage_level)
+        .field("round_improved", g.round_improved)
+        .field("coverage", coverage_to_json(&g.coverage))
+}
+
+fn group_progress_from_json(v: &Json) -> Result<GroupProgress, DecodeError> {
+    Ok(GroupProgress {
+        target_id: get_int(v, "target_id")?,
+        next_index: get_usize(v, "next_index")?,
+        test_cases: get_usize(v, "test_cases")?,
+        total_inputs: get_usize(v, "total_inputs")?,
+        round: get_usize(v, "round")?,
+        work: in_field("work_ns", duration_from_json(get(v, "work_ns")?))?,
+        escalations: get_usize(v, "escalations")?,
+        coverage_level: get_usize(v, "coverage_level")?,
+        round_improved: get_bool(v, "round_improved")?,
+        coverage: in_field("coverage", coverage_from_json(get(v, "coverage")?))?,
+    })
+}
+
+/// Serialize a [`MatrixCheckpoint`] — the campaign service's spool format.
+pub fn matrix_checkpoint_to_json(cp: &MatrixCheckpoint) -> Json {
+    Json::obj()
+        .field("seed", cp.seed)
+        .field("budget", cp.budget)
+        .field("round_size", cp.round_size)
+        .field("escalation", cp.escalation)
+        .field("config_digest", cp.config_digest)
+        .field(
+            "cells",
+            Json::Arr(
+                cp.cells.iter().map(|c| c.as_ref().map(cell_progress_to_json).into()).collect(),
+            ),
+        )
+        .field("groups", Json::Arr(cp.groups.iter().map(group_progress_to_json).collect()))
+}
+
+/// Deserialize a checkpoint written by [`matrix_checkpoint_to_json`].
+pub fn matrix_checkpoint_from_json(v: &Json) -> Result<MatrixCheckpoint, DecodeError> {
+    let mut cells = Vec::new();
+    for (i, c) in get_arr(v, "cells")?.iter().enumerate() {
+        cells.push(match c {
+            Json::Null => None,
+            c => Some(in_field(&format!("cells[{i}]"), cell_progress_from_json(c))?),
+        });
+    }
+    let groups = get_arr(v, "groups")?
+        .iter()
+        .enumerate()
+        .map(|(i, g)| in_field(&format!("groups[{i}]"), group_progress_from_json(g)))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MatrixCheckpoint {
+        seed: get_u64(v, "seed")?,
+        budget: get_usize(v, "budget")?,
+        round_size: get_usize(v, "round_size")?,
+        escalation: get_bool(v, "escalation")?,
+        config_digest: get_u64(v, "config_digest")?,
+        cells,
+        groups,
+    })
+}
+
+/// The **deterministic** part of a matrix result: one object per cell with
+/// the verdict, counters, exact unit seed and the full violation report —
+/// and no wall-clock fields.  Two runs of the same matrix seed render this
+/// byte-identically, which is the campaign service's result contract (kill
+/// + resume included); timing lives separately in [`matrix_timing_json`].
+pub fn matrix_cells_json(report: &MatrixReport) -> Json {
+    Json::Arr(report.cells.iter().map(cell_report_to_json).collect())
+}
+
+fn cell_report_to_json(cell: &CellReport) -> Json {
+    Json::obj()
+        .field("target", cell.target.id)
+        .field("contract", cell.contract.name())
+        .field("found", cell.found())
+        .field("vulnerability", cell.vulnerability().map(|v| v.to_string()))
+        .field("test_cases", cell.test_cases)
+        .field("total_inputs", cell.total_inputs)
+        .field("violation", cell.violation.as_ref().map(violation_report_to_json))
+}
+
+/// The wall-clock side channel of a matrix result: total duration plus the
+/// per-cell attributed detection times, in milliseconds.  Nondeterministic
+/// by nature, hence kept out of [`matrix_cells_json`].
+pub fn matrix_timing_json(report: &MatrixReport) -> Json {
+    Json::obj()
+        .field("duration_ms", report.duration.as_secs_f64() * 1000.0)
+        .field(
+            "cells_ms",
+            report
+                .cells
+                .iter()
+                .map(|c| c.detection_time.as_secs_f64() * 1000.0)
+                .collect::<Vec<_>>(),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use revizor::orchestrator::CampaignMatrix;
+    use revizor::targets::Target;
+    use revizor::{FuzzerConfig, Revizor};
+    use rvz_executor::ExecutorConfig;
+    use rvz_isa::builder::TestCaseBuilder;
+
+    /// A campaign report with a real V1 violation (Target 5 × CT-SEQ).
+    fn v1_report() -> ViolationReport {
+        let report = CampaignMatrix::new(7)
+            .with_budget(60)
+            .add_cell(Target::target5(), Contract::ct_seq())
+            .run();
+        report.cells[0].violation.clone().expect("V1 found within 60 test cases")
+    }
+
+    #[test]
+    fn violation_report_round_trips_on_a_real_v1_violation() {
+        let report = v1_report();
+        let doc = violation_report_to_json(&report);
+        // Through the writer and parser: the decoded report is identical,
+        // including the exact u64 seed and every input byte.
+        let parsed = parse(&doc.render()).unwrap();
+        let decoded = violation_report_from_json(&parsed).unwrap();
+        assert_eq!(decoded, report);
+        // The pretty and ASCII renderings carry the same document.
+        assert_eq!(parse(&doc.render_pretty()).unwrap(), doc);
+        assert_eq!(parse(&doc.render_ascii()).unwrap(), doc);
+    }
+
+    #[test]
+    fn violation_report_replays_after_the_round_trip() {
+        // The decoded counterexample is not just structurally equal — it
+        // still reproduces the violation through the public API.
+        let report = v1_report();
+        let doc = violation_report_to_json(&report).render();
+        let decoded = violation_report_from_json(&parse(&doc).unwrap()).unwrap();
+
+        let target = Target::target5();
+        let config = FuzzerConfig::for_target(&target, decoded.contract.clone())
+            .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2));
+        let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+        let outcome = fuzzer.test_with_inputs(&decoded.test_case, &decoded.inputs).unwrap();
+        let confirmed = outcome.confirmed_violation.expect("violation must replay");
+        assert_eq!(
+            (confirmed.input_a, confirmed.input_b),
+            (report.violation.input_a, report.violation.input_b)
+        );
+    }
+
+    #[test]
+    fn fuzz_report_round_trips() {
+        let target = Target::target5();
+        let generator = rvz_gen::GeneratorConfig::for_subset(target.isa)
+            .with_basic_blocks(4)
+            .with_instructions(14);
+        let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+            .with_generator(generator)
+            .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2))
+            .with_inputs_per_test_case(20)
+            .with_max_test_cases(40)
+            .with_seed(1);
+        let report = Revizor::new(target.cpu(), config).with_target(target.clone()).run();
+        let doc = fuzz_report_to_json(&report).render();
+        let decoded = fuzz_report_from_json(&parse(&doc).unwrap()).unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn handwritten_gadget_with_every_terminator_round_trips() {
+        // Gadgets exercise Call/Ret/IndirectJmp, which generated code does
+        // not; round-trip them explicitly.
+        for tc in [
+            revizor::gadgets::spectre_v1(),
+            revizor::gadgets::spectre_v4(),
+            revizor::gadgets::mds_lfb(),
+        ] {
+            let doc = test_case_to_json(&tc).render();
+            let decoded = test_case_from_json(&parse(&doc).unwrap()).unwrap();
+            assert_eq!(decoded, tc);
+        }
+    }
+
+    #[test]
+    fn exotic_operands_round_trip() {
+        use rvz_isa::Reg;
+        let tc = TestCaseBuilder::new()
+            .block("entry", |b| {
+                b.push(Instr::Alu {
+                    op: AluOp::Sbb,
+                    dest: Operand::Mem(
+                        MemOperand::full(Reg::R14, Reg::Rax, 8, -4096),
+                        Width::Word,
+                    ),
+                    src: Operand::Imm(i64::MIN),
+                    lock: true,
+                });
+                b.push(Instr::Lea { dest: Reg::Rcx, addr: MemOperand::base_disp(Reg::R14, -1) });
+                b.exit();
+            })
+            .build();
+        let doc = test_case_to_json(&tc).render();
+        assert_eq!(test_case_from_json(&parse(&doc).unwrap()).unwrap(), tc);
+    }
+
+    #[test]
+    fn contract_codec_covers_every_clause_combination() {
+        for c in [
+            Contract::ct_seq(),
+            Contract::ct_bpas(),
+            Contract::ct_cond(),
+            Contract::ct_cond_bpas(),
+            Contract::mem_seq(),
+            Contract::mem_cond(),
+            Contract::arch_seq(),
+            Contract::ct_cond_no_spec_store(),
+            Contract::ct_cond().with_speculation_window(17).with_nesting(true),
+        ] {
+            let doc = contract_to_json(&c).render();
+            assert_eq!(contract_from_json(&parse(&doc).unwrap()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn contract_names_resolve() {
+        assert_eq!(contract_from_name("CT-SEQ"), Some(Contract::ct_seq()));
+        assert_eq!(contract_from_name("CT-COND-BPAS"), Some(Contract::ct_cond_bpas()));
+        assert_eq!(contract_from_name("ARCH-SEQ"), Some(Contract::arch_seq()));
+        assert_eq!(contract_from_name("bogus"), None);
+    }
+
+    #[test]
+    fn matrix_checkpoint_round_trips_mid_run() {
+        use revizor::campaign::NoopObserver;
+        let matrix = CampaignMatrix::new(7)
+            .with_budget(40)
+            .with_escalation(true)
+            .add_cells(Target::target5(), Contract::table3_contracts());
+        let mut run = matrix.start();
+        run.step(&mut NoopObserver);
+        run.step(&mut NoopObserver);
+        let snapshot = run.checkpoint();
+        let doc = matrix_checkpoint_to_json(&snapshot).render();
+        let decoded = matrix_checkpoint_from_json(&parse(&doc).unwrap()).unwrap();
+        assert_eq!(decoded, snapshot);
+        // The decoded checkpoint is accepted by resume and completes to the
+        // same verdicts as the uninterrupted run.
+        let baseline = matrix.run();
+        let mut resumed = matrix.resume(&decoded).expect("decoded checkpoint resumes");
+        while resumed.step(&mut NoopObserver) {}
+        let report = resumed.finish(&mut NoopObserver);
+        assert_eq!(
+            matrix_cells_json(&baseline).render(),
+            matrix_cells_json(&report).render(),
+            "deterministic payloads must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn malformed_documents_error_instead_of_panicking() {
+        let cases = [
+            "{}",
+            r#"{"test_case": 3}"#,
+            r#"{"regs": [1,2], "flags": 0, "mem": "zz", "seed_id": 0}"#,
+        ];
+        for text in cases {
+            let doc = parse(text).unwrap();
+            assert!(violation_report_from_json(&doc).is_err());
+        }
+        assert!(input_from_json(&parse(r#"{"regs":[],"flags":0,"mem":"","seed_id":0}"#).unwrap())
+            .is_err());
+        assert!(input_from_json(
+            &parse(r#"{"regs":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],"flags":0,"mem":"0g","seed_id":0}"#)
+                .unwrap()
+        )
+        .is_err());
+    }
+}

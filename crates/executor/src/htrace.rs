@@ -28,6 +28,13 @@ impl HTrace {
         HTrace { sets, samples: 1 }
     }
 
+    /// Reassemble a trace from its observed sets and merged-sample count
+    /// (the inverse of [`HTrace::sets`] + [`HTrace::samples`], used by
+    /// report deserialization).
+    pub fn from_parts(sets: SetVector, samples: u32) -> HTrace {
+        HTrace { sets, samples }
+    }
+
     /// The observed cache sets.
     pub fn sets(&self) -> SetVector {
         self.sets

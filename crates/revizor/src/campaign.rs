@@ -262,8 +262,10 @@ pub struct RoundEvent {
     pub round: usize,
     /// Test cases evaluated so far in this campaign / cell group.
     pub test_cases: usize,
-    /// Generator escalations so far (always 0 for matrix cell groups, which
-    /// run a fixed generator configuration).
+    /// Generator escalations of this campaign / cell group so far (§5.6).
+    /// Matrix cell groups run a fixed generator configuration unless
+    /// [`CampaignMatrix::with_escalation`](crate::CampaignMatrix::with_escalation)
+    /// is on, in which case this is the group's true per-target count.
     pub escalations: usize,
 }
 

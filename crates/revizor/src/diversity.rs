@@ -66,6 +66,14 @@ impl Pattern {
     }
 }
 
+impl Pattern {
+    /// Parse the [`fmt::Display`] label back into a pattern (the inverse of
+    /// `to_string`, used by report deserialization).
+    pub fn from_name(name: &str) -> Option<Pattern> {
+        Pattern::ALL.into_iter().find(|p| p.to_string() == name)
+    }
+}
+
 impl fmt::Display for Pattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -184,6 +192,22 @@ impl PatternCoverage {
     /// Patterns covered so far.
     pub fn covered(&self) -> &BTreeSet<Pattern> {
         &self.covered
+    }
+
+    /// Pattern pairs covered so far (both orders are stored canonically,
+    /// smaller pattern first).
+    pub fn covered_pairs(&self) -> &BTreeSet<(Pattern, Pattern)> {
+        &self.covered_pairs
+    }
+
+    /// Reassemble coverage from its parts (the inverse of
+    /// [`PatternCoverage::covered`] + [`PatternCoverage::covered_pairs`],
+    /// used when resuming a checkpointed campaign).
+    pub fn from_parts(
+        covered: BTreeSet<Pattern>,
+        covered_pairs: BTreeSet<(Pattern, Pattern)>,
+    ) -> PatternCoverage {
+        PatternCoverage { covered, covered_pairs }
     }
 
     /// Number of covered pattern pairs.

@@ -34,7 +34,7 @@ pub struct TestCaseOutcome {
 
 /// A confirmed counterexample, with everything needed to reproduce and
 /// minimize it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ViolationReport {
     /// The violating test case.
     pub test_case: TestCase,
@@ -63,7 +63,7 @@ pub struct ViolationReport {
 }
 
 /// Summary of a fuzzing campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FuzzReport {
     /// The first confirmed violation, if any.
     pub violation: Option<ViolationReport>,

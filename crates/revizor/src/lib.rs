@@ -73,5 +73,8 @@ pub use config::FuzzerConfig;
 pub use diversity::{Pattern, PatternCoverage};
 pub use fuzzer::{FuzzReport, Revizor, TestCaseOutcome, ViolationReport};
 pub use minimize::Postprocessor;
-pub use orchestrator::{CampaignMatrix, CellReport, MatrixReport};
+pub use orchestrator::{
+    CampaignMatrix, CellProgress, CellReport, GroupProgress, MatrixCheckpoint, MatrixReport,
+    MatrixRun,
+};
 pub use targets::Target;

@@ -33,20 +33,42 @@
 //!
 //! Every cell stops early at its first confirmed violation; a group keeps
 //! running until all of its cells have stopped or the per-group test-case
-//! budget is exhausted.  Cell groups run a **fixed** generator
-//! configuration (the mid-campaign parameters the detection harnesses use)
-//! rather than the single-campaign diversity escalation of §5.6, which
-//! would entangle the shared stream with per-contract coverage.
+//! budget is exhausted.
+//!
+//! # Incremental driving and checkpoints
+//!
+//! [`CampaignMatrix::start`] returns a [`MatrixRun`]: the matrix as a
+//! resumable state machine.  [`MatrixRun::step`] evaluates one scheduling
+//! wave (one round per unfinished group); [`MatrixRun::checkpoint`]
+//! snapshots all progress into a plain-data [`MatrixCheckpoint`], and
+//! [`CampaignMatrix::resume`] reconstructs the run from such a snapshot.
+//! Because every work unit's seed derives from `(matrix seed, target id,
+//! index)` alone, a resumed run replays the *identical* stream suffix: the
+//! verdicts of an interrupted-and-resumed matrix are byte-identical to an
+//! uninterrupted one (only wall-clock fields differ).  The campaign service
+//! (`rvz-service`) persists these checkpoints to its spool between waves.
+//!
+//! # Diversity escalation
+//!
+//! By default cell groups run a **fixed** generator configuration (the
+//! mid-campaign parameters the detection harnesses use).  With
+//! [`CampaignMatrix::with_escalation`] the §5.6 diversity feedback drives
+//! each group: pattern coverage is measured on a dedicated CT-SEQ *coverage
+//! probe* appended to every slate, so the escalation decisions — and with
+//! them the shared test-case stream — depend only on the target, never on
+//! which contracts happen to share the group.  Composition- and
+//! parallelism-invariance are preserved (and tested) in both modes.
 //!
 //! [`Executor::collect_htraces`]: rvz_executor::Executor::collect_htraces
 
 use crate::campaign::{self, CellEvent, NoopObserver, ProgressObserver, RoundEvent, SlateChecks, SlateSpec, SlateUnit};
 use crate::classify::{classify, VulnClass};
+use crate::diversity::PatternCoverage;
 use crate::fuzzer::ViolationReport;
 use crate::targets::Target;
 use rvz_executor::ExecutorConfig;
 use rvz_gen::GeneratorConfig;
-use rvz_model::Contract;
+use rvz_model::{Contract, ExecutionInfo};
 use rvz_uarch::SpecCpu;
 use std::time::{Duration, Instant};
 
@@ -108,7 +130,8 @@ pub struct MatrixReport {
     /// measurement work actually performed.  The per-cell `test_cases`
     /// counters sum to more than this whenever groups share traces.
     pub test_cases: usize,
-    /// Wall-clock duration of the whole matrix run.
+    /// Wall-clock duration of the whole matrix run (of the final segment
+    /// only, if the run was checkpoint-resumed).
     pub duration: Duration,
 }
 
@@ -117,6 +140,72 @@ impl MatrixReport {
     pub fn cell(&self, target_id: u8, contract: &Contract) -> Option<&CellReport> {
         self.cells.iter().find(|c| c.target.id == target_id && c.contract == *contract)
     }
+}
+
+/// Checkpointed progress of one matrix cell (plain data, serializable by
+/// `rvz_bench::report`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellProgress {
+    /// The confirmed violation that finished the cell.
+    pub violation: Option<ViolationReport>,
+    /// Test cases evaluated for the cell when it finished.
+    pub test_cases: usize,
+    /// Inputs executed across those test cases.
+    pub total_inputs: usize,
+    /// Attributed group evaluation time when the cell finished.
+    pub detection_time: Duration,
+}
+
+/// Checkpointed progress of one cell group (one target's shared stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupProgress {
+    /// Table 2 id of the group's target.
+    pub target_id: u8,
+    /// Next test-case index of the group stream.
+    pub next_index: usize,
+    /// Test cases evaluated so far.
+    pub test_cases: usize,
+    /// Inputs executed so far.
+    pub total_inputs: usize,
+    /// Completed rounds.
+    pub round: usize,
+    /// Accumulated unit-evaluation time.
+    pub work: Duration,
+    /// Generator escalations so far (§5.6; 0 unless
+    /// [`CampaignMatrix::with_escalation`] is on).
+    pub escalations: usize,
+    /// Current coverage goal level (1 = single patterns, 2+ = pairs).
+    pub coverage_level: usize,
+    /// Did coverage improve within the current round window?
+    pub round_improved: bool,
+    /// Accumulated pattern coverage of the group's coverage probe.
+    pub coverage: PatternCoverage,
+}
+
+/// A resumable snapshot of a [`MatrixRun`]: everything needed to continue
+/// an interrupted matrix with byte-identical verdicts.  Produced by
+/// [`MatrixRun::checkpoint`], consumed by [`CampaignMatrix::resume`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCheckpoint {
+    /// The matrix seed (validated on resume).
+    pub seed: u64,
+    /// The per-group budget (validated on resume).
+    pub budget: usize,
+    /// The scheduling round size (validated on resume).
+    pub round_size: usize,
+    /// Whether diversity escalation was enabled (validated on resume).
+    pub escalation: bool,
+    /// Digest of everything else the stream depends on — generator size,
+    /// inputs per test case, repetitions, placement bias and the full
+    /// (target, contract) cell list (validated on resume; resuming under a
+    /// different configuration would silently break the byte-identical
+    /// guarantee).
+    pub config_digest: u64,
+    /// Per-cell progress, indexed like [`CampaignMatrix::cells`]; `Some`
+    /// for cells that already finished (found a violation).
+    pub cells: Vec<Option<CellProgress>>,
+    /// Per-group stream progress, in group discovery order.
+    pub groups: Vec<GroupProgress>,
 }
 
 /// Orchestrates a matrix of fuzzing campaigns over one shared worker pool
@@ -145,6 +234,7 @@ pub struct CampaignMatrix {
     basic_blocks: usize,
     instructions: usize,
     branch_then_load_bias: bool,
+    escalation: bool,
 }
 
 impl CampaignMatrix {
@@ -152,7 +242,7 @@ impl CampaignMatrix {
     /// §6.5: mid-campaign generator parameters (4 basic blocks, 14
     /// instructions, 20 inputs per test case), fast executor settings
     /// (2 repetitions), a budget of 200 test cases per cell group, rounds
-    /// of 10, and a single worker thread.
+    /// of 10, a single worker thread, and no diversity escalation.
     pub fn new(seed: u64) -> CampaignMatrix {
         CampaignMatrix {
             cells: Vec::new(),
@@ -165,6 +255,7 @@ impl CampaignMatrix {
             basic_blocks: 4,
             instructions: 14,
             branch_then_load_bias: true,
+            escalation: false,
         }
     }
 
@@ -245,24 +336,182 @@ impl CampaignMatrix {
         self
     }
 
+    /// Builder: enable the §5.6 diversity escalation for every cell group
+    /// (off by default).  Escalation decisions are driven by a CT-SEQ
+    /// coverage probe shared by the whole group, so a group's test-case
+    /// stream stays independent of which contracts it contains and of the
+    /// worker-pool size; [`RoundEvent::escalations`] reports the true
+    /// per-group count either way.
+    pub fn with_escalation(mut self, escalation: bool) -> CampaignMatrix {
+        self.escalation = escalation;
+        self
+    }
+
     /// The cells added so far.
     pub fn cells(&self) -> &[MatrixCell] {
         &self.cells
     }
 
-    /// The worker configuration for one cell group.
-    fn spec_for(&self, target: &Target, contracts: Vec<Contract>) -> SlateSpec {
+    /// The matrix seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Digest of the verdict-relevant configuration beyond
+    /// seed/budget/round size: the measurement and generator parameters and
+    /// the exact cell list.  A checkpoint only resumes on a matrix with the
+    /// same digest.
+    fn config_digest(&self) -> u64 {
+        let mut desc = format!(
+            "{}|{}|{}|{}|{}",
+            self.inputs_per_test_case,
+            self.repetitions,
+            self.basic_blocks,
+            self.instructions,
+            self.branch_then_load_bias,
+        );
+        for cell in &self.cells {
+            use std::fmt::Write;
+            let _ = write!(
+                desc,
+                "|{}#{}:{}:{}",
+                cell.target,
+                cell.contract.name(),
+                cell.contract.speculation_window,
+                cell.contract.nested_speculation,
+            );
+        }
+        // FNV-1a: stable across processes and platforms (checkpoints cross
+        // process boundaries through the service spool).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in desc.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The initial generator configuration of a cell group (escalation, if
+    /// enabled, grows a group-local copy of this).
+    fn base_generator(&self, target: &Target) -> GeneratorConfig {
         let mut generator = GeneratorConfig::for_subset(target.isa)
             .with_basic_blocks(self.basic_blocks)
             .with_instructions(self.instructions)
             .with_branch_then_load_bias(self.branch_then_load_bias);
         generator.inputs_per_test_case = self.inputs_per_test_case;
-        SlateSpec {
-            generator,
-            executor: ExecutorConfig::fast(target.mode).with_repetitions(self.repetitions),
-            checks: SlateChecks::all(),
-            contracts,
+        generator
+    }
+
+    /// Group the matrix cells by target, in discovery order.
+    fn build_groups(&self) -> Vec<Group> {
+        let mut groups: Vec<Group> = Vec::new();
+        for (cell_idx, cell) in self.cells.iter().enumerate() {
+            let gc = GroupCell { cell_idx, contract: cell.contract.clone(), report: None };
+            match groups.iter_mut().find(|g| g.target == cell.target) {
+                Some(g) => g.cells.push(gc),
+                None => groups.push(Group {
+                    generator: self.base_generator(&cell.target),
+                    target: cell.target.clone(),
+                    cells: vec![gc],
+                    next_index: 0,
+                    test_cases: 0,
+                    total_inputs: 0,
+                    round: 0,
+                    work: Duration::ZERO,
+                    coverage: PatternCoverage::new(),
+                    coverage_level: 1,
+                    round_improved: false,
+                    escalations: 0,
+                }),
+            }
         }
+        groups
+    }
+
+    /// Start an incremental run of the matrix (see [`MatrixRun`]).
+    pub fn start(&self) -> MatrixRun<'_> {
+        MatrixRun::with_groups(self, self.build_groups())
+    }
+
+    /// Resume an incremental run from a [`MatrixCheckpoint`].  The
+    /// checkpoint must come from a matrix with the same seed, budget,
+    /// round size, escalation mode and cell list; the resumed run replays
+    /// the identical stream suffix, so its verdicts are byte-identical to
+    /// an uninterrupted run.
+    ///
+    /// # Errors
+    /// Returns a message when the checkpoint does not match this matrix.
+    pub fn resume(&self, checkpoint: &MatrixCheckpoint) -> Result<MatrixRun<'_>, String> {
+        if checkpoint.seed != self.seed {
+            return Err(format!(
+                "checkpoint seed {} does not match matrix seed {}",
+                checkpoint.seed, self.seed
+            ));
+        }
+        if checkpoint.budget != self.budget || checkpoint.round_size != self.round_size {
+            return Err("checkpoint budget/round size does not match the matrix".to_string());
+        }
+        if checkpoint.escalation != self.escalation {
+            return Err("checkpoint escalation mode does not match the matrix".to_string());
+        }
+        if checkpoint.config_digest != self.config_digest() {
+            return Err(
+                "checkpoint configuration (generator/measurement parameters or cell list) \
+                 does not match the matrix"
+                    .to_string(),
+            );
+        }
+        if checkpoint.cells.len() != self.cells.len() {
+            return Err(format!(
+                "checkpoint has {} cells, matrix has {}",
+                checkpoint.cells.len(),
+                self.cells.len()
+            ));
+        }
+        let mut groups = self.build_groups();
+        if checkpoint.groups.len() != groups.len() {
+            return Err(format!(
+                "checkpoint has {} groups, matrix has {}",
+                checkpoint.groups.len(),
+                groups.len()
+            ));
+        }
+        for (group, progress) in groups.iter_mut().zip(&checkpoint.groups) {
+            if group.target.id != progress.target_id {
+                return Err(format!(
+                    "checkpoint group targets {} where the matrix has {}",
+                    progress.target_id, group.target.id
+                ));
+            }
+            group.next_index = progress.next_index;
+            group.test_cases = progress.test_cases;
+            group.total_inputs = progress.total_inputs;
+            group.round = progress.round;
+            group.work = progress.work;
+            group.coverage = progress.coverage.clone();
+            group.coverage_level = progress.coverage_level;
+            group.round_improved = progress.round_improved;
+            group.escalations = progress.escalations;
+            // `GeneratorConfig::escalate` is a pure function of the
+            // configuration, so replaying it recovers the exact generator
+            // state the checkpointed run had reached.
+            for _ in 0..progress.escalations {
+                group.generator.escalate();
+            }
+            for gc in &mut group.cells {
+                if let Some(progress) = checkpoint.cells[gc.cell_idx].as_ref() {
+                    gc.report = Some(CellReport {
+                        target: group.target.clone(),
+                        contract: gc.contract.clone(),
+                        violation: progress.violation.clone(),
+                        test_cases: progress.test_cases,
+                        total_inputs: progress.total_inputs,
+                        detection_time: progress.detection_time,
+                    });
+                }
+            }
+        }
+        Ok(MatrixRun::with_groups(self, groups))
     }
 
     /// Run the matrix.
@@ -274,172 +523,297 @@ impl CampaignMatrix {
     /// group, finished cells) to `observer`.  Events are delivered from the
     /// driving thread in deterministic order and do not affect results.
     pub fn run_with_observer(&self, observer: &mut dyn ProgressObserver) -> MatrixReport {
-        let start = Instant::now();
-        let round_size = self.round_size.max(1);
+        let mut run = self.start();
+        while run.step(observer) {}
+        run.finish(observer)
+    }
+}
 
-        // Group the cells by target; each group shares one test-case
-        // stream.  Groups keep matrix insertion order, cells keep their
-        // index into `self.cells` so the final report preserves order.
-        struct GroupCell {
-            cell_idx: usize,
-            contract: Contract,
-            report: Option<CellReport>,
-        }
-        struct Group {
-            target: Target,
-            cells: Vec<GroupCell>,
-            next_index: usize,
-            test_cases: usize,
-            total_inputs: usize,
-            round: usize,
-            /// Accumulated unit-evaluation time of this group's stream.
-            work: Duration,
-        }
-        let mut groups: Vec<Group> = Vec::new();
-        for (cell_idx, cell) in self.cells.iter().enumerate() {
-            let gc = GroupCell { cell_idx, contract: cell.contract.clone(), report: None };
-            match groups.iter_mut().find(|g| g.target == cell.target) {
-                Some(g) => g.cells.push(gc),
-                None => groups.push(Group {
-                    target: cell.target.clone(),
-                    cells: vec![gc],
-                    next_index: 0,
-                    test_cases: 0,
-                    total_inputs: 0,
-                    round: 0,
-                    work: Duration::ZERO,
-                }),
-            }
-        }
-        let templates: Vec<SpecCpu> = groups.iter().map(|g| g.target.cpu()).collect();
+/// One cell's slot inside a running group.
+struct GroupCell {
+    cell_idx: usize,
+    contract: Contract,
+    report: Option<CellReport>,
+}
 
-        // The one shared pool all groups' work units fan out over.
-        let pool = (self.parallelism > 1).then(|| {
+/// A cell group mid-run: one target's shared test-case stream and the cells
+/// riding it.
+struct Group {
+    target: Target,
+    cells: Vec<GroupCell>,
+    next_index: usize,
+    test_cases: usize,
+    total_inputs: usize,
+    round: usize,
+    /// Accumulated unit-evaluation time of this group's stream.
+    work: Duration,
+    /// Group-local generator configuration (grown by escalation).
+    generator: GeneratorConfig,
+    coverage: PatternCoverage,
+    coverage_level: usize,
+    round_improved: bool,
+    escalations: usize,
+}
+
+impl Group {
+    fn active_cells(&self) -> Vec<usize> {
+        (0..self.cells.len()).filter(|&ci| self.cells[ci].report.is_none()).collect()
+    }
+}
+
+/// An in-flight matrix run: the incremental (and checkpoint-resumable)
+/// form of [`CampaignMatrix::run`].
+///
+/// ```no_run
+/// use revizor::orchestrator::CampaignMatrix;
+/// use revizor::campaign::NoopObserver;
+///
+/// let matrix = CampaignMatrix::table3(3).with_budget(60);
+/// let mut run = matrix.start();
+/// while run.step(&mut NoopObserver) {
+///     let snapshot = run.checkpoint(); // persist between waves
+///     let _ = snapshot;
+/// }
+/// let report = run.finish(&mut NoopObserver);
+/// assert_eq!(report.cells.len(), 32);
+/// ```
+pub struct MatrixRun<'m> {
+    matrix: &'m CampaignMatrix,
+    groups: Vec<Group>,
+    pool: Option<rayon::ThreadPool>,
+    start: Instant,
+}
+
+impl<'m> MatrixRun<'m> {
+    fn with_groups(matrix: &'m CampaignMatrix, groups: Vec<Group>) -> MatrixRun<'m> {
+        // The one shared pool all groups' work units fan out over, alive
+        // for the whole run.
+        let pool = (matrix.parallelism > 1).then(|| {
             rayon::ThreadPoolBuilder::new()
-                .num_threads(self.parallelism)
+                .num_threads(matrix.parallelism)
                 .build()
                 .expect("failed to spawn matrix worker threads")
         });
+        MatrixRun { matrix, groups, pool, start: Instant::now() }
+    }
 
-        loop {
-            // Build the wave: one round of (index → seed) work units per
-            // group that still has unfinished cells and remaining budget.
-            // The slate (and with it the per-unit work) is fixed at round
-            // boundaries, which keeps results independent of scheduling.
-            let mut wave: Vec<(usize, u64)> = Vec::new();
-            let mut wave_specs: Vec<Option<SlateSpec>> = groups.iter().map(|_| None).collect();
-            let mut wave_cells: Vec<Vec<usize>> = groups.iter().map(|_| Vec::new()).collect();
-            let mut wave_counts: Vec<usize> = groups.iter().map(|_| 0).collect();
-            for (gi, group) in groups.iter().enumerate() {
-                let active: Vec<usize> = (0..group.cells.len())
-                    .filter(|&ci| group.cells[ci].report.is_none())
-                    .collect();
-                if active.is_empty() || group.next_index >= self.budget {
-                    continue;
-                }
-                let end = (group.next_index + round_size).min(self.budget);
-                let contracts: Vec<Contract> =
-                    active.iter().map(|&ci| group.cells[ci].contract.clone()).collect();
-                wave_specs[gi] = Some(self.spec_for(&group.target, contracts));
-                wave_cells[gi] = active;
-                wave_counts[gi] = end - group.next_index;
-                for index in group.next_index..end {
-                    wave.push((gi, unit_seed(self.seed, group.target.id, index)));
-                }
+    /// Is there any unfinished cell with remaining budget?
+    pub fn has_work(&self) -> bool {
+        self.groups.iter().any(|g| {
+            g.next_index < self.matrix.budget && g.cells.iter().any(|c| c.report.is_none())
+        })
+    }
+
+    /// Evaluate one scheduling wave: one round of test cases for every
+    /// group that still has unfinished cells and remaining budget.  Returns
+    /// `false` once no work remains (the wave was empty).
+    ///
+    /// Events are delivered to `observer` from the calling thread in
+    /// deterministic order.
+    pub fn step(&mut self, observer: &mut dyn ProgressObserver) -> bool {
+        let matrix = self.matrix;
+        let round_size = matrix.round_size.max(1);
+
+        // Build the wave: one round of (index → seed) work units per
+        // eligible group.  The slate (and with it the per-unit work) is
+        // fixed at round boundaries, which keeps results independent of
+        // scheduling.
+        let mut wave: Vec<(usize, u64)> = Vec::new();
+        let mut wave_specs: Vec<Option<SlateSpec>> = self.groups.iter().map(|_| None).collect();
+        let mut wave_cells: Vec<Vec<usize>> = self.groups.iter().map(|_| Vec::new()).collect();
+        let mut wave_counts: Vec<usize> = self.groups.iter().map(|_| 0).collect();
+        for (gi, group) in self.groups.iter().enumerate() {
+            let active = group.active_cells();
+            if active.is_empty() || group.next_index >= matrix.budget {
+                continue;
             }
-            if wave.is_empty() {
-                break;
+            let end = (group.next_index + round_size).min(matrix.budget);
+            let mut contracts: Vec<Contract> =
+                active.iter().map(|&ci| group.cells[ci].contract.clone()).collect();
+            if matrix.escalation {
+                // The coverage probe: pattern coverage is always measured
+                // on CT-SEQ so escalation decisions depend only on the
+                // target, never on the group's contract composition.
+                contracts.push(Contract::ct_seq());
             }
-
-            // Evaluate the whole wave; each unit is independent.  Per-unit
-            // evaluation time is recorded so cells can report their group's
-            // attributed cost rather than matrix-wide wall clock.
-            let specs = &wave_specs;
-            let cpus = &templates;
-            let eval = move |(gi, seed): (usize, u64)| -> (usize, Option<SlateUnit>, Duration) {
-                let spec = specs[gi].as_ref().expect("scheduled group has a spec");
-                let t0 = Instant::now();
-                let unit = campaign::evaluate_seed(&cpus[gi], spec, seed);
-                (gi, unit, t0.elapsed())
-            };
-            let units: Vec<(usize, Option<SlateUnit>, Duration)> = match &pool {
-                None => wave.into_iter().map(eval).collect(),
-                Some(pool) => pool.install(|| {
-                    use rayon::prelude::*;
-                    wave.into_par_iter().map(eval).collect()
-                }),
-            };
-
-            // Merge in deterministic order: the wave lists each scheduled
-            // group's indices contiguously and in stream order.
-            let mut cursor = 0usize;
-            for (gi, scheduled) in wave_counts.iter().enumerate() {
-                if *scheduled == 0 {
-                    continue;
-                }
-                let group = &mut groups[gi];
-                for (_, unit, unit_time) in &units[cursor..cursor + scheduled] {
-                    group.next_index += 1;
-                    group.work += *unit_time;
-                    // Malformed test cases are skipped (never happens for
-                    // generated code).
-                    let Some(unit) = unit else { continue };
-                    group.test_cases += 1;
-                    group.total_inputs += unit.inputs.len();
-                    for (k, outcome) in unit.outcomes.iter().enumerate() {
-                        let cell = &mut group.cells[wave_cells[gi][k]];
-                        if cell.report.is_some() || outcome.confirmed_violation.is_none() {
-                            continue;
-                        }
-                        // First confirmed violation for this cell: the cell
-                        // finishes; later stream test cases no longer count
-                        // toward it.
-                        let vulnerability = classify(&group.target, &outcome.contract, &unit.tc);
-                        let violation = ViolationReport {
-                            test_case: unit.tc.clone(),
-                            inputs: unit.inputs.clone(),
-                            violation: outcome
-                                .confirmed_violation
-                                .clone()
-                                .expect("checked above"),
-                            contract: outcome.contract.clone(),
-                            test_case_seed: unit.seed,
-                            vulnerability,
-                            test_cases_until_detection: group.test_cases,
-                            inputs_until_detection: group.total_inputs,
-                        };
-                        observer.cell_finished(&CellEvent {
-                            target_id: group.target.id,
-                            contract: outcome.contract.clone(),
-                            found: true,
-                            vulnerability: Some(vulnerability),
-                            test_cases: group.test_cases,
-                            elapsed: start.elapsed(),
-                        });
-                        cell.report = Some(CellReport {
-                            target: group.target.clone(),
-                            contract: outcome.contract.clone(),
-                            violation: Some(violation),
-                            test_cases: group.test_cases,
-                            total_inputs: group.total_inputs,
-                            detection_time: group.work,
-                        });
-                    }
-                }
-                cursor += scheduled;
-                group.round += 1;
-                observer.round_completed(&RoundEvent {
-                    target_id: Some(group.target.id),
-                    round: group.round,
-                    test_cases: group.test_cases,
-                    escalations: 0,
-                });
+            wave_specs[gi] = Some(SlateSpec {
+                generator: group.generator.clone(),
+                executor: ExecutorConfig::fast(group.target.mode)
+                    .with_repetitions(matrix.repetitions),
+                checks: SlateChecks::all(),
+                contracts,
+            });
+            wave_cells[gi] = active;
+            wave_counts[gi] = end - group.next_index;
+            for index in group.next_index..end {
+                wave.push((gi, unit_seed(matrix.seed, group.target.id, index)));
             }
         }
+        if wave.is_empty() {
+            return false;
+        }
 
-        // Budget exhausted (or the matrix was empty): close the remaining
-        // cells without a violation.
-        for group in &mut groups {
+        // Evaluate the whole wave; each unit is independent.  Per-unit
+        // evaluation time is recorded so cells can report their group's
+        // attributed cost rather than matrix-wide wall clock.
+        let specs = &wave_specs;
+        let cpus: Vec<SpecCpu> = self.groups.iter().map(|g| g.target.cpu()).collect();
+        let cpus = &cpus;
+        let eval = move |(gi, seed): (usize, u64)| -> (usize, Option<SlateUnit>, Duration) {
+            let spec = specs[gi].as_ref().expect("scheduled group has a spec");
+            let t0 = Instant::now();
+            let unit = campaign::evaluate_seed(&cpus[gi], spec, seed);
+            (gi, unit, t0.elapsed())
+        };
+        let units: Vec<(usize, Option<SlateUnit>, Duration)> = match &self.pool {
+            None => wave.into_iter().map(eval).collect(),
+            Some(pool) => pool.install(|| {
+                use rayon::prelude::*;
+                wave.into_par_iter().map(eval).collect()
+            }),
+        };
+
+        // Merge in deterministic order: the wave lists each scheduled
+        // group's indices contiguously and in stream order.
+        let mut cursor = 0usize;
+        for (gi, scheduled) in wave_counts.iter().enumerate() {
+            if *scheduled == 0 {
+                continue;
+            }
+            let group = &mut self.groups[gi];
+            for (_, unit, unit_time) in &units[cursor..cursor + scheduled] {
+                group.next_index += 1;
+                group.work += *unit_time;
+                // Malformed test cases are skipped (never happens for
+                // generated code).
+                let Some(unit) = unit else { continue };
+                group.test_cases += 1;
+                group.total_inputs += unit.inputs.len();
+                if matrix.escalation {
+                    // The probe outcome rides at the end of the slate.
+                    let probe = unit.outcomes.last().expect("probe contract scheduled");
+                    group.round_improved |= absorb_coverage(&mut group.coverage, &probe.class_members);
+                }
+                for (k, ci) in wave_cells[gi].iter().enumerate() {
+                    let outcome = &unit.outcomes[k];
+                    let cell = &mut group.cells[*ci];
+                    if cell.report.is_some() || outcome.confirmed_violation.is_none() {
+                        continue;
+                    }
+                    // First confirmed violation for this cell: the cell
+                    // finishes; later stream test cases no longer count
+                    // toward it.
+                    let vulnerability = classify(&group.target, &outcome.contract, &unit.tc);
+                    let violation = ViolationReport {
+                        test_case: unit.tc.clone(),
+                        inputs: unit.inputs.clone(),
+                        violation: outcome
+                            .confirmed_violation
+                            .clone()
+                            .expect("checked above"),
+                        contract: outcome.contract.clone(),
+                        test_case_seed: unit.seed,
+                        vulnerability,
+                        test_cases_until_detection: group.test_cases,
+                        inputs_until_detection: group.total_inputs,
+                    };
+                    observer.cell_finished(&CellEvent {
+                        target_id: group.target.id,
+                        contract: outcome.contract.clone(),
+                        found: true,
+                        vulnerability: Some(vulnerability),
+                        test_cases: group.test_cases,
+                        elapsed: self.start.elapsed(),
+                    });
+                    cell.report = Some(CellReport {
+                        target: group.target.clone(),
+                        contract: outcome.contract.clone(),
+                        violation: Some(violation),
+                        test_cases: group.test_cases,
+                        total_inputs: group.total_inputs,
+                        detection_time: group.work,
+                    });
+                }
+            }
+            cursor += scheduled;
+            group.round += 1;
+
+            // Round boundary: diversity feedback (§5.6), mirroring the
+            // single-campaign fuzzer.  Only full rounds have a boundary; a
+            // final partial round never escalates.
+            if matrix.escalation && group.next_index.is_multiple_of(round_size) {
+                let isa = group.target.isa;
+                let goal_met = match group.coverage_level {
+                    1 => group.coverage.all_single_covered(isa),
+                    _ => group.coverage.all_pairs_covered(isa),
+                };
+                if goal_met || !group.round_improved {
+                    if goal_met {
+                        group.coverage_level += 1;
+                    }
+                    group.generator.escalate();
+                    group.escalations += 1;
+                }
+                group.round_improved = false;
+            }
+
+            observer.round_completed(&RoundEvent {
+                target_id: Some(group.target.id),
+                round: group.round,
+                test_cases: group.test_cases,
+                escalations: group.escalations,
+            });
+        }
+        true
+    }
+
+    /// Snapshot the run's progress for later [`CampaignMatrix::resume`].
+    pub fn checkpoint(&self) -> MatrixCheckpoint {
+        let mut cells: Vec<Option<CellProgress>> =
+            self.matrix.cells.iter().map(|_| None).collect();
+        for group in &self.groups {
+            for gc in &group.cells {
+                if let Some(report) = &gc.report {
+                    cells[gc.cell_idx] = Some(CellProgress {
+                        violation: report.violation.clone(),
+                        test_cases: report.test_cases,
+                        total_inputs: report.total_inputs,
+                        detection_time: report.detection_time,
+                    });
+                }
+            }
+        }
+        MatrixCheckpoint {
+            seed: self.matrix.seed,
+            budget: self.matrix.budget,
+            round_size: self.matrix.round_size,
+            escalation: self.matrix.escalation,
+            config_digest: self.matrix.config_digest(),
+            cells,
+            groups: self
+                .groups
+                .iter()
+                .map(|g| GroupProgress {
+                    target_id: g.target.id,
+                    next_index: g.next_index,
+                    test_cases: g.test_cases,
+                    total_inputs: g.total_inputs,
+                    round: g.round,
+                    work: g.work,
+                    escalations: g.escalations,
+                    coverage_level: g.coverage_level,
+                    round_improved: g.round_improved,
+                    coverage: g.coverage.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Close the run and assemble the report.  Cells still open (budget
+    /// exhausted, or the run was abandoned early) are reported without a
+    /// violation, with a `cell_finished` event each.
+    pub fn finish(mut self, observer: &mut dyn ProgressObserver) -> MatrixReport {
+        for group in &mut self.groups {
             for cell in &mut group.cells {
                 if cell.report.is_none() {
                     observer.cell_finished(&CellEvent {
@@ -448,7 +822,7 @@ impl CampaignMatrix {
                         found: false,
                         vulnerability: None,
                         test_cases: group.test_cases,
-                        elapsed: start.elapsed(),
+                        elapsed: self.start.elapsed(),
                     });
                     cell.report = Some(CellReport {
                         target: group.target.clone(),
@@ -463,20 +837,28 @@ impl CampaignMatrix {
         }
 
         // Reassemble the reports in cell insertion order.
-        let test_cases = groups.iter().map(|g| g.test_cases).sum();
-        let mut slots: Vec<Option<CellReport>> = self.cells.iter().map(|_| None).collect();
-        for group in groups {
+        let test_cases = self.groups.iter().map(|g| g.test_cases).sum();
+        let mut slots: Vec<Option<CellReport>> = self.matrix.cells.iter().map(|_| None).collect();
+        for group in self.groups {
             for cell in group.cells {
                 slots[cell.cell_idx] = cell.report;
             }
         }
         MatrixReport {
             cells: slots.into_iter().map(|s| s.expect("every cell closed")).collect(),
-            seed: self.seed,
+            seed: self.matrix.seed,
             test_cases,
-            duration: start.elapsed(),
+            duration: self.start.elapsed(),
         }
     }
+}
+
+/// Feed one test case's effective-class execution metadata into a coverage
+/// accumulator; returns whether coverage improved.
+fn absorb_coverage(coverage: &mut PatternCoverage, class_members: &[Vec<ExecutionInfo>]) -> bool {
+    let member_refs: Vec<Vec<&ExecutionInfo>> =
+        class_members.iter().map(|c| c.iter().collect()).collect();
+    coverage.update(&member_refs)
 }
 
 /// The campaign seed of one (target, test-case index) work unit: a
@@ -613,5 +995,184 @@ mod tests {
         assert_ne!(unit_seed(3, 5, 0), unit_seed(3, 5, 1));
         assert_ne!(unit_seed(3, 5, 0), unit_seed(3, 4, 0));
         assert_ne!(unit_seed(3, 5, 0), unit_seed(4, 5, 0));
+    }
+
+    #[test]
+    fn stepped_run_matches_one_shot_run() {
+        let matrix = small_matrix(1);
+        let one_shot = matrix.run();
+        let mut run = matrix.start();
+        let mut waves = 0;
+        while run.step(&mut NoopObserver) {
+            waves += 1;
+        }
+        let stepped = run.finish(&mut NoopObserver);
+        assert!(waves >= 2, "budget 60 / round 10 must take several waves");
+        assert_eq!(verdicts(&one_shot), verdicts(&stepped));
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_at_every_wave_boundary() {
+        // Interrupt the matrix after each wave in turn; the resumed run
+        // must reproduce the uninterrupted verdicts exactly — including the
+        // full violation reports.
+        let matrix = CampaignMatrix::new(7)
+            .with_budget(40)
+            .add_cells(Target::target5(), Contract::table3_contracts())
+            .add_cell(Target::target1(), Contract::ct_seq());
+        let baseline = matrix.run();
+        for interrupt_after in 1..=3usize {
+            let mut run = matrix.start();
+            for _ in 0..interrupt_after {
+                run.step(&mut NoopObserver);
+            }
+            let snapshot = run.checkpoint();
+            drop(run); // the "kill"
+
+            let mut resumed = matrix.resume(&snapshot).expect("checkpoint matches");
+            while resumed.step(&mut NoopObserver) {}
+            let report = resumed.finish(&mut NoopObserver);
+            assert_eq!(verdicts(&baseline), verdicts(&report), "interrupted after {interrupt_after}");
+            for (a, b) in baseline.cells.iter().zip(&report.cells) {
+                assert_eq!(a.violation, b.violation, "violation reports must match exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_checkpoints() {
+        let matrix = small_matrix(1);
+        let snapshot = matrix.start().checkpoint();
+        assert!(matrix.resume(&snapshot).is_ok());
+        let err = match small_matrix(1).with_budget(30).resume(&snapshot) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched budget must be rejected"),
+        };
+        assert!(err.contains("budget"), "{err}");
+        let other_seed = CampaignMatrix::new(8)
+            .with_budget(60)
+            .add_cells(Target::target5(), Contract::table3_contracts());
+        assert!(other_seed.resume(&snapshot).is_err());
+        let fewer_cells = CampaignMatrix::new(7)
+            .with_budget(60)
+            .add_cell(Target::target5(), Contract::ct_seq());
+        assert!(fewer_cells.resume(&snapshot).is_err());
+        let escalating = small_matrix(1).with_escalation(true);
+        assert!(escalating.resume(&snapshot).is_err());
+        // Same seed/budget/cell count, different stream-relevant knobs:
+        // the configuration digest must catch each.
+        assert!(small_matrix(1).with_generator_size(5, 14).resume(&snapshot).is_err());
+        assert!(small_matrix(1).with_inputs_per_test_case(10).resume(&snapshot).is_err());
+        assert!(small_matrix(1).with_repetitions(3).resume(&snapshot).is_err());
+        let swapped_contract = CampaignMatrix::new(7)
+            .with_budget(60)
+            .add_cells(
+                Target::target5(),
+                [
+                    Contract::ct_seq(),
+                    Contract::ct_bpas(),
+                    Contract::ct_cond(),
+                    Contract::arch_seq(), // last contract differs
+                ],
+            );
+        assert!(swapped_contract.resume(&snapshot).is_err());
+    }
+
+    /// Observer that records the escalation counter of every round event.
+    struct EscalationRecorder(Vec<usize>);
+    impl ProgressObserver for EscalationRecorder {
+        fn round_completed(&mut self, event: &RoundEvent) {
+            self.0.push(event.escalations);
+        }
+    }
+
+    #[test]
+    fn round_events_report_the_true_escalation_count() {
+        // Without escalation the count is genuinely zero; with escalation
+        // an AR-only target (whose coverage goal saturates almost
+        // immediately) escalates within a few rounds, and the counter is
+        // monotone.
+        let fixed = CampaignMatrix::new(3)
+            .with_budget(40)
+            .add_cell(Target::target1(), Contract::ct_seq());
+        let mut rec = EscalationRecorder(Vec::new());
+        fixed.run_with_observer(&mut rec);
+        assert!(!rec.0.is_empty() && rec.0.iter().all(|&e| e == 0));
+
+        let escalating = fixed.clone().with_escalation(true);
+        let mut rec = EscalationRecorder(Vec::new());
+        escalating.run_with_observer(&mut rec);
+        assert!(rec.0.windows(2).all(|w| w[0] <= w[1]), "monotone: {:?}", rec.0);
+        assert!(
+            *rec.0.last().unwrap() > 0,
+            "AR coverage saturates, so the group must escalate: {:?}",
+            rec.0
+        );
+    }
+
+    #[test]
+    fn escalating_matrix_is_parallelism_and_composition_invariant() {
+        // The coverage probe makes escalation a function of the target
+        // stream alone: verdicts stay identical across worker-pool sizes
+        // and when unrelated cells join the matrix.
+        let build = |parallelism: usize| {
+            CampaignMatrix::new(7)
+                .with_budget(60)
+                .with_escalation(true)
+                .with_parallelism(parallelism)
+                .add_cells(Target::target5(), Contract::table3_contracts())
+        };
+        let sequential = build(1).run();
+        for parallelism in [2usize, 4] {
+            assert_eq!(
+                verdicts(&sequential),
+                verdicts(&build(parallelism).run()),
+                "parallelism {parallelism}"
+            );
+        }
+
+        let alone = CampaignMatrix::new(7)
+            .with_budget(60)
+            .with_escalation(true)
+            .add_cell(Target::target5(), Contract::ct_seq())
+            .run();
+        let crowded = CampaignMatrix::new(7)
+            .with_budget(60)
+            .with_escalation(true)
+            .add_cell(Target::target5(), Contract::ct_seq())
+            .add_cell(Target::target1(), Contract::ct_seq())
+            .add_cells(Target::target5(), [Contract::ct_cond(), Contract::ct_bpas()])
+            .run();
+        let a = alone.cell(5, &Contract::ct_seq()).unwrap();
+        let b = crowded.cell(5, &Contract::ct_seq()).unwrap();
+        assert_eq!(a.found(), b.found());
+        assert_eq!(a.test_cases, b.test_cases);
+        assert_eq!(
+            a.violation.as_ref().map(|v| v.test_case_seed),
+            b.violation.as_ref().map(|v| v.test_case_seed)
+        );
+    }
+
+    #[test]
+    fn escalating_checkpoint_resume_is_byte_identical() {
+        // Escalation state (coverage, level, generator growth) survives
+        // the checkpoint: resuming mid-campaign replays the same stream.
+        let matrix = CampaignMatrix::new(11)
+            .with_budget(40)
+            .with_escalation(true)
+            .add_cells(Target::target5(), Contract::table3_contracts());
+        let baseline = matrix.run();
+        let mut run = matrix.start();
+        run.step(&mut NoopObserver);
+        run.step(&mut NoopObserver);
+        let snapshot = run.checkpoint();
+        drop(run);
+        let mut resumed = matrix.resume(&snapshot).expect("checkpoint matches");
+        while resumed.step(&mut NoopObserver) {}
+        let report = resumed.finish(&mut NoopObserver);
+        assert_eq!(verdicts(&baseline), verdicts(&report));
+        for (a, b) in baseline.cells.iter().zip(&report.cells) {
+            assert_eq!(a.violation, b.violation);
+        }
     }
 }

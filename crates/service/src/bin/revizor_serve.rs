@@ -1,0 +1,60 @@
+//! The campaign server: serve Revizor fuzzing campaigns over TCP.
+//!
+//! ```text
+//! revizor-serve [--addr=127.0.0.1:15790] [--spool=DIR] [--shards=N] [--checkpoint-every=N]
+//! ```
+//!
+//! * `--addr` — listen address (use port `0` for an ephemeral port; the
+//!   bound address is printed on startup).
+//! * `--spool` — durable job state; a restarted server resumes every
+//!   unfinished job from here with byte-identical verdicts.
+//! * `--shards` — long-lived worker threads; jobs are distributed over
+//!   them by job-id hash.
+//! * `--checkpoint-every` — waves between spool checkpoints (default 1).
+//!
+//! The wire protocol (newline-delimited JSON) is documented in
+//! `rvz_service::server`; submit with `revizor-submit` or any line-based
+//! TCP client.
+
+use rvz_bench::flag_value_from_args;
+use rvz_service::{ServiceConfig, ServiceHandle};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn main() {
+    let addr =
+        flag_value_from_args::<String>("--addr").unwrap_or_else(|| "127.0.0.1:15790".to_string());
+    let spool = flag_value_from_args::<String>("--spool").map(PathBuf::from);
+    let shards = flag_value_from_args::<usize>("--shards").unwrap_or(2);
+    let checkpoint_every = flag_value_from_args::<usize>("--checkpoint-every").unwrap_or(1);
+
+    let config = ServiceConfig {
+        shards,
+        spool: spool.clone(),
+        checkpoint_every,
+        listen: Some(addr),
+    };
+    let handle = match ServiceHandle::start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("revizor-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = handle.local_addr().expect("listen address configured");
+    eprintln!(
+        "revizor-serve: listening on {bound} ({shards} shard{}, spool: {})",
+        if shards == 1 { "" } else { "s" },
+        spool.as_deref().map(|p| p.display().to_string()).unwrap_or_else(|| "none".to_string()),
+    );
+    let resumed = handle.core().list();
+    if !resumed.is_empty() {
+        eprintln!("revizor-serve: {} job(s) loaded from the spool", resumed.len());
+    }
+
+    // Serve until killed; the spool makes an abrupt kill safe (unfinished
+    // jobs resume on the next start).
+    loop {
+        std::thread::sleep(Duration::from_secs(1));
+    }
+}

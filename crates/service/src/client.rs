@@ -1,0 +1,112 @@
+//! A small blocking client for the JSON-lines protocol, used by
+//! `revizor-submit` and the integration tests.
+
+use crate::job::JobSpec;
+use rvz_bench::json::{parse, Json};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running `revizor-serve`.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    fn read_line(&mut self) -> Result<Json, String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        parse(line.trim_end())
+    }
+
+    /// Send one request line and read one response line.
+    ///
+    /// # Errors
+    /// Returns transport errors or the server's `error` field.
+    pub fn request(&mut self, request: &Json) -> Result<Json, String> {
+        let mut line = request.render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        let response = self.read_line()?;
+        if response.get("ok").and_then(Json::as_bool) == Some(false) {
+            let message = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown server error");
+            return Err(message.to_string());
+        }
+        Ok(response)
+    }
+
+    /// Submit a job; returns its id.
+    ///
+    /// # Errors
+    /// Propagates transport/validation errors.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<String, String> {
+        let response =
+            self.request(&Json::obj().field("op", "submit").field("spec", spec.to_json()))?;
+        response
+            .get("job")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or("submit response carried no job id".to_string())
+    }
+
+    /// Fetch a job's status summary.
+    ///
+    /// # Errors
+    /// Propagates transport errors and unknown-job errors.
+    pub fn status(&mut self, job: &str) -> Result<Json, String> {
+        let response = self.request(&Json::obj().field("op", "status").field("job", job))?;
+        response.get("status").cloned().ok_or("status response carried no status".to_string())
+    }
+
+    /// Fetch a finished job's result payload (`None` while it runs).
+    ///
+    /// # Errors
+    /// Propagates transport errors and unknown-job errors.
+    pub fn result(&mut self, job: &str) -> Result<Option<Json>, String> {
+        let response = self.request(&Json::obj().field("op", "result").field("job", job))?;
+        match response.get("done").and_then(Json::as_bool) {
+            Some(true) => Ok(response.get("result").cloned()),
+            _ => Ok(None),
+        }
+    }
+
+    /// Subscribe to a job's event stream and block until its `done` event;
+    /// every streamed event (including `done`) is passed to `on_event`.
+    /// Returns the result payload.
+    ///
+    /// # Errors
+    /// Propagates transport errors and unknown-job errors.
+    pub fn watch(
+        &mut self,
+        job: &str,
+        mut on_event: impl FnMut(&Json),
+    ) -> Result<Json, String> {
+        self.request(&Json::obj().field("op", "watch").field("job", job))?;
+        loop {
+            let event = self.read_line()?;
+            on_event(&event);
+            if event.get("event").and_then(Json::as_str) == Some("done") {
+                return event
+                    .get("result")
+                    .cloned()
+                    .ok_or("done event carried no result".to_string());
+            }
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! The service core: job table, sharded workers and event fan-out.
+//!
+//! The core is transport-agnostic — the TCP front-end ([`crate::server`])
+//! and the in-process [`ServiceHandle`](crate::ServiceHandle) both drive
+//! this API.  Jobs are sharded over `shards` long-lived worker threads
+//! (assignment: FNV of the job id, so it survives restarts); each worker
+//! drives its job as an incremental
+//! [`MatrixRun`](revizor::orchestrator::MatrixRun), persisting a
+//! checkpoint to the spool between waves and publishing progress events to
+//! the job's event log.  Subscribers (watchers) replay that log from any
+//! cursor, so late subscribers see the full history and event delivery can
+//! never perturb verdicts.
+
+use crate::job::JobSpec;
+use crate::spool::{JobPhase, Spool, SpoolRecord};
+use revizor::campaign::{CellEvent, ProgressObserver, RoundEvent};
+use revizor::orchestrator::{MatrixCheckpoint, MatrixReport};
+use rvz_bench::json::Json;
+use rvz_bench::report::{matrix_cells_json, matrix_timing_json};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Configuration of a service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shard worker threads.  Jobs are distributed over shards by
+    /// job-id hash; shards run their jobs sequentially and independently of
+    /// each other.
+    pub shards: usize,
+    /// Spool directory for durable job state; `None` keeps everything in
+    /// memory (jobs are lost when the process exits).
+    pub spool: Option<PathBuf>,
+    /// Waves between spool checkpoints (1 = checkpoint after every wave).
+    pub checkpoint_every: usize,
+    /// TCP listen address for the JSON-lines front-end (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port); `None` runs in-process only.
+    pub listen: Option<String>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { shards: 2, spool: None, checkpoint_every: 1, listen: None }
+    }
+}
+
+/// One job's in-memory state.
+struct JobEntry {
+    spec: JobSpec,
+    shard: usize,
+    phase: JobPhase,
+    /// Append-only event log; watchers replay it by cursor.
+    events: Vec<Json>,
+    checkpoint: Option<MatrixCheckpoint>,
+    result: Option<Json>,
+}
+
+/// Everything behind the core's one lock.
+struct CoreState {
+    jobs: BTreeMap<String, JobEntry>,
+    /// Submission order (workers scan it for their shard's next job).
+    order: Vec<String>,
+}
+
+/// A summary of one job, for `status` / `list` responses.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job identifier.
+    pub job: String,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// The shard the job is pinned to.
+    pub shard: usize,
+    /// Number of matrix cells.
+    pub cells: usize,
+    /// Cells already finished (violation found; budget-exhausted cells
+    /// close only when the whole job does).
+    pub cells_finished: usize,
+    /// Events published so far.
+    pub events: usize,
+}
+
+impl JobStatus {
+    /// The wire form of the summary.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("job", self.job.as_str())
+            .field("state", self.phase.label())
+            .field("shard", self.shard)
+            .field("cells", self.cells)
+            .field("cells_finished", self.cells_finished)
+            .field("events", self.events)
+    }
+}
+
+/// The transport-agnostic service core (see the module docs).
+pub struct ServiceCore {
+    config: ServiceConfig,
+    spool: Option<Spool>,
+    state: Mutex<CoreState>,
+    /// Notified on every state change: submissions (wakes workers), events
+    /// and completions (wakes watchers / waiters).
+    changed: Condvar,
+    stop: AtomicBool,
+    counter: AtomicU64,
+}
+
+impl ServiceCore {
+    /// Create a core, loading (and re-queuing) any unfinished jobs from the
+    /// spool.
+    ///
+    /// # Errors
+    /// Propagates spool-directory creation failures.
+    pub fn new(config: ServiceConfig) -> io::Result<Arc<ServiceCore>> {
+        let spool = match &config.spool {
+            Some(dir) => Some(Spool::open(dir)?),
+            None => None,
+        };
+        let mut state = CoreState { jobs: BTreeMap::new(), order: Vec::new() };
+        let mut next_counter = 1u64;
+        if let Some(spool) = &spool {
+            for record in spool.load_all() {
+                let shard = shard_of(&record.job, config.shards);
+                // Job ids end in `-<counter hex>`; keep allocating above the
+                // highest loaded one so a restarted server can never reuse
+                // (and overwrite) an existing job's id.
+                if let Some(n) = record
+                    .job
+                    .rsplit('-')
+                    .next()
+                    .and_then(|suffix| u64::from_str_radix(suffix, 16).ok())
+                {
+                    next_counter = next_counter.max(n + 1);
+                }
+                let events = restored_events(&record);
+                state.order.push(record.job.clone());
+                state.jobs.insert(
+                    record.job.clone(),
+                    JobEntry {
+                        spec: record.spec,
+                        shard,
+                        phase: record.phase,
+                        events,
+                        checkpoint: record.checkpoint,
+                        result: record.result,
+                    },
+                );
+            }
+        }
+        Ok(Arc::new(ServiceCore {
+            config,
+            spool,
+            state: Mutex::new(state),
+            changed: Condvar::new(),
+            stop: AtomicBool::new(false),
+            counter: AtomicU64::new(next_counter),
+        }))
+    }
+
+    /// The instance configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Has [`ServiceCore::stop`] been requested?
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Ask workers (and the front-end) to stop.  Workers finish their
+    /// current wave, persist a checkpoint and exit; unfinished jobs stay
+    /// resumable in the spool.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _guard = self.state.lock().expect("core lock");
+        self.changed.notify_all();
+    }
+
+    /// Submit a job.  The spec is validated (targets/contracts must
+    /// resolve) and persisted before the job id is returned.
+    ///
+    /// # Errors
+    /// Returns a message for invalid specs.
+    pub fn submit(&self, spec: JobSpec) -> Result<String, String> {
+        // Resolve eagerly so a bad spec fails at the submission boundary,
+        // not inside a worker.
+        spec.to_matrix()?;
+        let digest = fnv(spec.to_json().render().as_bytes());
+        let job = loop {
+            // The counter is process-unique and seeded above every id
+            // loaded from the spool, so collisions are only possible with
+            // hand-named spool files — skip over those too.
+            let job = format!("j{digest:x}-{:x}", self.counter.fetch_add(1, Ordering::SeqCst));
+            if !self.state.lock().expect("core lock").jobs.contains_key(&job) {
+                break job;
+            }
+        };
+        let shard = shard_of(&job, self.config.shards);
+        let entry = JobEntry {
+            spec,
+            shard,
+            phase: JobPhase::Queued,
+            events: Vec::new(),
+            checkpoint: None,
+            result: None,
+        };
+        self.persist(&Self::record_of(&job, &entry));
+        let mut state = self.state.lock().expect("core lock");
+        state.order.push(job.clone());
+        state.jobs.insert(job.clone(), entry);
+        self.changed.notify_all();
+        Ok(job)
+    }
+
+    /// A summary of one job, if known.
+    pub fn status(&self, job: &str) -> Option<JobStatus> {
+        let state = self.state.lock().expect("core lock");
+        state.jobs.get(job).map(|e| summarize(job, e))
+    }
+
+    /// Summaries of all jobs, in submission order.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let state = self.state.lock().expect("core lock");
+        state
+            .order
+            .iter()
+            .filter_map(|job| state.jobs.get(job).map(|e| summarize(job, e)))
+            .collect()
+    }
+
+    /// The result payload of a finished job.  `None` = unknown job,
+    /// `Some(None)` = known but not finished.
+    #[allow(clippy::option_option)]
+    pub fn result(&self, job: &str) -> Option<Option<Json>> {
+        let state = self.state.lock().expect("core lock");
+        state.jobs.get(job).map(|e| e.result.clone())
+    }
+
+    /// Events `from..` of a job's log (empty when none are new).  `None`
+    /// for unknown jobs.
+    pub fn events_from(&self, job: &str, from: usize) -> Option<Vec<Json>> {
+        let state = self.state.lock().expect("core lock");
+        state.jobs.get(job).map(|e| e.events.get(from..).unwrap_or_default().to_vec())
+    }
+
+    /// Block until the job finishes (or the core stops); returns its result
+    /// payload.
+    ///
+    /// # Errors
+    /// Returns a message for unknown jobs or when the core stops first.
+    pub fn wait(&self, job: &str) -> Result<Json, String> {
+        let mut state = self.state.lock().expect("core lock");
+        loop {
+            match state.jobs.get(job) {
+                None => return Err(format!("unknown job `{job}`")),
+                Some(e) => {
+                    if let Some(result) = &e.result {
+                        return Ok(result.clone());
+                    }
+                }
+            }
+            if self.stopped() {
+                return Err("service stopped before the job finished".to_string());
+            }
+            let (next, _) = self
+                .changed
+                .wait_timeout(state, Duration::from_millis(200))
+                .expect("core lock");
+            state = next;
+        }
+    }
+
+    /// Build the durable record of a job (caller persists it *outside* the
+    /// core lock — checkpoint documents carry whole violation reports, and
+    /// file I/O under the lock would stall every client-facing call).
+    fn record_of(job: &str, entry: &JobEntry) -> SpoolRecord {
+        SpoolRecord {
+            job: job.to_string(),
+            spec: entry.spec.clone(),
+            phase: entry.phase,
+            checkpoint: entry.checkpoint.clone(),
+            result: entry.result.clone(),
+        }
+    }
+
+    /// Write one record to the spool (no lock held).
+    fn persist(&self, record: &SpoolRecord) {
+        let Some(spool) = &self.spool else { return };
+        if let Err(e) = spool.save(record) {
+            eprintln!("spool: failed to persist job {}: {e}", record.job);
+        }
+    }
+
+    /// Pick the next queued job for `shard`, marking it running.
+    fn claim(&self, shard: usize) -> Option<(String, JobSpec, Option<MatrixCheckpoint>)> {
+        let (claimed, record) = {
+            let mut state = self.state.lock().expect("core lock");
+            let job = state.order.iter().find(|job| {
+                state
+                    .jobs
+                    .get(*job)
+                    .is_some_and(|e| e.phase == JobPhase::Queued && e.shard == shard)
+            })?;
+            let job = job.clone();
+            let entry = state.jobs.get_mut(&job).expect("found above");
+            entry.phase = JobPhase::Running;
+            let claimed = (job.clone(), entry.spec.clone(), entry.checkpoint.clone());
+            (claimed, Self::record_of(&job, entry))
+        };
+        self.persist(&record);
+        Some(claimed)
+    }
+
+    /// Append events to a job's log.
+    fn publish(&self, job: &str, events: Vec<Json>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock().expect("core lock");
+        if let Some(entry) = state.jobs.get_mut(job) {
+            entry.events.extend(events);
+        }
+        self.changed.notify_all();
+    }
+
+    /// Store a wave checkpoint (and persist it, outside the lock).
+    fn save_checkpoint(&self, job: &str, checkpoint: MatrixCheckpoint, phase: JobPhase) {
+        let record = {
+            let mut state = self.state.lock().expect("core lock");
+            let Some(entry) = state.jobs.get_mut(job) else { return };
+            entry.checkpoint = Some(checkpoint);
+            entry.phase = phase;
+            Self::record_of(job, entry)
+        };
+        self.persist(&record);
+        self.changed.notify_all();
+    }
+
+    /// Finish a job: store the result, drop the checkpoint, publish the
+    /// `done` event.
+    fn complete(&self, job: &str, result: Json) {
+        let done = Json::obj()
+            .field("event", "done")
+            .field("job", job)
+            .field("result", result.clone());
+        let record = {
+            let mut state = self.state.lock().expect("core lock");
+            let Some(entry) = state.jobs.get_mut(job) else { return };
+            entry.phase = JobPhase::Done;
+            entry.result = Some(result);
+            entry.checkpoint = None;
+            entry.events.push(done);
+            Self::record_of(job, entry)
+        };
+        self.persist(&record);
+        self.changed.notify_all();
+    }
+
+    /// The body of one shard worker thread: claim → drive → complete, until
+    /// the core stops.
+    pub fn run_worker(self: &Arc<Self>, shard: usize) {
+        while !self.stopped() {
+            let Some((job, spec, checkpoint)) = self.claim(shard) else {
+                // Idle: wait for a submission (or stop).
+                let state = self.state.lock().expect("core lock");
+                let _ = self
+                    .changed
+                    .wait_timeout(state, Duration::from_millis(100))
+                    .expect("core lock");
+                continue;
+            };
+            self.drive(&job, &spec, checkpoint);
+        }
+    }
+
+    /// Drive one job to completion (or to the stop flag).
+    fn drive(&self, job: &str, spec: &JobSpec, checkpoint: Option<MatrixCheckpoint>) {
+        let matrix = match spec.to_matrix() {
+            Ok(m) => m,
+            Err(e) => {
+                // Validated at submit; only a hand-edited spool reaches here.
+                self.complete(job, Json::obj().field("job", job).field("error", e.as_str()));
+                return;
+            }
+        };
+        let mut run = match &checkpoint {
+            Some(cp) => match matrix.resume(cp) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("job {job}: discarding stale checkpoint ({e}); restarting");
+                    matrix.start()
+                }
+            },
+            None => matrix.start(),
+        };
+        let mut collector = EventCollector { job: job.to_string(), events: Vec::new() };
+        let mut waves_since_checkpoint = 0usize;
+        loop {
+            if self.stopped() {
+                // Killed mid-job: park the progress and hand the job back
+                // to the queue; the next server (or restart) resumes it.
+                self.publish(job, std::mem::take(&mut collector.events));
+                self.save_checkpoint(job, run.checkpoint(), JobPhase::Queued);
+                return;
+            }
+            let more = run.step(&mut collector);
+            self.publish(job, std::mem::take(&mut collector.events));
+            if !more {
+                break;
+            }
+            waves_since_checkpoint += 1;
+            if waves_since_checkpoint >= self.config.checkpoint_every.max(1) {
+                self.save_checkpoint(job, run.checkpoint(), JobPhase::Running);
+                waves_since_checkpoint = 0;
+            }
+        }
+        let report = run.finish(&mut collector);
+        self.publish(job, std::mem::take(&mut collector.events));
+        self.complete(job, job_result_json(job, spec, &report));
+    }
+}
+
+fn summarize(job: &str, e: &JobEntry) -> JobStatus {
+    let cells = e.spec.cells.len();
+    JobStatus {
+        job: job.to_string(),
+        phase: e.phase,
+        shard: e.shard,
+        cells,
+        cells_finished: match e.phase {
+            JobPhase::Done => cells,
+            _ => e
+                .events
+                .iter()
+                .filter(|ev| ev.get("event").and_then(Json::as_str) == Some("cell"))
+                .count(),
+        },
+        events: e.events.len(),
+    }
+}
+
+/// Reconstruct a restored job's event log from its spool record, so
+/// watchers of a job that progressed (or finished) under a previous server
+/// still see its history and — crucially — the terminating `done` event.
+/// Cell events are synthesized from the checkpoint (pre-kill finds never
+/// re-fire after a resume); `elapsed_ms` is lost with the old process.
+fn restored_events(record: &SpoolRecord) -> Vec<Json> {
+    let mut events = Vec::new();
+    if let Some(checkpoint) = &record.checkpoint {
+        for (progress, (target, contract)) in
+            checkpoint.cells.iter().zip(&record.spec.cells)
+        {
+            let Some(progress) = progress else { continue };
+            events.push(
+                Json::obj()
+                    .field("event", "cell")
+                    .field("job", record.job.as_str())
+                    .field("target", *target)
+                    .field("contract", contract.as_str())
+                    .field("found", progress.violation.is_some())
+                    .field(
+                        "vulnerability",
+                        progress.violation.as_ref().map(|v| v.vulnerability.to_string()),
+                    )
+                    .field("test_cases", progress.test_cases)
+                    .field("elapsed_ms", 0.0),
+            );
+        }
+    }
+    if let Some(result) = &record.result {
+        events.push(
+            Json::obj()
+                .field("event", "done")
+                .field("job", record.job.as_str())
+                .field("result", result.clone()),
+        );
+    }
+    events
+}
+
+/// The result payload of a finished job: the job id and spec, the
+/// deterministic per-cell section ([`matrix_cells_json`] — byte-identical
+/// for any execution of the same spec, kill + resume included) and the
+/// nondeterministic timing side channel.
+pub fn job_result_json(job: &str, spec: &JobSpec, report: &MatrixReport) -> Json {
+    Json::obj()
+        .field("job", job)
+        .field("spec", spec.to_json())
+        .field("seed", report.seed)
+        .field("measured_test_cases", report.test_cases)
+        .field("cells", matrix_cells_json(report))
+        .field("timing", matrix_timing_json(report))
+}
+
+/// The deterministic section of a result payload: everything except the
+/// per-run `job` id and `timing`.  Two results for the same spec compare
+/// byte-equal on this rendering.
+pub fn deterministic_result(result: &Json) -> Json {
+    match result {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "job" && k != "timing")
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Collects matrix progress events as wire-format JSON lines.
+struct EventCollector {
+    job: String,
+    events: Vec<Json>,
+}
+
+impl ProgressObserver for EventCollector {
+    fn round_completed(&mut self, event: &RoundEvent) {
+        self.events.push(
+            Json::obj()
+                .field("event", "round")
+                .field("job", self.job.as_str())
+                .field("target", event.target_id)
+                .field("round", event.round)
+                .field("test_cases", event.test_cases)
+                .field("escalations", event.escalations),
+        );
+    }
+
+    fn cell_finished(&mut self, event: &CellEvent) {
+        self.events.push(
+            Json::obj()
+                .field("event", "cell")
+                .field("job", self.job.as_str())
+                .field("target", event.target_id)
+                .field("contract", event.contract.name())
+                .field("found", event.found)
+                .field("vulnerability", event.vulnerability.map(|v| v.to_string()))
+                .field("test_cases", event.test_cases)
+                .field("elapsed_ms", event.elapsed.as_secs_f64() * 1000.0),
+        );
+    }
+}
+
+/// FNV-1a, used for shard assignment (stable across restarts).
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn shard_of(job: &str, shards: usize) -> usize {
+    (fnv(job.as_bytes()) % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 8] {
+            for job in ["j1-1", "jabc-2", "jfff-3"] {
+                let s = shard_of(job, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(job, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_result_drops_job_and_timing() {
+        let result = Json::obj()
+            .field("job", "j1")
+            .field("cells", Json::Arr(vec![]))
+            .field("timing", Json::obj().field("duration_ms", 3.5));
+        let det = deterministic_result(&result);
+        assert!(det.get("job").is_none());
+        assert!(det.get("timing").is_none());
+        assert!(det.get("cells").is_some());
+    }
+
+    #[test]
+    fn submit_rejects_invalid_specs() {
+        let core = ServiceCore::new(ServiceConfig::default()).unwrap();
+        let err = core.submit(JobSpec::new(1).add_cell(42, "CT-SEQ")).expect_err("rejects");
+        assert!(err.contains("unknown target"), "{err}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Job specifications: the submittable form of a [`CampaignMatrix`].
+//!
+//! A job names its cells by `(target id, contract name)` and carries the
+//! scalar matrix parameters; [`JobSpec::to_matrix`] resolves it against the
+//! Table 2 targets and the canonical contracts.  The JSON codec is the
+//! submit side of the wire protocol (see the crate docs).
+
+use revizor::orchestrator::CampaignMatrix;
+use revizor::targets::Target;
+use rvz_bench::json::Json;
+use rvz_bench::report::contract_from_name;
+
+/// A submittable fuzzing job: the parameters of one [`CampaignMatrix`].
+///
+/// The defaults mirror [`CampaignMatrix::new`]; every field can be
+/// overridden in the submitted JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Matrix seed (verdicts are a pure function of it and the cell list).
+    pub seed: u64,
+    /// Test-case budget per cell group.
+    pub budget: usize,
+    /// Test cases per scheduling round (one checkpointable wave unit).
+    pub round_size: usize,
+    /// Worker threads of the job's shared measurement pool.
+    pub parallelism: usize,
+    /// Inputs generated per test case.
+    pub inputs_per_test_case: usize,
+    /// Measurement repetitions per input sequence.
+    pub repetitions: usize,
+    /// Generator basic-block count.
+    pub basic_blocks: usize,
+    /// Generator instruction count.
+    pub instructions: usize,
+    /// Branch-then-load placement bias (see
+    /// [`rvz_gen::GeneratorConfig::branch_then_load_bias`]).
+    pub branch_then_load_bias: bool,
+    /// §5.6 diversity escalation per cell group.
+    pub escalation: bool,
+    /// The matrix cells: `(Table 2 target id, canonical contract name)`.
+    pub cells: Vec<(u8, String)>,
+}
+
+impl JobSpec {
+    /// A job with the default matrix parameters and no cells.
+    pub fn new(seed: u64) -> JobSpec {
+        JobSpec {
+            seed,
+            budget: 200,
+            round_size: 10,
+            parallelism: 1,
+            inputs_per_test_case: 20,
+            repetitions: 2,
+            basic_blocks: 4,
+            instructions: 14,
+            branch_then_load_bias: true,
+            escalation: false,
+            cells: Vec::new(),
+        }
+    }
+
+    /// The full Table 3 job: every target against every CT-* contract.
+    pub fn table3(seed: u64) -> JobSpec {
+        let mut spec = JobSpec::new(seed);
+        for target in Target::all() {
+            for contract in rvz_model::Contract::table3_contracts() {
+                spec.cells.push((target.id, contract.name()));
+            }
+        }
+        spec
+    }
+
+    /// Builder: add one `(target id, contract name)` cell.
+    pub fn add_cell(mut self, target_id: u8, contract: &str) -> JobSpec {
+        self.cells.push((target_id, contract.to_string()));
+        self
+    }
+
+    /// Builder: set the per-group budget.
+    pub fn with_budget(mut self, budget: usize) -> JobSpec {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder: set the matrix seed.
+    pub fn with_seed(mut self, seed: u64) -> JobSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Resolve the spec into a runnable matrix.
+    ///
+    /// # Errors
+    /// Returns a message for unknown target ids or contract names.
+    pub fn to_matrix(&self) -> Result<CampaignMatrix, String> {
+        let targets = Target::all();
+        let mut matrix = CampaignMatrix::new(self.seed)
+            .with_budget(self.budget)
+            .with_round_size(self.round_size)
+            .with_parallelism(self.parallelism)
+            .with_inputs_per_test_case(self.inputs_per_test_case)
+            .with_repetitions(self.repetitions)
+            .with_generator_size(self.basic_blocks, self.instructions)
+            .with_branch_then_load_bias(self.branch_then_load_bias)
+            .with_escalation(self.escalation);
+        for (target_id, contract_name) in &self.cells {
+            let target = targets
+                .iter()
+                .find(|t| t.id == *target_id)
+                .ok_or_else(|| format!("unknown target id {target_id} (Table 2 has 1-8)"))?;
+            let contract = contract_from_name(contract_name)
+                .ok_or_else(|| format!("unknown contract `{contract_name}`"))?;
+            matrix = matrix.add_cell(target.clone(), contract);
+        }
+        Ok(matrix)
+    }
+
+    /// Serialize the spec (the `spec` field of a `submit` request).
+    pub fn to_json(&self) -> Json {
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|(t, c)| Json::obj().field("target", *t).field("contract", c.as_str()))
+            .collect();
+        Json::obj()
+            .field("seed", self.seed)
+            .field("budget", self.budget)
+            .field("round_size", self.round_size)
+            .field("parallelism", self.parallelism)
+            .field("inputs_per_test_case", self.inputs_per_test_case)
+            .field("repetitions", self.repetitions)
+            .field("basic_blocks", self.basic_blocks)
+            .field("instructions", self.instructions)
+            .field("branch_then_load_bias", self.branch_then_load_bias)
+            .field("escalation", self.escalation)
+            .field("cells", Json::Arr(cells))
+    }
+
+    /// Deserialize a spec.  Only `seed` and `cells` are required; every
+    /// other field falls back to the [`JobSpec::new`] default, so
+    /// hand-written submissions stay short.
+    ///
+    /// # Errors
+    /// Returns a message for missing/ill-typed fields.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let seed = v
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("spec needs an integer `seed` field")?;
+        let mut spec = JobSpec::new(seed);
+        let usize_field = |key: &str, default: usize| -> Result<usize, String> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(n) => n
+                    .as_u64()
+                    .map(|n| n as usize)
+                    .ok_or_else(|| format!("spec field `{key}` is not an integer")),
+            }
+        };
+        spec.budget = usize_field("budget", spec.budget)?;
+        spec.round_size = usize_field("round_size", spec.round_size)?;
+        spec.parallelism = usize_field("parallelism", spec.parallelism)?;
+        spec.inputs_per_test_case =
+            usize_field("inputs_per_test_case", spec.inputs_per_test_case)?;
+        spec.repetitions = usize_field("repetitions", spec.repetitions)?;
+        spec.basic_blocks = usize_field("basic_blocks", spec.basic_blocks)?;
+        spec.instructions = usize_field("instructions", spec.instructions)?;
+        let bool_field = |key: &str, default: bool| -> Result<bool, String> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(b) => {
+                    b.as_bool().ok_or_else(|| format!("spec field `{key}` is not a boolean"))
+                }
+            }
+        };
+        spec.branch_then_load_bias =
+            bool_field("branch_then_load_bias", spec.branch_then_load_bias)?;
+        spec.escalation = bool_field("escalation", spec.escalation)?;
+        let cells = v
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or("spec needs a `cells` array")?;
+        for (i, cell) in cells.iter().enumerate() {
+            let target = cell
+                .get("target")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("cells[{i}] needs an integer `target`"))?;
+            // Reject out-of-range ids here: `as u8` truncation would
+            // silently fuzz a *different* target (261 -> 5).
+            let target = u8::try_from(target)
+                .map_err(|_| format!("cells[{i}]: target id {target} is out of range"))?;
+            let contract = cell
+                .get("contract")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("cells[{i}] needs a string `contract`"))?;
+            spec.cells.push((target, contract.to_string()));
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_bench::json::parse;
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = JobSpec::new(7)
+            .with_budget(40)
+            .add_cell(5, "CT-SEQ")
+            .add_cell(5, "CT-BPAS")
+            .add_cell(1, "ARCH-SEQ");
+        let doc = spec.to_json().render();
+        assert_eq!(JobSpec::from_json(&parse(&doc).unwrap()).unwrap(), spec);
+    }
+
+    #[test]
+    fn minimal_submission_uses_defaults() {
+        let doc = parse(r#"{"seed": 3, "cells": [{"target": 5, "contract": "CT-SEQ"}]}"#).unwrap();
+        let spec = JobSpec::from_json(&doc).unwrap();
+        assert_eq!(spec.budget, 200);
+        assert_eq!(spec.cells, vec![(5, "CT-SEQ".to_string())]);
+        assert!(spec.to_matrix().is_ok());
+    }
+
+    #[test]
+    fn resolution_rejects_unknown_names() {
+        assert!(JobSpec::new(1).add_cell(99, "CT-SEQ").to_matrix().is_err());
+        assert!(JobSpec::new(1).add_cell(5, "CT-NOPE").to_matrix().is_err());
+    }
+
+    #[test]
+    fn table3_spec_resolves_to_32_cells() {
+        let matrix = JobSpec::table3(30).to_matrix().unwrap();
+        assert_eq!(matrix.cells().len(), 32);
+    }
+}

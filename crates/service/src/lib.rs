@@ -1,0 +1,147 @@
+//! # rvz-service
+//!
+//! Serving fuzzing campaigns as a service: the sharded front-end of the
+//! ROADMAP's north star.  A *job* is a [`CampaignMatrix`] spec — any
+//! (target, contract) cell set with its budget and seed, so every existing
+//! harness (Table 3, contract sensitivity, detection) is submittable.  Jobs
+//! are distributed over long-lived shard workers, driven incrementally
+//! (one checkpointable wave at a time — [`MatrixRun`]), and their progress
+//! is streamed to subscribed clients as JSON lines.
+//!
+//! ```text
+//!  revizor-submit ──┐                       ┌─ shard 0 ─ MatrixRun(job A) ─┐
+//!  revizor-submit ──┼─► TCP reactor ─ core ─┼─ shard 1 ─ MatrixRun(job B) ─┼─► spool/
+//!  Client / watch ◄─┘   (JSON lines)   │    └─ …                           │   *.json
+//!                                      └──────── event logs ◄──────────────┘
+//! ```
+//!
+//! Three guarantees make the service trustworthy as a *testing* service:
+//!
+//! * **Determinism** — a job's verdict section (`result.cells`) is a pure
+//!   function of its spec: byte-identical to an in-process
+//!   [`CampaignMatrix::run`] with the same seed, for any shard count,
+//!   parallelism or client interleaving.
+//! * **Durability** — job state (spec + wave checkpoint) persists to a
+//!   spool directory; a killed server resumes every unfinished job on
+//!   restart, and the resumed verdicts are byte-identical too (unit seeds
+//!   derive from `(matrix seed, target id, index)` alone).
+//! * **Isolation** — concurrent jobs share nothing but the process: each
+//!   has its own `MatrixRun`, event log and (optional) measurement pool.
+//!
+//! The TCP front-end is a non-blocking poll reactor in async *shape* (the
+//! vendored, offline workspace has no tokio); see [`server`] for the
+//! protocol table and the runtime-swap story.  For in-process use, skip TCP
+//! entirely: [`ServiceHandle::start`] with `listen: None` plus
+//! [`ServiceHandle::submit`] / [`ServiceHandle::wait`].
+//!
+//! [`CampaignMatrix`]: revizor::orchestrator::CampaignMatrix
+//! [`CampaignMatrix::run`]: revizor::orchestrator::CampaignMatrix::run
+//! [`MatrixRun`]: revizor::orchestrator::MatrixRun
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod core;
+pub mod job;
+pub mod server;
+pub mod spool;
+
+pub use client::Client;
+pub use core::{deterministic_result, job_result_json, JobStatus, ServiceConfig, ServiceCore};
+pub use job::JobSpec;
+pub use server::{Server, ServerHandle};
+pub use spool::{JobPhase, Spool, SpoolRecord};
+
+use rvz_bench::json::Json;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running service instance: shard workers plus (optionally) the TCP
+/// front-end, owned together.
+///
+/// ```no_run
+/// use rvz_service::{JobSpec, ServiceConfig, ServiceHandle};
+///
+/// let handle = ServiceHandle::start(ServiceConfig::default()).unwrap();
+/// let job = handle.submit(JobSpec::new(7).with_budget(60).add_cell(5, "CT-SEQ")).unwrap();
+/// let result = handle.wait(&job).unwrap();
+/// println!("{}", result.render_pretty());
+/// handle.shutdown();
+/// ```
+pub struct ServiceHandle {
+    core: Arc<ServiceCore>,
+    workers: Vec<JoinHandle<()>>,
+    server: Option<ServerHandle>,
+}
+
+impl ServiceHandle {
+    /// Start the shard workers (and the TCP reactor when
+    /// [`ServiceConfig::listen`] is set), resuming any unfinished spool
+    /// jobs.
+    ///
+    /// # Errors
+    /// Propagates spool and listener failures.
+    pub fn start(config: ServiceConfig) -> io::Result<ServiceHandle> {
+        let listen = config.listen.clone();
+        let shards = config.shards.max(1);
+        let core = ServiceCore::new(config)?;
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let core = Arc::clone(&core);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("rvz-service-shard-{shard}"))
+                    .spawn(move || core.run_worker(shard))
+                    .map_err(io::Error::other)?,
+            );
+        }
+        let server = match &listen {
+            Some(listen) => Some(ServerHandle::spawn(Arc::clone(&core), listen)?),
+            None => None,
+        };
+        Ok(ServiceHandle { core, workers, server })
+    }
+
+    /// The transport-agnostic core (full API surface).
+    pub fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+
+    /// The TCP address, when a front-end is attached.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().map(ServerHandle::local_addr)
+    }
+
+    /// Submit a job in-process.
+    ///
+    /// # Errors
+    /// Returns a message for invalid specs.
+    pub fn submit(&self, spec: JobSpec) -> Result<String, String> {
+        self.core.submit(spec)
+    }
+
+    /// Block until a job finishes and return its result payload.
+    ///
+    /// # Errors
+    /// Returns a message for unknown jobs or when the service stops first.
+    pub fn wait(&self, job: &str) -> Result<Json, String> {
+        self.core.wait(job)
+    }
+
+    /// Stop the service: workers halt at their next wave boundary, persist
+    /// a checkpoint for any in-flight job and exit — exactly the state a
+    /// killed server leaves behind, so unfinished jobs resume on the next
+    /// [`ServiceHandle::start`] over the same spool.
+    pub fn shutdown(self) {
+        self.core.stop();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        if let Some(server) = self.server {
+            server.join();
+        }
+    }
+}

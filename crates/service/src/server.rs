@@ -1,0 +1,304 @@
+//! The TCP front-end: a JSON-lines protocol over a non-blocking poll loop.
+//!
+//! The workspace is vendored/offline, so there is no async runtime; the
+//! front-end is written in the *shape* of one instead — a single-threaded
+//! reactor whose [`Server::poll_once`] makes one non-blocking pass over the
+//! listener and every connection and reports whether it made progress.
+//! Swapping in a real runtime later means driving `poll_once` from a task
+//! (or replacing it with per-connection futures); no protocol or core
+//! changes are needed.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line in both directions (`\n`-terminated).
+//! Requests carry an `op` field:
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"op":"ping"}` | `{"ok":true,"pong":true}` |
+//! | `{"op":"submit","spec":{…}}` | `{"ok":true,"job":"…","shard":n}` |
+//! | `{"op":"status","job":"…"}` | `{"ok":true,"status":{…}}` |
+//! | `{"op":"list"}` | `{"ok":true,"jobs":[{…}]}` |
+//! | `{"op":"result","job":"…"}` | `{"ok":true,"done":bool,"result":{…}\|null}` |
+//! | `{"op":"watch","job":"…"}` | `{"ok":true,"watching":"…"}`, then streamed events |
+//!
+//! Errors come back as `{"ok":false,"error":"…"}`.  A `watch` subscription
+//! streams the job's event log from the beginning (`{"event":"round"\|"cell"}`
+//! lines) and ends with the `{"event":"done","result":{…}}` line.
+
+use crate::core::ServiceCore;
+use crate::job::JobSpec;
+use rvz_bench::json::{parse, Json};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One client connection of the reactor.
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Active `watch` subscriptions: (job id, next event cursor).
+    watches: Vec<(String, usize)>,
+    closed: bool,
+}
+
+impl Conn {
+    fn queue_line(&mut self, doc: &Json) {
+        self.outbuf.extend_from_slice(doc.render().as_bytes());
+        self.outbuf.push(b'\n');
+    }
+}
+
+/// The reactor state: listener + connections (see the module docs).
+pub struct Server {
+    core: Arc<ServiceCore>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    conns: Vec<Conn>,
+}
+
+impl Server {
+    /// Bind the listener (non-blocking) on `listen`.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(core: Arc<ServiceCore>, listen: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server { core, listener, addr, conns: Vec::new() })
+    }
+
+    /// The bound address (useful with an ephemeral `:0` port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One non-blocking pass: accept, read, dispatch, stream watch events,
+    /// flush.  Returns whether any I/O progress was made (callers sleep
+    /// briefly when idle).
+    pub fn poll_once(&mut self) -> bool {
+        let mut progress = false;
+
+        // Accept everything currently pending.
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_ok() {
+                        self.conns.push(Conn {
+                            stream,
+                            inbuf: Vec::new(),
+                            outbuf: Vec::new(),
+                            watches: Vec::new(),
+                            closed: false,
+                        });
+                        progress = true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        for conn in &mut self.conns {
+            progress |= Self::service_conn(&self.core, conn);
+        }
+        self.conns.retain(|c| !c.closed);
+        progress
+    }
+
+    /// Read, dispatch and write one connection; returns progress.
+    fn service_conn(core: &Arc<ServiceCore>, conn: &mut Conn) -> bool {
+        let mut progress = false;
+
+        // Read whatever is available.
+        let mut buf = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&buf[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    conn.closed = true;
+                    break;
+                }
+            }
+        }
+
+        // Dispatch complete lines.
+        while let Some(pos) = conn.inbuf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = conn.inbuf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = dispatch(core, &line, &mut conn.watches);
+            conn.queue_line(&response);
+            progress = true;
+        }
+
+        // Stream watch events (log replay by cursor).
+        let mut finished_watches = Vec::new();
+        for (wi, (job, cursor)) in conn.watches.iter_mut().enumerate() {
+            if let Some(events) = core.events_from(job, *cursor) {
+                for event in &events {
+                    conn.outbuf.extend_from_slice(event.render().as_bytes());
+                    conn.outbuf.push(b'\n');
+                    if event.get("event").and_then(Json::as_str) == Some("done") {
+                        finished_watches.push(wi);
+                    }
+                    progress = true;
+                }
+                *cursor += events.len();
+            }
+        }
+        for wi in finished_watches.into_iter().rev() {
+            conn.watches.remove(wi);
+        }
+
+        // Flush as much as the socket accepts.
+        while !conn.outbuf.is_empty() {
+            match conn.stream.write(&conn.outbuf) {
+                Ok(0) => {
+                    conn.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.outbuf.drain(..n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    conn.closed = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Drive the reactor until the core stops.
+    pub fn run(mut self) {
+        while !self.core.stopped() {
+            if !self.poll_once() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Handle one request line; returns the response document (and may register
+/// a watch subscription).
+fn dispatch(core: &Arc<ServiceCore>, line: &str, watches: &mut Vec<(String, usize)>) -> Json {
+    let request = match parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return error(format!("malformed request: {e}")),
+    };
+    let op = match request.get("op").and_then(Json::as_str) {
+        Some(op) => op,
+        None => return error("request needs a string `op` field".to_string()),
+    };
+    match op {
+        "ping" => Json::obj().field("ok", true).field("pong", true),
+        "submit" => {
+            let Some(spec) = request.get("spec") else {
+                return error("submit needs a `spec` object".to_string());
+            };
+            let spec = match JobSpec::from_json(spec) {
+                Ok(spec) => spec,
+                Err(e) => return error(e),
+            };
+            match core.submit(spec) {
+                Ok(job) => {
+                    let shard = core.status(&job).map(|s| s.shard).unwrap_or(0);
+                    Json::obj().field("ok", true).field("job", job).field("shard", shard)
+                }
+                Err(e) => error(e),
+            }
+        }
+        "status" => match job_of(&request) {
+            Err(e) => error(e),
+            Ok(job) => match core.status(job) {
+                Some(status) => Json::obj().field("ok", true).field("status", status.to_json()),
+                None => error(format!("unknown job `{job}`")),
+            },
+        },
+        "list" => Json::obj().field("ok", true).field(
+            "jobs",
+            Json::Arr(core.list().iter().map(|s| s.to_json()).collect()),
+        ),
+        "result" => match job_of(&request) {
+            Err(e) => error(e),
+            Ok(job) => match core.result(job) {
+                None => error(format!("unknown job `{job}`")),
+                Some(None) => Json::obj().field("ok", true).field("done", false).field("result", Json::Null),
+                Some(Some(result)) => {
+                    Json::obj().field("ok", true).field("done", true).field("result", result)
+                }
+            },
+        },
+        "watch" => match job_of(&request) {
+            Err(e) => error(e),
+            Ok(job) => {
+                if core.status(job).is_none() {
+                    return error(format!("unknown job `{job}`"));
+                }
+                watches.push((job.to_string(), 0));
+                Json::obj().field("ok", true).field("watching", job)
+            }
+        },
+        op => error(format!("unknown op `{op}`")),
+    }
+}
+
+fn job_of(request: &Json) -> Result<&str, String> {
+    request
+        .get("job")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request needs a string `job` field".to_string())
+}
+
+fn error(message: String) -> Json {
+    Json::obj().field("ok", false).field("error", message)
+}
+
+/// A running front-end: the reactor thread plus its bound address.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Spawn the reactor on its own thread.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn spawn(core: Arc<ServiceCore>, listen: &str) -> io::Result<ServerHandle> {
+        let server = Server::bind(core, listen)?;
+        let addr = server.local_addr();
+        let thread = std::thread::Builder::new()
+            .name("rvz-service-reactor".to_string())
+            .spawn(move || server.run())
+            .map_err(io::Error::other)?;
+        Ok(ServerHandle { addr, thread })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Join the reactor thread (call after [`ServiceCore::stop`]).
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}

@@ -1,0 +1,212 @@
+//! The spool: durable job state on disk.
+//!
+//! One JSON file per job (`<job id>.json`) holding the spec, the lifecycle
+//! phase, the latest [`MatrixCheckpoint`] and — once finished — the result
+//! payload.  Files are written atomically (temp file + rename), so a killed
+//! server never leaves a half-written record; on startup the server rescans
+//! the directory and re-queues every unfinished job, which then resumes
+//! from its checkpoint with byte-identical verdicts (see
+//! [`revizor::orchestrator::MatrixRun`]).
+
+use crate::job::JobSpec;
+use revizor::orchestrator::MatrixCheckpoint;
+use rvz_bench::json::{parse, Json};
+use rvz_bench::report::{matrix_checkpoint_from_json, matrix_checkpoint_to_json};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lifecycle phase of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Submitted, not yet picked up by its shard (or re-queued after a
+    /// server restart).
+    Queued,
+    /// Currently being driven by a shard worker.
+    Running,
+    /// Finished; the result payload is available.
+    Done,
+}
+
+impl JobPhase {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<JobPhase> {
+        match s {
+            "queued" => Some(JobPhase::Queued),
+            "running" => Some(JobPhase::Running),
+            "done" => Some(JobPhase::Done),
+            _ => None,
+        }
+    }
+}
+
+/// One job's durable record.
+#[derive(Debug, Clone)]
+pub struct SpoolRecord {
+    /// Job identifier (also the file stem).
+    pub job: String,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Lifecycle phase at the time of the last save.
+    pub phase: JobPhase,
+    /// Latest wave checkpoint, when the job has started but not finished.
+    pub checkpoint: Option<MatrixCheckpoint>,
+    /// Result payload, when the job is done.
+    pub result: Option<Json>,
+}
+
+/// A spool directory.
+#[derive(Debug)]
+pub struct Spool {
+    dir: PathBuf,
+}
+
+impl Spool {
+    /// Open (creating if needed) a spool directory.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Spool> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Spool { dir })
+    }
+
+    /// The spool directory path.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, job: &str) -> PathBuf {
+        // Job ids are server-generated ([a-z0-9-] only), so the file name
+        // is safe by construction; reject anything else defensively.
+        self.dir.join(format!("{job}.json"))
+    }
+
+    /// Persist one record atomically.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures.
+    pub fn save(&self, record: &SpoolRecord) -> io::Result<()> {
+        let doc = Json::obj()
+            .field("version", 1u64)
+            .field("job", record.job.as_str())
+            .field("phase", record.phase.label())
+            .field("spec", record.spec.to_json())
+            .field("checkpoint", record.checkpoint.as_ref().map(matrix_checkpoint_to_json))
+            .field("result", record.result.clone());
+        let path = self.path_for(&record.job);
+        let tmp = self.dir.join(format!("{}.tmp", record.job));
+        fs::write(&tmp, doc.render())?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Load every readable record in the spool.  Corrupt or alien files are
+    /// skipped (reported on stderr) rather than failing the whole scan; a
+    /// `running` phase is demoted to `queued` — the server holding it is
+    /// gone.
+    pub fn load_all(&self) -> Vec<SpoolRecord> {
+        let mut records = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else { return records };
+        let mut paths: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            match Self::load_one(&path) {
+                Ok(record) => records.push(record),
+                Err(e) => eprintln!("spool: skipping {}: {e}", path.display()),
+            }
+        }
+        records
+    }
+
+    fn load_one(path: &Path) -> Result<SpoolRecord, String> {
+        let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let doc = parse(&text)?;
+        let job = doc
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or("missing `job` field")?
+            .to_string();
+        let phase = doc
+            .get("phase")
+            .and_then(Json::as_str)
+            .and_then(JobPhase::from_label)
+            .ok_or("missing or unknown `phase`")?;
+        // A `running` record means the previous server died mid-job.
+        let phase = if phase == JobPhase::Running { JobPhase::Queued } else { phase };
+        let spec = JobSpec::from_json(doc.get("spec").ok_or("missing `spec`")?)?;
+        let checkpoint = match doc.get("checkpoint") {
+            None | Some(Json::Null) => None,
+            Some(cp) => Some(matrix_checkpoint_from_json(cp)?),
+        };
+        let result = match doc.get("result") {
+            None | Some(Json::Null) => None,
+            Some(r) => Some(r.clone()),
+        };
+        Ok(SpoolRecord { job, spec, phase, checkpoint, result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("rvz-spool-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_round_trip_through_the_spool() {
+        let dir = scratch_dir("roundtrip");
+        let spool = Spool::open(&dir).unwrap();
+        let spec = JobSpec::new(7).with_budget(40).add_cell(5, "CT-SEQ");
+        let record = SpoolRecord {
+            job: "j-test-1".to_string(),
+            spec: spec.clone(),
+            phase: JobPhase::Queued,
+            checkpoint: None,
+            result: None,
+        };
+        spool.save(&record).unwrap();
+        let loaded = spool.load_all();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].job, "j-test-1");
+        assert_eq!(loaded[0].spec, spec);
+        assert_eq!(loaded[0].phase, JobPhase::Queued);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn running_records_are_requeued_and_corrupt_files_skipped() {
+        let dir = scratch_dir("requeue");
+        let spool = Spool::open(&dir).unwrap();
+        let record = SpoolRecord {
+            job: "j-test-2".to_string(),
+            spec: JobSpec::new(1).add_cell(1, "CT-SEQ"),
+            phase: JobPhase::Running,
+            checkpoint: None,
+            result: None,
+        };
+        spool.save(&record).unwrap();
+        fs::write(dir.join("garbage.json"), "not json at all").unwrap();
+        let loaded = spool.load_all();
+        assert_eq!(loaded.len(), 1, "corrupt file must be skipped");
+        assert_eq!(loaded[0].phase, JobPhase::Queued, "running demotes to queued");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

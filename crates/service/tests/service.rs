@@ -1,0 +1,261 @@
+//! Integration tests for the campaign service: determinism of served
+//! verdicts against in-process runs, kill + resume through the spool, and
+//! client isolation.
+
+use rvz_bench::json::Json;
+use rvz_bench::report::matrix_cells_json;
+use rvz_service::{
+    deterministic_result, Client, JobSpec, ServiceConfig, ServiceHandle, Spool,
+};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rvz-service-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small Table-3 slice: Target 5 against three contracts (V1 violates
+/// CT-SEQ and CT-BPAS within this budget; CT-COND runs to exhaustion).
+fn slice_spec(seed: u64) -> JobSpec {
+    JobSpec::new(seed)
+        .with_budget(40)
+        .add_cell(5, "CT-SEQ")
+        .add_cell(5, "CT-BPAS")
+        .add_cell(5, "CT-COND")
+}
+
+#[test]
+fn served_job_is_byte_identical_to_an_in_process_matrix_run() {
+    let handle = ServiceHandle::start(ServiceConfig {
+        shards: 2,
+        spool: None,
+        checkpoint_every: 1,
+        listen: Some("127.0.0.1:0".to_string()),
+    })
+    .expect("service starts");
+    let addr = handle.local_addr().expect("TCP front-end attached");
+
+    let spec = slice_spec(7);
+    let mut client = Client::connect(addr).expect("client connects");
+    let job = client.submit(&spec).expect("job accepted");
+
+    let mut rounds = 0usize;
+    let mut cells = 0usize;
+    let result = client
+        .watch(&job, |event| match event.get("event").and_then(Json::as_str) {
+            Some("round") => rounds += 1,
+            Some("cell") => cells += 1,
+            _ => {}
+        })
+        .expect("job completes");
+    assert!(rounds >= 2, "budget 40 / round 10 must stream several round events");
+    assert_eq!(cells, 3, "every cell reports exactly one cell event");
+
+    // Acceptance criterion: the served result's deterministic section is
+    // byte-identical to an in-process CampaignMatrix::run of the same seed
+    // — same cells, verdicts, unit seeds, test-case counts, down to the
+    // full violation reports.
+    let baseline = spec.to_matrix().expect("spec resolves").run();
+    assert_eq!(
+        result.get("cells").expect("result has cells").render(),
+        matrix_cells_json(&baseline).render(),
+    );
+    assert_eq!(
+        result.get("measured_test_cases").and_then(Json::as_u64),
+        Some(baseline.test_cases as u64)
+    );
+
+    // Submitting the identical spec again yields the identical
+    // deterministic payload (fresh job id and timing differ).
+    let job2 = client.submit(&spec).expect("second submission accepted");
+    assert_ne!(job, job2);
+    let result2 = client.watch(&job2, |_| {}).expect("second job completes");
+    assert_eq!(
+        deterministic_result(&result).render(),
+        deterministic_result(&result2).render()
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn killed_server_resumes_from_the_spool_byte_identically() {
+    let dir = scratch_dir("resume");
+    // Target 1 never violates CT-SEQ, so its group consumes the whole
+    // budget (many waves) — plenty of room to kill the server mid-job.
+    // Target 5 contributes a violation so the resumed result also carries a
+    // full ViolationReport.
+    let spec = JobSpec::new(7)
+        .with_budget(200)
+        .add_cell(1, "CT-SEQ")
+        .add_cell(5, "CT-SEQ")
+        .add_cell(5, "CT-BPAS");
+    let config = |listen: Option<String>| ServiceConfig {
+        shards: 1,
+        spool: Some(dir.clone()),
+        checkpoint_every: 1,
+        listen,
+    };
+
+    // First server: submit, let it make progress, then kill it mid-job.
+    let first = ServiceHandle::start(config(None)).expect("first server starts");
+    let job = first.submit(spec.clone()).expect("job accepted");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let rounds = first
+            .core()
+            .events_from(&job, 0)
+            .expect("job known")
+            .iter()
+            .filter(|e| e.get("event").and_then(Json::as_str) == Some("round"))
+            .count();
+        if rounds >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job made no progress");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    first.shutdown(); // stops at the next wave boundary, like a kill
+
+    // The spool must hold the interrupted job with a mid-stream checkpoint.
+    let records = Spool::open(&dir).expect("spool opens").load_all();
+    assert_eq!(records.len(), 1);
+    let record = &records[0];
+    assert_eq!(record.job, job);
+    assert!(record.result.is_none(), "the job must not have finished before the kill");
+    let checkpoint = record.checkpoint.as_ref().expect("checkpoint persisted");
+    let progressed: usize = checkpoint.groups.iter().map(|g| g.next_index).sum();
+    assert!(progressed > 0, "checkpoint must carry real progress");
+    assert!(
+        checkpoint.groups.iter().any(|g| g.next_index < 200),
+        "the kill must land mid-stream"
+    );
+
+    // Second server over the same spool: the job resumes automatically and
+    // completes with byte-identical verdicts.
+    let second = ServiceHandle::start(config(None)).expect("second server starts");
+    let result = second.wait(&job).expect("resumed job completes");
+    second.shutdown();
+
+    let baseline = spec.to_matrix().expect("spec resolves").run();
+    assert_eq!(
+        result.get("cells").expect("result has cells").render(),
+        matrix_cells_json(&baseline).render(),
+        "kill + resume must not change a single byte of the verdict section"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_clients_do_not_perturb_each_others_verdicts() {
+    let handle = ServiceHandle::start(ServiceConfig {
+        shards: 2,
+        spool: None,
+        checkpoint_every: 1,
+        listen: Some("127.0.0.1:0".to_string()),
+    })
+    .expect("service starts");
+    let addr = handle.local_addr().expect("TCP front-end attached");
+
+    // Two clients, two different jobs, submitted before either result is
+    // read so the campaigns overlap in the service.
+    let spec_a = slice_spec(7);
+    let spec_b = JobSpec::new(19).with_budget(40).add_cell(5, "CT-SEQ").add_cell(1, "CT-SEQ");
+    let mut client_a = Client::connect(addr).expect("client A connects");
+    let mut client_b = Client::connect(addr).expect("client B connects");
+    let job_a = client_a.submit(&spec_a).expect("job A accepted");
+    let job_b = client_b.submit(&spec_b).expect("job B accepted");
+
+    let watcher = {
+        let spec = spec_b.clone();
+        std::thread::spawn(move || {
+            let result = client_b.watch(&job_b, |_| {}).expect("job B completes");
+            (spec, result)
+        })
+    };
+    let result_a = client_a.watch(&job_a, |_| {}).expect("job A completes");
+    let (spec_b, result_b) = watcher.join().expect("watcher thread");
+
+    for (spec, result) in [(&spec_a, &result_a), (&spec_b, &result_b)] {
+        let baseline = spec.to_matrix().expect("spec resolves").run();
+        assert_eq!(
+            result.get("cells").expect("result has cells").render(),
+            matrix_cells_json(&baseline).render(),
+            "a concurrent neighbor job must not perturb verdicts"
+        );
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn restart_preserves_results_and_never_reuses_job_ids() {
+    let dir = scratch_dir("restart-ids");
+    let config = || ServiceConfig {
+        shards: 1,
+        spool: Some(dir.clone()),
+        checkpoint_every: 1,
+        listen: None,
+    };
+    let spec = JobSpec::new(3).with_budget(4).add_cell(1, "CT-SEQ");
+
+    let first = ServiceHandle::start(config()).expect("first server starts");
+    let job1 = first.submit(spec.clone()).expect("job accepted");
+    let result1 = first.wait(&job1).expect("job completes");
+    first.shutdown();
+
+    let second = ServiceHandle::start(config()).expect("second server starts");
+    // The restored done job still answers with its result, and its event
+    // log terminates a watch (the `done` event is reconstructed).
+    assert_eq!(
+        second.core().result(&job1).expect("job known").map(|r| deterministic_result(&r).render()),
+        Some(deterministic_result(&result1).render())
+    );
+    let events = second.core().events_from(&job1, 0).expect("job known");
+    assert!(
+        events.iter().any(|e| e.get("event").and_then(Json::as_str) == Some("done")),
+        "restored job must carry a terminating done event"
+    );
+    // Resubmitting the identical spec must mint a fresh id (the old
+    // counter collided here before) — and must not clobber job1's result.
+    let job2 = second.submit(spec).expect("resubmission accepted");
+    assert_ne!(job1, job2, "job ids must never be reused across restarts");
+    let result2 = second.wait(&job2).expect("resubmitted job completes");
+    assert_eq!(
+        deterministic_result(&result1).render(),
+        deterministic_result(&result2).render()
+    );
+    assert!(second.core().result(&job1).expect("job1 still known").is_some());
+    second.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let handle = ServiceHandle::start(ServiceConfig {
+        shards: 1,
+        spool: None,
+        checkpoint_every: 1,
+        listen: Some("127.0.0.1:0".to_string()),
+    })
+    .expect("service starts");
+    let addr = handle.local_addr().expect("TCP front-end attached");
+    let mut client = Client::connect(addr).expect("client connects");
+
+    // Unknown op, unknown job, invalid spec: each comes back as an error
+    // response on a connection that stays usable.
+    assert!(client.request(&Json::obj().field("op", "frobnicate")).is_err());
+    assert!(client.status("j-nope").is_err());
+    let err = client
+        .submit(&JobSpec::new(1).add_cell(42, "CT-SEQ"))
+        .expect_err("invalid spec rejected");
+    assert!(err.contains("unknown target"), "{err}");
+    let pong = client.request(&Json::obj().field("op", "ping")).expect("still usable");
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+    handle.shutdown();
+}

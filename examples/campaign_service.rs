@@ -1,0 +1,49 @@
+//! Serve fuzzing campaigns in-process: submit a small Table-3 slice as a
+//! job, stream its progress, and verify the served verdicts are
+//! byte-identical to running the matrix directly.
+//!
+//! ```text
+//! cargo run --release --example campaign_service
+//! ```
+//!
+//! The same jobs can be served over TCP: start `revizor-serve` and submit
+//! with `revizor-submit` (see the README's "Campaign service" section).
+
+use revizor_suite::bench::report::matrix_cells_json;
+use revizor_suite::prelude::*;
+
+fn main() {
+    // An in-process service: two shard workers, no TCP, no spool.
+    let handle = ServiceHandle::start(ServiceConfig::default()).expect("service starts");
+
+    // Target 5 (Skylake, AR+MEM+CB) against the four Table 3 contracts.
+    let spec = JobSpec::new(7)
+        .with_budget(60)
+        .add_cell(5, "CT-SEQ")
+        .add_cell(5, "CT-BPAS")
+        .add_cell(5, "CT-COND")
+        .add_cell(5, "CT-COND-BPAS");
+    let job = handle.submit(spec.clone()).expect("job accepted");
+    println!("submitted {job} ({} cells)", spec.cells.len());
+
+    let result = handle.wait(&job).expect("job completes");
+    for cell in result.get("cells").and_then(|c| c.as_array()).unwrap_or_default() {
+        println!(
+            "  target {} x {:<14} found: {} ({} test cases)",
+            cell.get("target").and_then(|v| v.as_u64()).unwrap_or(0),
+            cell.get("contract").and_then(|v| v.as_str()).unwrap_or("?"),
+            cell.get("found").and_then(|v| v.as_bool()).unwrap_or(false),
+            cell.get("test_cases").and_then(|v| v.as_u64()).unwrap_or(0),
+        );
+    }
+
+    // The service contract: served verdicts are byte-identical to an
+    // in-process matrix run of the same spec.
+    let baseline = spec.to_matrix().expect("spec resolves").run();
+    assert_eq!(
+        result.get("cells").expect("cells present").render(),
+        matrix_cells_json(&baseline).render()
+    );
+    println!("served verdicts match the in-process CampaignMatrix::run byte-for-byte");
+    handle.shutdown();
+}

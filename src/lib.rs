@@ -16,7 +16,11 @@
 //! * [`gen`] (`rvz-gen`) — test-case and input generation;
 //! * [`analyzer`] (`rvz-analyzer`) — the relational analysis;
 //! * [`revizor`] — the fuzzer, targets, gadgets, minimizer and detection
-//!   harnesses.
+//!   harnesses;
+//! * [`bench`] (`rvz-bench`) — experiment regeneration, the hand-rolled
+//!   JSON tree and the report export/import codecs;
+//! * [`service`] (`rvz-service`) — the sharded campaign service
+//!   (`revizor-serve` / `revizor-submit`).
 //!
 //! ```
 //! use revizor_suite::prelude::*;
@@ -44,14 +48,17 @@ pub use rvz_model as model;
 pub use rvz_uarch as uarch;
 
 pub use revizor;
+pub use rvz_bench as bench;
+pub use rvz_service as service;
 
 /// Convenient single import for examples and integration tests.
 pub mod prelude {
     pub use revizor::campaign;
     pub use revizor::detection;
     pub use revizor::gadgets;
-    pub use revizor::orchestrator::CampaignMatrix;
+    pub use revizor::orchestrator::{CampaignMatrix, MatrixRun};
     pub use revizor::targets::Target;
+    pub use rvz_service::{JobSpec, ServiceConfig, ServiceHandle};
     pub use revizor::{
         CellEvent, FuzzReport, FuzzerConfig, Postprocessor, ProgressObserver, Revizor, RoundEvent,
         VulnClass,
