@@ -485,13 +485,22 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so the
-                    // boundaries are valid).
+                    // Bulk-copy the whole run of ordinary characters up to
+                    // the next quote or backslash.  (Validating the entire
+                    // remaining input per character, as a naive
+                    // one-scalar-at-a-time loop does, is quadratic — it
+                    // took ~450ms per 180KB checkpoint transfer in the
+                    // multi-host service.)  `"` and `\` are ASCII, so the
+                    // cut is always a char boundary of the source &str.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let s = std::str::from_utf8(&rest[..run])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    out.push_str(s);
+                    self.pos += run;
                 }
             }
         }

@@ -77,20 +77,40 @@ fn in_field<T>(key: &str, r: Result<T, DecodeError>) -> Result<T, DecodeError> {
     r.map_err(|e| format!("{key}: {e}"))
 }
 
-/// Exact `i64` codec: non-negative values ride the exact `UInt` channel,
-/// negative ones store their magnitude (so `i64::MIN` and large
-/// displacements survive without an `f64` detour).
-fn i64_to_json(v: i64) -> Json {
+/// Exact `i64` codec: non-negative values ride the exact `UInt` channel;
+/// negatives are written as plain JSON numbers while exactly
+/// representable (|v| ≤ 9·10¹⁵ — the same bound as [`Json::as_u64`]), so
+/// third-party clients read the shape they would write; only larger
+/// magnitudes (e.g. `i64::MIN` displacements) fall back to storing the
+/// magnitude as `{"neg": …}` to survive without an `f64` detour.  Public
+/// because the campaign service's wire format reuses it for signed job
+/// priorities.
+pub fn i64_to_json(v: i64) -> Json {
     if v >= 0 {
         Json::UInt(v as u64)
+    } else if v >= -9_000_000_000_000_000 {
+        Json::Num(v as f64)
     } else {
         Json::obj().field("neg", v.unsigned_abs())
     }
 }
 
-fn i64_from_json(v: &Json) -> Result<i64, DecodeError> {
+/// Decode a value written by [`i64_to_json`] — plus the plain negative
+/// integer form (`-3`) every standard JSON emitter produces, so
+/// third-party clients can write `"priority": -3` directly (accepted up
+/// to ±9·10¹⁵, the same exactness bound as [`Json::as_u64`]; larger
+/// magnitudes need the `{"neg": …}` form).
+///
+/// # Errors
+/// Returns a message for non-integers and out-of-range magnitudes.
+pub fn i64_from_json(v: &Json) -> Result<i64, DecodeError> {
     if let Some(n) = v.as_u64() {
         return i64::try_from(n).map_err(|_| format!("integer {n} overflows i64"));
+    }
+    if let Json::Num(f) = v {
+        if f.fract() == 0.0 && f.abs() <= 9e15 {
+            return Ok(*f as i64);
+        }
     }
     if let Some(m) = v.get("neg").and_then(Json::as_u64) {
         if m == i64::MIN.unsigned_abs() {
@@ -767,6 +787,7 @@ fn group_progress_from_json(v: &Json) -> Result<GroupProgress, DecodeError> {
 /// Serialize a [`MatrixCheckpoint`] — the campaign service's spool format.
 pub fn matrix_checkpoint_to_json(cp: &MatrixCheckpoint) -> Json {
     Json::obj()
+        .field("wave", cp.wave)
         .field("seed", cp.seed)
         .field("budget", cp.budget)
         .field("round_size", cp.round_size)
@@ -796,6 +817,12 @@ pub fn matrix_checkpoint_from_json(v: &Json) -> Result<MatrixCheckpoint, DecodeE
         .map(|(i, g)| in_field(&format!("groups[{i}]"), group_progress_from_json(g)))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(MatrixCheckpoint {
+        // Absent in pre-multi-host spools; those resume at wave 0 (the
+        // counter is informational, never verdict-relevant).
+        wave: match v.get("wave") {
+            None => 0,
+            Some(_) => get_usize(v, "wave")?,
+        },
         seed: get_u64(v, "seed")?,
         budget: get_usize(v, "budget")?,
         round_size: get_usize(v, "round_size")?,
@@ -803,6 +830,63 @@ pub fn matrix_checkpoint_from_json(v: &Json) -> Result<MatrixCheckpoint, DecodeE
         config_digest: get_u64(v, "config_digest")?,
         cells,
         groups,
+    })
+}
+
+/// A decoded checkpoint-transfer frame (see
+/// [`checkpoint_transfer_to_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointTransfer {
+    /// The job the checkpoint belongs to.
+    pub job: String,
+    /// The sender's [`MatrixCheckpoint::digest`], computed **before**
+    /// encoding.  Compare against `checkpoint.digest()` after decoding: a
+    /// mismatch means the codec dropped or distorted state in transit.
+    pub digest: u64,
+    /// The transferred snapshot (its `wave` field is the replication
+    /// cursor: a job's transfers must arrive strictly increasing).
+    pub checkpoint: MatrixCheckpoint,
+}
+
+impl CheckpointTransfer {
+    /// Does the sender's digest match the decoded checkpoint?
+    pub fn validates(&self) -> bool {
+        self.digest == self.checkpoint.digest()
+    }
+}
+
+/// Serialize one checkpoint transfer — the payload a worker host streams to
+/// the coordinator after every wave so the coordinator's spool replica
+/// stays current enough to reassign the job if the worker dies.  The
+/// sender's digest rides along for end-to-end replication validation.
+pub fn checkpoint_transfer_to_json(job: &str, cp: &MatrixCheckpoint) -> Json {
+    Json::obj()
+        .field("job", job)
+        .field("wave", cp.wave)
+        .field("digest", cp.digest())
+        .field("checkpoint", matrix_checkpoint_to_json(cp))
+}
+
+/// Decode a transfer written by [`checkpoint_transfer_to_json`].  Decoding
+/// does **not** verify the digest (callers decide how to handle a
+/// replication mismatch); use [`CheckpointTransfer::validates`].
+///
+/// # Errors
+/// Returns a message for missing/ill-formed fields.
+pub fn checkpoint_transfer_from_json(v: &Json) -> Result<CheckpointTransfer, DecodeError> {
+    let checkpoint =
+        in_field("checkpoint", matrix_checkpoint_from_json(get(v, "checkpoint")?))?;
+    let wave = get_usize(v, "wave")?;
+    if wave != checkpoint.wave {
+        return Err(format!(
+            "transfer wave {wave} disagrees with the checkpoint's wave {}",
+            checkpoint.wave
+        ));
+    }
+    Ok(CheckpointTransfer {
+        job: get_str(v, "job")?.to_string(),
+        digest: get_u64(v, "digest")?,
+        checkpoint,
     })
 }
 
@@ -1001,6 +1085,69 @@ mod tests {
             matrix_cells_json(&report).render(),
             "deterministic payloads must be byte-identical"
         );
+    }
+
+    #[test]
+    fn checkpoint_transfer_round_trips_and_validates_mid_run() {
+        use revizor::campaign::NoopObserver;
+        let matrix = CampaignMatrix::new(7)
+            .with_budget(40)
+            .add_cells(Target::target5(), Contract::table3_contracts());
+        let mut run = matrix.start();
+        run.step(&mut NoopObserver);
+        run.step(&mut NoopObserver);
+        let snapshot = run.checkpoint();
+        // Through the writer and parser, as the worker protocol sends it.
+        let doc = checkpoint_transfer_to_json("j-test-1", &snapshot).render();
+        let transfer = checkpoint_transfer_from_json(&parse(&doc).unwrap()).unwrap();
+        assert_eq!(transfer.job, "j-test-1");
+        assert_eq!(transfer.checkpoint, snapshot);
+        assert_eq!(transfer.checkpoint.wave, 2);
+        // End-to-end replication validation: the digest computed before
+        // encoding matches the digest of the decoded snapshot.
+        assert!(transfer.validates(), "encode→decode must preserve the digest");
+        // Tampering with the payload (or a codec regression) is caught.
+        let mut tampered = transfer.clone();
+        tampered.checkpoint.groups[0].next_index += 1;
+        assert!(!tampered.validates());
+        // A transfer whose wave header disagrees with its payload is
+        // rejected at decode time.
+        let bad = Json::obj()
+            .field("job", "j")
+            .field("wave", snapshot.wave + 7)
+            .field("digest", snapshot.digest())
+            .field("checkpoint", matrix_checkpoint_to_json(&snapshot));
+        assert!(checkpoint_transfer_from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn i64_codec_round_trips_priorities() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            42,
+            -42,
+            -9_000_000_000_000_000,
+            -9_000_000_000_000_001,
+            i64::MAX,
+            i64::MIN,
+        ] {
+            let doc = i64_to_json(v).render();
+            assert_eq!(i64_from_json(&parse(&doc).unwrap()).unwrap(), v, "{v}");
+        }
+        // Small negatives are written as the plain number standard
+        // consumers expect — not the {"neg": …} escape hatch.
+        assert_eq!(i64_to_json(-3).render(), "-3");
+        // The plain negative form standard emitters produce (serde_json,
+        // python json) decodes too — the documented "any signed integer".
+        assert_eq!(i64_from_json(&parse("-3").unwrap()).unwrap(), -3);
+        assert_eq!(
+            i64_from_json(&parse("-9000000000000000").unwrap()).unwrap(),
+            -9_000_000_000_000_000
+        );
+        assert!(i64_from_json(&parse("-3.5").unwrap()).is_err());
+        assert!(i64_from_json(&Json::Str("high".into())).is_err());
     }
 
     #[test]

@@ -187,6 +187,11 @@ pub struct GroupProgress {
 /// [`MatrixRun::checkpoint`], consumed by [`CampaignMatrix::resume`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatrixCheckpoint {
+    /// Completed scheduling waves ([`MatrixRun::step`] calls that did
+    /// work).  Purely informational for resume; the multi-host campaign
+    /// service keys checkpoint replication by it (wave numbers of one job
+    /// must arrive strictly increasing at the coordinator).
+    pub wave: usize,
     /// The matrix seed (validated on resume).
     pub seed: u64,
     /// The per-group budget (validated on resume).
@@ -206,6 +211,44 @@ pub struct MatrixCheckpoint {
     pub cells: Vec<Option<CellProgress>>,
     /// Per-group stream progress, in group discovery order.
     pub groups: Vec<GroupProgress>,
+}
+
+impl MatrixCheckpoint {
+    /// A stable digest over **every** field of the checkpoint, for
+    /// validating checkpoint replication across process boundaries: a
+    /// worker host digests its snapshot before encoding it onto the wire,
+    /// the coordinator re-digests the decoded snapshot, and a mismatch
+    /// means the transfer codec dropped or distorted state (which would
+    /// silently break the byte-identical resume guarantee).
+    ///
+    /// The digest is FNV-1a over the checkpoint's `Debug` rendering: total
+    /// (new fields are covered automatically) and deterministic across
+    /// processes of the same build — every constituent container is
+    /// order-stable (`Vec`/`BTreeSet`), and there are no hash-ordered
+    /// collections anywhere in the tree.  It is **not** meant to be stable
+    /// across versions of this crate; both ends of a transfer must run the
+    /// same build, which the campaign service's deployment story (one
+    /// workspace, one binary pair) already guarantees.
+    pub fn digest(&self) -> u64 {
+        /// Folds formatted bytes straight into FNV-1a — checkpoints with
+        /// violation reports render to hundreds of KB of `Debug` output,
+        /// and this runs twice per wave (sender and receiver), so never
+        /// materialize the string.
+        struct FnvWriter(u64);
+        impl std::fmt::Write for FnvWriter {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for b in s.bytes() {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+        let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+        use std::fmt::Write;
+        write!(w, "{self:?}").expect("FnvWriter never fails");
+        w.0
+    }
 }
 
 /// Orchestrates a matrix of fuzzing campaigns over one shared worker pool
@@ -511,7 +554,9 @@ impl CampaignMatrix {
                 }
             }
         }
-        Ok(MatrixRun::with_groups(self, groups))
+        let mut run = MatrixRun::with_groups(self, groups);
+        run.wave = checkpoint.wave;
+        Ok(run)
     }
 
     /// Run the matrix.
@@ -582,6 +627,7 @@ pub struct MatrixRun<'m> {
     groups: Vec<Group>,
     pool: Option<rayon::ThreadPool>,
     start: Instant,
+    wave: usize,
 }
 
 impl<'m> MatrixRun<'m> {
@@ -594,7 +640,13 @@ impl<'m> MatrixRun<'m> {
                 .build()
                 .expect("failed to spawn matrix worker threads")
         });
-        MatrixRun { matrix, groups, pool, start: Instant::now() }
+        MatrixRun { matrix, groups, pool, start: Instant::now(), wave: 0 }
+    }
+
+    /// Completed scheduling waves: [`MatrixRun::step`] calls that found
+    /// work (resumed runs continue the interrupted run's count).
+    pub fn wave(&self) -> usize {
+        self.wave
     }
 
     /// Is there any unfinished cell with remaining budget?
@@ -652,6 +704,7 @@ impl<'m> MatrixRun<'m> {
         if wave.is_empty() {
             return false;
         }
+        self.wave += 1;
 
         // Evaluate the whole wave; each unit is independent.  Per-unit
         // evaluation time is recorded so cells can report their group's
@@ -784,6 +837,7 @@ impl<'m> MatrixRun<'m> {
             }
         }
         MatrixCheckpoint {
+            wave: self.wave,
             seed: self.matrix.seed,
             budget: self.matrix.budget,
             round_size: self.matrix.round_size,
@@ -1037,6 +1091,50 @@ mod tests {
                 assert_eq!(a.violation, b.violation, "violation reports must match exactly");
             }
         }
+    }
+
+    #[test]
+    fn wave_counter_advances_per_step_and_survives_resume() {
+        let matrix = small_matrix(1);
+        let mut run = matrix.start();
+        assert_eq!(run.wave(), 0);
+        assert!(run.step(&mut NoopObserver));
+        assert!(run.step(&mut NoopObserver));
+        assert_eq!(run.wave(), 2);
+        let snapshot = run.checkpoint();
+        assert_eq!(snapshot.wave, 2);
+        drop(run);
+        let mut resumed = matrix.resume(&snapshot).expect("checkpoint matches");
+        assert_eq!(resumed.wave(), 2);
+        if resumed.step(&mut NoopObserver) {
+            assert_eq!(resumed.wave(), 3, "a resumed run continues the wave count");
+        }
+    }
+
+    #[test]
+    fn checkpoint_digest_is_stable_and_sensitive() {
+        let matrix = small_matrix(1);
+        let mut run = matrix.start();
+        run.step(&mut NoopObserver);
+        let snapshot = run.checkpoint();
+        // Stable: digesting the same (or a cloned) snapshot agrees.
+        assert_eq!(snapshot.digest(), snapshot.digest());
+        assert_eq!(snapshot.digest(), snapshot.clone().digest());
+        // Sensitive: any field change (here: progress counters, the wave,
+        // the seed) moves the digest.
+        let mut other = snapshot.clone();
+        other.wave += 1;
+        assert_ne!(snapshot.digest(), other.digest());
+        let mut other = snapshot.clone();
+        other.seed ^= 1;
+        assert_ne!(snapshot.digest(), other.digest());
+        let mut other = snapshot.clone();
+        other.groups[0].next_index += 1;
+        assert_ne!(snapshot.digest(), other.digest());
+        // A later wave of the same run digests differently too.
+        let mut run = matrix.resume(&snapshot).expect("resumes");
+        run.step(&mut NoopObserver);
+        assert_ne!(snapshot.digest(), run.checkpoint().digest());
     }
 
     #[test]

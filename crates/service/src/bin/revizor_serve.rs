@@ -2,15 +2,27 @@
 //!
 //! ```text
 //! revizor-serve [--addr=127.0.0.1:15790] [--spool=DIR] [--shards=N] [--checkpoint-every=N]
+//!               [--coordinator] [--worker-addr=127.0.0.1:15791]
 //! ```
 //!
 //! * `--addr` — listen address (use port `0` for an ephemeral port; the
 //!   bound address is printed on startup).
 //! * `--spool` — durable job state; a restarted server resumes every
 //!   unfinished job from here with byte-identical verdicts.
-//! * `--shards` — long-lived worker threads; jobs are distributed over
-//!   them by job-id hash.
+//! * `--shards` — long-lived worker threads, all draining one shared
+//!   queue (highest priority first, FIFO within a priority).
 //! * `--checkpoint-every` — waves between spool checkpoints (default 1).
+//!   Ignored in multi-host mode, which always persists every replicated
+//!   wave (the at-most-one-wave-behind failover guarantee).
+//! * `--coordinator` / `--worker-addr` — **multi-host mode**: listen for
+//!   `revizor-worker` hosts (on `--worker-addr`, default
+//!   `127.0.0.1:15791`) and dispatch jobs to them instead of running
+//!   local shard threads.  Worker checkpoints are replicated into the
+//!   spool after every wave, so a killed worker's job is reassigned and
+//!   resumes with byte-identical verdicts.
+//! * `--worker-timeout` — seconds an assigned worker may stay silent
+//!   before it is declared partitioned and its job requeued (default
+//!   120; workers send at least one frame per wave).
 //!
 //! The wire protocol (newline-delimited JSON) is documented in
 //! `rvz_service::server`; submit with `revizor-submit` or any line-based
@@ -27,13 +39,21 @@ fn main() {
     let spool = flag_value_from_args::<String>("--spool").map(PathBuf::from);
     let shards = flag_value_from_args::<usize>("--shards").unwrap_or(2);
     let checkpoint_every = flag_value_from_args::<usize>("--checkpoint-every").unwrap_or(1);
+    let worker_listen = flag_value_from_args::<String>("--worker-addr").or_else(|| {
+        rvz_bench::flag_from_args("--coordinator").then(|| "127.0.0.1:15791".to_string())
+    });
 
-    let config = ServiceConfig {
+    let mut config = ServiceConfig {
         shards,
         spool: spool.clone(),
         checkpoint_every,
         listen: Some(addr),
+        worker_listen,
+        ..ServiceConfig::default()
     };
+    if let Some(secs) = flag_value_from_args::<u64>("--worker-timeout") {
+        config.worker_timeout = std::time::Duration::from_secs(secs);
+    }
     let handle = match ServiceHandle::start(config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -42,9 +62,12 @@ fn main() {
         }
     };
     let bound = handle.local_addr().expect("listen address configured");
+    let backend = match handle.worker_addr() {
+        Some(worker_addr) => format!("coordinator; workers on {worker_addr}"),
+        None => format!("{shards} shard{}", if shards == 1 { "" } else { "s" }),
+    };
     eprintln!(
-        "revizor-serve: listening on {bound} ({shards} shard{}, spool: {})",
-        if shards == 1 { "" } else { "s" },
+        "revizor-serve: listening on {bound} ({backend}, spool: {})",
         spool.as_deref().map(|p| p.display().to_string()).unwrap_or_else(|| "none".to_string()),
     );
     let resumed = handle.core().list();

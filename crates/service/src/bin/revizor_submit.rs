@@ -8,19 +8,26 @@
 //! # Submit the full Table 3 matrix without waiting (prints the job id):
 //! revizor-submit --addr=127.0.0.1:15790 --table3 --seed=30 --budget=300
 //!
-//! # Query an earlier job:
+//! # Query (or cancel) an earlier job:
 //! revizor-submit --addr=127.0.0.1:15790 --status=JOBID
 //! revizor-submit --addr=127.0.0.1:15790 --result=JOBID
+//! revizor-submit --addr=127.0.0.1:15790 --cancel=JOBID
 //! ```
 //!
 //! Flags: `--target=N` (repeatable via `--targets=5,6`), `--contracts=A,B`
 //! (default `CT-SEQ`), `--seed`, `--budget`, `--round-size`,
-//! `--parallelism`, `--escalation`, `--table3`.  With `--wait` the job's
+//! `--parallelism`, `--priority` (higher starts first on a saturated
+//! service), `--inputs` (inputs per test case), `--reps` (measurement
+//! repetitions), `--escalation`, `--table3`.  With `--wait` the job's
 //! events stream to stderr and the result JSON is printed to stdout.
+//!
+//! If the server dies mid-`--wait`, the exit code is 3 and the job id is
+//! printed: the job is spooled server-side and resumes on the next server
+//! start — re-query it with `--result=JOBID`.
 
 use rvz_bench::json::Json;
 use rvz_bench::{flag_from_args, flag_value_from_args};
-use rvz_service::{Client, JobSpec};
+use rvz_service::{Client, JobSpec, WatchError};
 
 fn fail(message: &str) -> ! {
     eprintln!("revizor-submit: {message}");
@@ -47,6 +54,16 @@ fn main() {
         match client.result(&job) {
             Ok(Some(result)) => println!("{}", result.render_pretty()),
             Ok(None) => println!("{}", Json::obj().field("done", false).render()),
+            Err(e) => fail(&e),
+        }
+        return;
+    }
+    if let Some(job) = flag_value_from_args::<String>("--cancel") {
+        match client.cancel(&job) {
+            Ok(state) => {
+                eprintln!("revizor-submit: job {job}: {state}");
+                println!("{}", Json::obj().field("job", job.as_str()).field("state", state).render());
+            }
             Err(e) => fail(&e),
         }
         return;
@@ -91,6 +108,15 @@ fn main() {
     if let Some(parallelism) = flag_value_from_args::<usize>("--parallelism") {
         spec.parallelism = parallelism;
     }
+    if let Some(priority) = flag_value_from_args::<i64>("--priority") {
+        spec.priority = priority;
+    }
+    if let Some(inputs) = flag_value_from_args::<usize>("--inputs") {
+        spec.inputs_per_test_case = inputs;
+    }
+    if let Some(reps) = flag_value_from_args::<usize>("--reps") {
+        spec.repetitions = reps;
+    }
     if flag_from_args("--escalation") {
         spec.escalation = true;
     }
@@ -112,6 +138,13 @@ fn main() {
     });
     match result {
         Ok(result) => println!("{}", result.render_pretty()),
-        Err(e) => fail(&e),
+        Err(WatchError::ServerGone { job }) => {
+            // Distinct exit path: the job is NOT lost — it sits in the
+            // server's spool and resumes when a server restarts over it.
+            eprintln!("revizor-submit: {}", WatchError::ServerGone { job: job.clone() });
+            println!("{}", Json::obj().field("job", job).field("server_gone", true).render());
+            std::process::exit(3);
+        }
+        Err(WatchError::Other(e)) => fail(&e),
     }
 }

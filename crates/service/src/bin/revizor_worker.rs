@@ -1,0 +1,49 @@
+//! A worker host for multi-host campaign serving: dial a coordinator
+//! (`revizor-serve --worker-addr=…`), register, and run assigned jobs.
+//!
+//! ```text
+//! revizor-worker --coordinator=127.0.0.1:15791 [--name=w1] [--retry-secs=30]
+//! ```
+//!
+//! * `--coordinator` — the coordinator's **worker** port (not the client
+//!   port).
+//! * `--name` — the name this worker registers under (default:
+//!   `worker-<pid>`); it shows up in `revizor-submit --status` output.
+//! * `--retry-secs` — how long to keep retrying a failed connect before
+//!   exiting (default 30; lets workers start before the coordinator and
+//!   ride out coordinator restarts).
+//!
+//! Workers are stateless: every wave's checkpoint is replicated to the
+//! coordinator's spool before the next wave starts, so killing a worker
+//! (even `kill -9`) never loses more than the wave in flight — the
+//! coordinator reassigns the job and the verdicts come out byte-identical.
+//! Run as many workers as you have machines; each takes one job at a time.
+
+use rvz_bench::flag_value_from_args;
+use rvz_service::{Worker, WorkerConfig};
+use std::time::Duration;
+
+fn main() {
+    let Some(coordinator) = flag_value_from_args::<String>("--coordinator") else {
+        eprintln!("revizor-worker: pass --coordinator=HOST:PORT (the coordinator's worker port)");
+        std::process::exit(2);
+    };
+    let mut config = WorkerConfig::new(coordinator);
+    if let Some(name) = flag_value_from_args::<String>("--name") {
+        config.name = name;
+    }
+    if let Some(secs) = flag_value_from_args::<u64>("--retry-secs") {
+        config.retry_for = Duration::from_secs(secs);
+    }
+    eprintln!(
+        "revizor-worker: `{}` connecting to {} (retry window {:?})",
+        config.name, config.coordinator, config.retry_for
+    );
+    match Worker::new(config).run() {
+        Ok(()) => eprintln!("revizor-worker: coordinator shut us down; exiting"),
+        Err(e) => {
+            eprintln!("revizor-worker: coordinator unreachable: {e}");
+            std::process::exit(1);
+        }
+    }
+}

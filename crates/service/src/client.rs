@@ -3,13 +3,60 @@
 
 use crate::job::JobSpec;
 use rvz_bench::json::{parse, Json};
+use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// How a [`Client::watch`] ended without a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchError {
+    /// The connection died mid-watch.  This is **not** a job failure: the
+    /// server spools jobs durably, so the job resumes (with byte-identical
+    /// verdicts) once a server restarts over the same spool — reconnect
+    /// and `watch`/`result` the same job id again.
+    ServerGone {
+        /// The job that was being watched.
+        job: String,
+    },
+    /// Any other failure: protocol errors, server-reported errors, or a
+    /// failure before the watch subscription was established.
+    Other(String),
+}
+
+impl fmt::Display for WatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchError::ServerGone { job } => write!(
+                f,
+                "server gone mid-watch; job {job} is spooled and resumes on the next \
+                 server start — query it again with `result` or `watch`"
+            ),
+            WatchError::Other(message) => f.write_str(message),
+        }
+    }
+}
 
 /// A connected client.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+}
+
+/// Why a response line could not be read (internal; callers fold this
+/// into their own error types).
+enum ReadError {
+    /// The connection is dead (EOF or a transport error).
+    Gone(String),
+    /// The connection delivered a line that is not valid JSON.
+    Malformed(String),
+}
+
+impl ReadError {
+    fn message(self) -> String {
+        match self {
+            ReadError::Gone(m) | ReadError::Malformed(m) => m,
+        }
+    }
 }
 
 impl Client {
@@ -23,13 +70,21 @@ impl Client {
         Ok(Client { writer, reader })
     }
 
-    fn read_line(&mut self) -> Result<Json, String> {
+    fn read_line(&mut self) -> Result<Json, ReadError> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| ReadError::Gone(e.to_string()))?;
         if n == 0 {
-            return Err("server closed the connection".to_string());
+            return Err(ReadError::Gone("server closed the connection".to_string()));
         }
-        parse(line.trim_end())
+        if !line.ends_with('\n') {
+            // EOF mid-line: the server died after a partial write — that
+            // is a dead connection, not a malformed frame.
+            return Err(ReadError::Gone("server closed the connection mid-line".to_string()));
+        }
+        parse(line.trim_end()).map_err(ReadError::Malformed)
     }
 
     /// Send one request line and read one response line.
@@ -40,7 +95,7 @@ impl Client {
         let mut line = request.render();
         line.push('\n');
         self.writer.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
-        let response = self.read_line()?;
+        let response = self.read_line().map_err(ReadError::message)?;
         if response.get("ok").and_then(Json::as_bool) == Some(false) {
             let message = response
                 .get("error")
@@ -86,26 +141,53 @@ impl Client {
         }
     }
 
+    /// Request a job's cancellation.  Returns the server's `state`:
+    /// `"cancelled"` (was queued, terminally cancelled) or `"cancelling"`
+    /// (running; it stops at its next wave boundary and then publishes a
+    /// `done` event with `"cancelled": true`).
+    ///
+    /// # Errors
+    /// Propagates transport errors, unknown-job and already-finished
+    /// errors.
+    pub fn cancel(&mut self, job: &str) -> Result<String, String> {
+        let response = self.request(&Json::obj().field("op", "cancel").field("job", job))?;
+        response
+            .get("state")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or("cancel response carried no state".to_string())
+    }
+
     /// Subscribe to a job's event stream and block until its `done` event;
     /// every streamed event (including `done`) is passed to `on_event`.
     /// Returns the result payload.
     ///
     /// # Errors
-    /// Propagates transport errors and unknown-job errors.
+    /// [`WatchError::ServerGone`] when the connection dies mid-stream (the
+    /// job itself survives in the server's spool); [`WatchError::Other`]
+    /// for anything else.
     pub fn watch(
         &mut self,
         job: &str,
         mut on_event: impl FnMut(&Json),
-    ) -> Result<Json, String> {
-        self.request(&Json::obj().field("op", "watch").field("job", job))?;
+    ) -> Result<Json, WatchError> {
+        self.request(&Json::obj().field("op", "watch").field("job", job))
+            .map_err(WatchError::Other)?;
         loop {
-            let event = self.read_line()?;
+            // Once the subscription is live, a dead connection means the
+            // server went away — report it distinctly: the job is spooled
+            // server-side, not lost.  A malformed frame on a *live*
+            // connection is a protocol failure, not a gone server.
+            let event = self.read_line().map_err(|e| match e {
+                ReadError::Gone(_) => WatchError::ServerGone { job: job.to_string() },
+                ReadError::Malformed(m) => WatchError::Other(format!("malformed event: {m}")),
+            })?;
             on_event(&event);
             if event.get("event").and_then(Json::as_str) == Some("done") {
                 return event
                     .get("result")
                     .cloned()
-                    .ok_or("done event carried no result".to_string());
+                    .ok_or(WatchError::Other("done event carried no result".to_string()));
             }
         }
     }

@@ -1,0 +1,420 @@
+//! Multi-host mode: the coordinator side of the worker protocol.
+//!
+//! A coordinator is a campaign server whose jobs run on **remote worker
+//! hosts** (`revizor-worker` processes) instead of in-process shard
+//! threads.  Clients see the exact same JSON-lines protocol; behind the
+//! core, a second listener accepts worker connections and a poll reactor
+//! (same shape as [`crate::server`]) drives dispatch and replication:
+//!
+//! ```text
+//!            clients                         worker hosts
+//!   submit/watch/cancel │   ┌──────────────┐ │ register ▲
+//!            ───────────┼──►│ ServiceCore  │◄┼──────────┘
+//!                           │  job table   │ │  assign(job, spec, cp) ─►
+//!                           │  event logs  │ │  ◄─ wave(cp, digest, events)
+//!                           │  spool ◄─────┼─┼─ replicate, then ack ─►
+//!                           └──────────────┘ │  ◄─ done(result) / cancelled
+//! ```
+//!
+//! ## The replication contract
+//!
+//! After every wave a worker sends the job's [`MatrixCheckpoint`] (with its
+//! [`digest`](revizor::orchestrator::MatrixCheckpoint::digest) computed
+//! *before* encoding) and blocks for the coordinator's `ack`.  The
+//! coordinator re-digests the decoded snapshot — a mismatch means the
+//! transfer codec lost state, so the snapshot is **rejected** (`"accepted":
+//! false`) rather than spooled; the job then simply resumes from an older
+//! replicated wave if its worker dies.  Because a resumed
+//! [`MatrixRun`](revizor::orchestrator::MatrixRun) replays the identical
+//! stream suffix from *any* wave boundary, verdicts stay byte-identical no
+//! matter which replicated checkpoint a reassignment starts from — the
+//! chaos harness (`tests/chaos.rs`) sweeps exactly this property.
+//!
+//! ## Failure handling
+//!
+//! * **Worker dies / connection drops** — every job assigned to the
+//!   connection is handed back to the queue with its last replicated
+//!   checkpoint ([`ServiceCore::requeue_interrupted`]) and reassigned to
+//!   the next idle worker.
+//! * **Cancellation** — a client `cancel` marks the job; the coordinator
+//!   forwards `{"op":"cancel"}` to the owning worker, which stops at the
+//!   next wave boundary and reports back its stopping checkpoint.
+//! * **Priorities** — dispatch claims the highest-priority queued job
+//!   (FIFO within a priority), exactly like the in-process shard workers.
+
+use crate::core::ServiceCore;
+use crate::framing;
+use crate::spool::JobPhase;
+use rvz_bench::json::{parse, Json};
+use rvz_bench::report::checkpoint_transfer_from_json;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One connected worker host.
+struct WorkerConn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// The name the worker registered under (empty until `register`).
+    name: String,
+    registered: bool,
+    /// When the connection last produced bytes, for the silent-partition
+    /// timeout ([`crate::ServiceConfig::worker_timeout`]).
+    last_heard: Instant,
+    /// The job currently assigned to this worker (one at a time).
+    job: Option<String>,
+    /// Has the cancel for the assigned job already been forwarded?
+    cancel_sent: bool,
+    /// Highest wave replicated for the current assignment (transfers must
+    /// arrive strictly increasing).
+    last_wave: Option<usize>,
+    closed: bool,
+}
+
+impl WorkerConn {
+    fn queue_line(&mut self, doc: &Json) {
+        framing::queue_line(&mut self.outbuf, doc);
+    }
+}
+
+/// The coordinator reactor: worker listener + connections (see the module
+/// docs).
+pub struct Coordinator {
+    core: Arc<ServiceCore>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    conns: Vec<WorkerConn>,
+}
+
+impl Coordinator {
+    /// Bind the worker listener (non-blocking) on `listen`.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(core: Arc<ServiceCore>, listen: &str) -> io::Result<Coordinator> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Coordinator { core, listener, addr, conns: Vec::new() })
+    }
+
+    /// The bound worker address (useful with an ephemeral `:0` port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One non-blocking pass: accept workers, ingest their frames,
+    /// forward cancels, dispatch queued jobs to idle workers, flush.
+    /// Returns whether any progress was made (callers sleep briefly when
+    /// idle).
+    pub fn poll_once(&mut self) -> bool {
+        let mut progress = false;
+
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_ok() {
+                        self.conns.push(WorkerConn {
+                            stream,
+                            inbuf: Vec::new(),
+                            outbuf: Vec::new(),
+                            name: String::new(),
+                            registered: false,
+                            last_heard: Instant::now(),
+                            job: None,
+                            cancel_sent: false,
+                            last_wave: None,
+                            closed: false,
+                        });
+                        progress = true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        for conn in &mut self.conns {
+            progress |= Self::service_conn(&self.core, conn);
+        }
+
+        // Silent-partition detection: a worker driving a job sends at
+        // least one frame per wave, so a long-silent assigned connection
+        // is dead even if the socket never errors (pulled cable, frozen
+        // host).  Dropping it is safe — the job resumes byte-identically
+        // from its last replicated checkpoint on another worker.
+        let timeout = self.core.config().worker_timeout;
+        for conn in &mut self.conns {
+            if !conn.closed && conn.job.is_some() && conn.last_heard.elapsed() > timeout {
+                eprintln!(
+                    "coordinator: worker `{}` silent for {:.1?} mid-job; dropping it",
+                    conn.name,
+                    conn.last_heard.elapsed()
+                );
+                conn.closed = true;
+            }
+        }
+
+        // A closed connection orphans its assignment: hand the job back to
+        // the queue at its last replicated checkpoint.
+        for conn in &mut self.conns {
+            if conn.closed {
+                if let Some(job) = conn.job.take() {
+                    eprintln!(
+                        "coordinator: worker `{}` lost mid-job; requeueing {job}",
+                        conn.name
+                    );
+                    self.core.requeue_interrupted(&job);
+                    progress = true;
+                }
+            }
+        }
+        self.conns.retain(|c| !c.closed);
+
+        progress |= self.forward_cancels();
+        progress |= self.dispatch();
+
+        for conn in &mut self.conns {
+            progress |= Self::flush(conn);
+        }
+        progress
+    }
+
+    /// Read and handle every complete frame of one connection.
+    fn service_conn(core: &Arc<ServiceCore>, conn: &mut WorkerConn) -> bool {
+        let (mut progress, closed) = framing::read_available(&mut conn.stream, &mut conn.inbuf);
+        conn.closed |= closed;
+        if progress {
+            conn.last_heard = Instant::now();
+        }
+        while let Some(line) = framing::next_line(&mut conn.inbuf) {
+            Self::handle_frame(core, conn, &line);
+            progress = true;
+        }
+        progress
+    }
+
+    /// Handle one worker frame.
+    fn handle_frame(core: &Arc<ServiceCore>, conn: &mut WorkerConn, line: &str) {
+        let frame = match parse(line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                // A malformed frame means the peer is not speaking the
+                // protocol (or the stream is corrupt): drop it; its job is
+                // requeued like any other disconnect.
+                eprintln!("coordinator: malformed worker frame ({e}); dropping `{}`", conn.name);
+                conn.closed = true;
+                return;
+            }
+        };
+        match frame.get("op").and_then(Json::as_str) {
+            Some("register") => {
+                conn.name = frame
+                    .get("worker")
+                    .and_then(Json::as_str)
+                    .unwrap_or("anonymous")
+                    .to_string();
+                conn.registered = true;
+                conn.queue_line(&Json::obj().field("op", "registered"));
+            }
+            Some("wave") => Self::handle_wave(core, conn, &frame),
+            Some("done") => {
+                let Some(job) = frame.get("job").and_then(Json::as_str) else { return };
+                if conn.job.as_deref() != Some(job) {
+                    return; // stale frame from a superseded assignment
+                }
+                // The closing cell events (budget-exhausted cells close at
+                // finish) ride on the done frame; publish before the
+                // terminating done event.
+                let events = frame
+                    .get("events")
+                    .and_then(Json::as_array)
+                    .map(<[Json]>::to_vec)
+                    .unwrap_or_default();
+                core.publish(job, events);
+                let result = frame.get("result").cloned().unwrap_or(Json::Null);
+                core.complete(job, result);
+                conn.job = None;
+                conn.cancel_sent = false;
+                conn.last_wave = None;
+            }
+            Some("cancelled") => {
+                let Some(job) = frame.get("job").and_then(Json::as_str) else { return };
+                if conn.job.as_deref() != Some(job) {
+                    return;
+                }
+                // The worker's stopping point rides along as a normal
+                // checkpoint transfer; keep it only if it validates.
+                let checkpoint = checkpoint_transfer_from_json(&frame)
+                    .ok()
+                    .filter(|t| t.validates() && t.job == job)
+                    .map(|t| t.checkpoint);
+                core.finish_cancelled(job, checkpoint);
+                conn.job = None;
+                conn.cancel_sent = false;
+                conn.last_wave = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Replicate one wave checkpoint (the heart of the failover story).
+    fn handle_wave(core: &Arc<ServiceCore>, conn: &mut WorkerConn, frame: &Json) {
+        let transfer = match checkpoint_transfer_from_json(frame) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("coordinator: undecodable checkpoint transfer ({e})");
+                conn.closed = true;
+                return;
+            }
+        };
+        let stale = conn.job.as_deref() != Some(transfer.job.as_str());
+        let replayed = conn.last_wave.is_some_and(|w| transfer.checkpoint.wave <= w);
+        let valid = transfer.validates();
+        let accepted = !stale && !replayed && valid;
+        if accepted {
+            let events = frame
+                .get("events")
+                .and_then(Json::as_array)
+                .map(<[Json]>::to_vec)
+                .unwrap_or_default();
+            core.publish(&transfer.job, events);
+            core.save_checkpoint(&transfer.job, transfer.checkpoint.clone(), JobPhase::Running);
+            conn.last_wave = Some(transfer.checkpoint.wave);
+        } else if !valid {
+            // Never spool a snapshot that lost state in transit: resuming
+            // from it could silently change verdicts.  The job still holds
+            // its previous replicated checkpoint, which resumes correctly.
+            eprintln!(
+                "coordinator: checkpoint digest mismatch for {} wave {} (rejected)",
+                transfer.job, transfer.checkpoint.wave
+            );
+        }
+        conn.queue_line(
+            &Json::obj()
+                .field("op", "ack")
+                .field("job", transfer.job.as_str())
+                .field("wave", transfer.checkpoint.wave)
+                .field("accepted", accepted),
+        );
+    }
+
+    /// Forward pending cancellations to the workers driving the jobs.
+    fn forward_cancels(&mut self) -> bool {
+        let mut progress = false;
+        for conn in &mut self.conns {
+            let Some(job) = conn.job.clone() else { continue };
+            if !conn.cancel_sent && self.core.cancel_requested(&job) {
+                conn.queue_line(&Json::obj().field("op", "cancel").field("job", job.as_str()));
+                conn.cancel_sent = true;
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    /// Assign queued jobs (highest priority first) to idle workers.
+    fn dispatch(&mut self) -> bool {
+        let mut progress = false;
+        for conn in &mut self.conns {
+            if !conn.registered || conn.job.is_some() {
+                continue;
+            }
+            let Some((job, spec, checkpoint)) =
+                self.core.claim(Some(conn.name.as_str()))
+            else {
+                break; // queue empty: no later conn will find work either
+            };
+            let assign = Json::obj()
+                .field("op", "assign")
+                .field("job", job.as_str())
+                .field("spec", spec.to_json())
+                .field(
+                    "checkpoint",
+                    checkpoint.as_ref().map(rvz_bench::report::matrix_checkpoint_to_json),
+                );
+            eprintln!(
+                "coordinator: assigned {job} to worker `{}`{}",
+                conn.name,
+                match &checkpoint {
+                    Some(cp) => format!(" (resuming from wave {})", cp.wave),
+                    None => String::new(),
+                }
+            );
+            conn.queue_line(&assign);
+            conn.job = Some(job);
+            conn.cancel_sent = false;
+            conn.last_wave = checkpoint.map(|cp| cp.wave);
+            // The silence clock starts at assignment — idle workers send
+            // nothing, so their stale `last_heard` must not count against
+            // the new job.
+            conn.last_heard = Instant::now();
+            progress = true;
+        }
+        progress
+    }
+
+    /// Flush as much queued output as the socket accepts.
+    fn flush(conn: &mut WorkerConn) -> bool {
+        let (progress, closed) = framing::flush(&mut conn.stream, &mut conn.outbuf);
+        conn.closed |= closed;
+        progress
+    }
+
+    /// Drive the reactor until the core stops, then tell every worker to
+    /// shut down (best effort).
+    pub fn run(mut self) {
+        while !self.core.stopped() {
+            if !self.poll_once() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        for conn in &mut self.conns {
+            conn.queue_line(&Json::obj().field("op", "shutdown"));
+            // The socket is non-blocking; a backed-up buffer would make
+            // write_all bail on WouldBlock and silently drop the shutdown
+            // frame, leaving workers to burn their whole reconnect-retry
+            // window.  Switch to blocking with a short timeout so the
+            // frame actually drains (bounded: this is best-effort).
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn.stream.set_write_timeout(Some(Duration::from_millis(500)));
+            let _ = conn.stream.write_all(&conn.outbuf);
+        }
+    }
+}
+
+/// A running coordinator: the reactor thread plus its bound worker
+/// address.
+pub struct CoordinatorHandle {
+    addr: SocketAddr,
+    thread: JoinHandle<()>,
+}
+
+impl CoordinatorHandle {
+    /// Spawn the coordinator reactor on its own thread.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn spawn(core: Arc<ServiceCore>, listen: &str) -> io::Result<CoordinatorHandle> {
+        let coordinator = Coordinator::bind(core, listen)?;
+        let addr = coordinator.local_addr();
+        let thread = std::thread::Builder::new()
+            .name("rvz-service-coordinator".to_string())
+            .spawn(move || coordinator.run())
+            .map_err(io::Error::other)?;
+        Ok(CoordinatorHandle { addr, thread })
+    }
+
+    /// The bound worker address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Join the reactor thread (call after [`ServiceCore::stop`]).
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! The core is transport-agnostic — the TCP front-end ([`crate::server`])
 //! and the in-process [`ServiceHandle`](crate::ServiceHandle) both drive
-//! this API.  Jobs are sharded over `shards` long-lived worker threads
-//! (assignment: FNV of the job id, so it survives restarts); each worker
+//! this API.  Jobs drain through `shards` long-lived worker threads, all
+//! pulling from one global queue (highest priority first, FIFO within a
+//! priority — never inverted by placement); each worker
 //! drives its job as an incremental
 //! [`MatrixRun`](revizor::orchestrator::MatrixRun), persisting a
 //! checkpoint to the spool between waves and publishing progress events to
@@ -27,23 +28,46 @@ use std::time::Duration;
 /// Configuration of a service instance.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Number of shard worker threads.  Jobs are distributed over shards by
-    /// job-id hash; shards run their jobs sequentially and independently of
-    /// each other.
+    /// Number of shard worker threads.  All of them drain **one** shared
+    /// queue — highest priority first, FIFO within a priority — each
+    /// running one job at a time.
     pub shards: usize,
     /// Spool directory for durable job state; `None` keeps everything in
     /// memory (jobs are lost when the process exits).
     pub spool: Option<PathBuf>,
     /// Waves between spool checkpoints (1 = checkpoint after every wave).
+    /// In-process mode only: multi-host replication always persists every
+    /// ack'd wave — the "spool replica is at most one wave behind" failover
+    /// guarantee is built on it.
     pub checkpoint_every: usize,
     /// TCP listen address for the JSON-lines front-end (e.g.
     /// `"127.0.0.1:0"` for an ephemeral port); `None` runs in-process only.
     pub listen: Option<String>,
+    /// Multi-host mode: TCP listen address for **worker hosts**
+    /// (`revizor-worker`).  When set, the service runs as a *coordinator*:
+    /// no local shard threads are spawned, and jobs are dispatched to
+    /// connected workers instead (see [`crate::coordinator`]).
+    pub worker_listen: Option<String>,
+    /// Multi-host mode: how long a worker driving a job may go without
+    /// sending any frame before the coordinator declares it silently
+    /// partitioned — the connection is dropped and the job requeued from
+    /// its last replicated checkpoint.  Workers produce at least one frame
+    /// per wave, so set this well above the longest expected wave; a
+    /// spurious trip is *safe* (resume is byte-identical), it only wastes
+    /// the stalled worker's wave.  Idle (unassigned) workers are exempt.
+    pub worker_timeout: Duration,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { shards: 2, spool: None, checkpoint_every: 1, listen: None }
+        ServiceConfig {
+            shards: 2,
+            spool: None,
+            checkpoint_every: 1,
+            listen: None,
+            worker_listen: None,
+            worker_timeout: Duration::from_secs(120),
+        }
     }
 }
 
@@ -56,14 +80,30 @@ struct JobEntry {
     events: Vec<Json>,
     checkpoint: Option<MatrixCheckpoint>,
     result: Option<Json>,
+    /// A client asked for cancellation while the job was running; the
+    /// driver (shard worker or remote worker host) honors it at the next
+    /// wave boundary.
+    cancel_requested: bool,
+    /// The worker host currently driving the job (multi-host mode only).
+    worker: Option<String>,
+    /// Bumped (under the core lock) every time a durable record of this
+    /// job is built; persists are ordered by it so a stale record built
+    /// just before a newer one can never overwrite it on disk.
+    record_version: u64,
 }
 
 /// Everything behind the core's one lock.
 struct CoreState {
     jobs: BTreeMap<String, JobEntry>,
-    /// Submission order (workers scan it for their shard's next job).
+    /// Submission order (the claim scan walks it; FIFO tie-break).
     order: Vec<String>,
+    /// Jobs currently in [`JobPhase::Queued`] — maintained at every phase
+    /// transition so the idle paths (the coordinator polls for work every
+    /// 2ms, shard workers every 100ms) can skip the O(all jobs ever)
+    /// claim scan when nothing is queued.
+    queued: usize,
 }
+
 
 /// A summary of one job, for `status` / `list` responses.
 #[derive(Debug, Clone)]
@@ -72,8 +112,14 @@ pub struct JobStatus {
     pub job: String,
     /// Lifecycle phase.
     pub phase: JobPhase,
-    /// The shard the job is pinned to.
+    /// Informational placement label (job-id hash bucket; always 0 in
+    /// multi-host mode).  Scheduling is a single global priority queue —
+    /// jobs are never pinned.
     pub shard: usize,
+    /// Scheduling priority (higher drains first).
+    pub priority: i64,
+    /// The worker host currently driving the job (multi-host mode only).
+    pub worker: Option<String>,
     /// Number of matrix cells.
     pub cells: usize,
     /// Cells already finished (violation found; budget-exhausted cells
@@ -90,6 +136,8 @@ impl JobStatus {
             .field("job", self.job.as_str())
             .field("state", self.phase.label())
             .field("shard", self.shard)
+            .field("priority", rvz_bench::report::i64_to_json(self.priority))
+            .field("worker", self.worker.as_deref())
             .field("cells", self.cells)
             .field("cells_finished", self.cells_finished)
             .field("events", self.events)
@@ -106,6 +154,16 @@ pub struct ServiceCore {
     changed: Condvar,
     stop: AtomicBool,
     counter: AtomicU64,
+    /// Global event sequence: every published event is stamped with a
+    /// strictly increasing `seq`, so cross-job scheduling order (e.g.
+    /// "the high-priority job started first") is observable from the logs.
+    event_seq: AtomicU64,
+    /// Per-job persist locks carrying the highest
+    /// [`JobEntry::record_version`] written to the spool (see
+    /// [`ServiceCore::persist`]).  Per job, not global: only same-job
+    /// writes need ordering, and a single lock across file I/O would
+    /// serialize every job's checkpoints behind each other.
+    persisted: Mutex<BTreeMap<String, Arc<Mutex<u64>>>>,
 }
 
 impl ServiceCore {
@@ -115,27 +173,42 @@ impl ServiceCore {
     /// # Errors
     /// Propagates spool-directory creation failures.
     pub fn new(config: ServiceConfig) -> io::Result<Arc<ServiceCore>> {
+        // In multi-host mode jobs are dispatched to worker hosts, not
+        // pinned to local shard threads: collapse to one nominal shard so
+        // the wire-visible `shard` field is always 0 there.
+        let mut config = config;
+        if config.worker_listen.is_some() {
+            config.shards = 1;
+        }
         let spool = match &config.spool {
             Some(dir) => Some(Spool::open(dir)?),
             None => None,
         };
-        let mut state = CoreState { jobs: BTreeMap::new(), order: Vec::new() };
+        let mut state = CoreState { jobs: BTreeMap::new(), order: Vec::new(), queued: 0 };
         let mut next_counter = 1u64;
         if let Some(spool) = &spool {
-            for record in spool.load_all() {
+            let mut records = spool.load_all();
+            // The directory scan is lexicographic, which is digest order,
+            // not submission order (ids are `j<digest>-<counter hex>`, and
+            // the unpadded hex counter itself misorders across widths).
+            // Re-sort by the counter — it increases per submission — so
+            // the restored `order` preserves the FIFO-within-priority
+            // claim guarantee and the event `seq` re-stamp below really is
+            // submission order.  Ids without a parseable counter sort
+            // first, by name.
+            records.sort_by_key(|r| (id_counter(&r.job), r.job.clone()));
+            for record in records {
                 let shard = shard_of(&record.job, config.shards);
                 // Job ids end in `-<counter hex>`; keep allocating above the
                 // highest loaded one so a restarted server can never reuse
                 // (and overwrite) an existing job's id.
-                if let Some(n) = record
-                    .job
-                    .rsplit('-')
-                    .next()
-                    .and_then(|suffix| u64::from_str_radix(suffix, 16).ok())
-                {
+                if let Some(n) = id_counter(&record.job) {
                     next_counter = next_counter.max(n + 1);
                 }
                 let events = restored_events(&record);
+                if record.phase == JobPhase::Queued {
+                    state.queued += 1;
+                }
                 state.order.push(record.job.clone());
                 state.jobs.insert(
                     record.job.clone(),
@@ -146,18 +219,49 @@ impl ServiceCore {
                         events,
                         checkpoint: record.checkpoint,
                         result: record.result,
+                        cancel_requested: record.cancel_requested,
+                        worker: None,
+                        record_version: 0,
                     },
                 );
             }
         }
-        Ok(Arc::new(ServiceCore {
+        // Restored event logs are re-stamped from 0 in submission order.
+        let mut seq = 0u64;
+        for job in &state.order {
+            if let Some(entry) = state.jobs.get_mut(job) {
+                for event in &mut entry.events {
+                    *event = std::mem::replace(event, Json::Null).field("seq", seq);
+                    seq += 1;
+                }
+            }
+        }
+        let core = Arc::new(ServiceCore {
             config,
             spool,
             state: Mutex::new(state),
             changed: Condvar::new(),
             stop: AtomicBool::new(false),
             counter: AtomicU64::new(next_counter),
-        }))
+            event_seq: AtomicU64::new(seq),
+            persisted: Mutex::new(BTreeMap::new()),
+        });
+        // A restored job whose cancel arrived just before the previous
+        // server died comes back as Queued + cancel_requested; honor the
+        // cancellation now instead of re-running (or stranding) the job.
+        let pending_cancels: Vec<String> = {
+            let state = core.state.lock().expect("core lock");
+            state
+                .jobs
+                .iter()
+                .filter(|(_, e)| e.phase == JobPhase::Queued && e.cancel_requested)
+                .map(|(job, _)| job.clone())
+                .collect()
+        };
+        for job in pending_cancels {
+            core.finish_cancelled(&job, None);
+        }
+        Ok(core)
     }
 
     /// The instance configuration.
@@ -199,18 +303,23 @@ impl ServiceCore {
             }
         };
         let shard = shard_of(&job, self.config.shards);
-        let entry = JobEntry {
+        let mut entry = JobEntry {
             spec,
             shard,
             phase: JobPhase::Queued,
             events: Vec::new(),
             checkpoint: None,
             result: None,
+            cancel_requested: false,
+            worker: None,
+            record_version: 0,
         };
-        self.persist(&Self::record_of(&job, &entry));
+        let (record, version) = Self::record_of(&job, &mut entry);
+        self.persist(&record, version);
         let mut state = self.state.lock().expect("core lock");
         state.order.push(job.clone());
         state.jobs.insert(job.clone(), entry);
+        state.queued += 1;
         self.changed.notify_all();
         Ok(job)
     }
@@ -219,6 +328,14 @@ impl ServiceCore {
     pub fn status(&self, job: &str) -> Option<JobStatus> {
         let state = self.state.lock().expect("core lock");
         state.jobs.get(job).map(|e| summarize(job, e))
+    }
+
+    /// Just a job's lifecycle phase — one lock, no event-log scan (the
+    /// drive loop polls this every wave; [`ServiceCore::status`] counts
+    /// cell events and would make that O(log length) per wave).
+    pub fn job_phase(&self, job: &str) -> Option<JobPhase> {
+        let state = self.state.lock().expect("core lock");
+        state.jobs.get(job).map(|e| e.phase)
     }
 
     /// Summaries of all jobs, in submission order.
@@ -273,75 +390,289 @@ impl ServiceCore {
         }
     }
 
-    /// Build the durable record of a job (caller persists it *outside* the
-    /// core lock — checkpoint documents carry whole violation reports, and
-    /// file I/O under the lock would stall every client-facing call).
-    fn record_of(job: &str, entry: &JobEntry) -> SpoolRecord {
-        SpoolRecord {
+    /// Build the durable record of a job, stamped with the next record
+    /// version (callers persist it *outside* the core lock — checkpoint
+    /// documents carry whole violation reports, and file I/O under the
+    /// lock would stall every client-facing call).
+    fn record_of(job: &str, entry: &mut JobEntry) -> (SpoolRecord, u64) {
+        entry.record_version += 1;
+        let record = SpoolRecord {
             job: job.to_string(),
             spec: entry.spec.clone(),
             phase: entry.phase,
             checkpoint: entry.checkpoint.clone(),
             result: entry.result.clone(),
-        }
+            cancel_requested: entry.cancel_requested,
+        };
+        (record, entry.record_version)
     }
 
-    /// Write one record to the spool (no lock held).
-    fn persist(&self, record: &SpoolRecord) {
-        let Some(spool) = &self.spool else { return };
+    /// Write one record to the spool (core lock NOT held).  Writes are
+    /// ordered by record version: two threads can build records for the
+    /// same job back to back under the core lock and then race to the
+    /// file, and without the ordering the stale one could win the rename
+    /// and roll back durable state (e.g. a freshly persisted
+    /// `cancel_requested` flag, which must survive a server kill).
+    fn persist(&self, record: &SpoolRecord, version: u64) {
+        if self.spool.is_none() {
+            return;
+        }
+        // The map lock is held only to fetch the job's own lock; the file
+        // write happens under the *per-job* lock, so unrelated jobs (and
+        // submit() on the reactor thread) never wait on each other's I/O.
+        let job_lock = {
+            let mut persisted = self.persisted.lock().expect("persist map lock");
+            Arc::clone(persisted.entry(record.job.clone()).or_default())
+        };
+        let mut last = job_lock.lock().expect("persist job lock");
+        if version <= *last {
+            return; // a newer record already reached the disk
+        }
+        *last = version;
+        let spool = self.spool.as_ref().expect("checked above");
         if let Err(e) = spool.save(record) {
             eprintln!("spool: failed to persist job {}: {e}", record.job);
         }
     }
 
-    /// Pick the next queued job for `shard`, marking it running.
-    fn claim(&self, shard: usize) -> Option<(String, JobSpec, Option<MatrixCheckpoint>)> {
-        let (claimed, record) = {
+    /// Pick the next queued job, marking it running: the highest-priority
+    /// queued job (FIFO within a priority), from the **one global queue**
+    /// — every idle drainer (in-process shard worker or, via the
+    /// coordinator, a remote worker host) takes the globally best job, so
+    /// the priority guarantee is never inverted by placement.  `worker`
+    /// names the remote worker host taking the job, when there is one.
+    pub(crate) fn claim(
+        &self,
+        worker: Option<&str>,
+    ) -> Option<(String, JobSpec, Option<MatrixCheckpoint>)> {
+        let (claimed, record, cancelled) = {
             let mut state = self.state.lock().expect("core lock");
-            let job = state.order.iter().find(|job| {
-                state
-                    .jobs
-                    .get(*job)
-                    .is_some_and(|e| e.phase == JobPhase::Queued && e.shard == shard)
-            })?;
-            let job = job.clone();
-            let entry = state.jobs.get_mut(&job).expect("found above");
-            entry.phase = JobPhase::Running;
-            let claimed = (job.clone(), entry.spec.clone(), entry.checkpoint.clone());
-            (claimed, Self::record_of(&job, entry))
+            if state.queued == 0 {
+                // Fast path for the idle pollers: no scan of the full job
+                // history when nothing is queued.
+                return None;
+            }
+            // A queued job can carry a pending cancel (its cancel raced a
+            // requeue): it must never be dispatched again — collect it for
+            // terminal cancellation instead of claiming it.
+            let mut cancelled: Vec<String> = Vec::new();
+            // `order` is submission order; keeping only *strictly* higher
+            // priorities picks the earliest submission within the winning
+            // priority (FIFO tie-break).
+            let mut best: Option<(&String, i64)> = None;
+            for job in &state.order {
+                let Some(e) = state.jobs.get(job) else { continue };
+                if e.phase != JobPhase::Queued {
+                    continue;
+                }
+                if e.cancel_requested {
+                    cancelled.push(job.clone());
+                    continue;
+                }
+                if best.is_none_or(|(_, p)| e.spec.priority > p) {
+                    best = Some((job, e.spec.priority));
+                }
+            }
+            match best {
+                None => (None, None, cancelled),
+                Some((job, _)) => {
+                    let job = job.clone();
+                    state.queued -= 1; // the scan saw it Queued
+                    let entry = state.jobs.get_mut(&job).expect("found above");
+                    entry.phase = JobPhase::Running;
+                    entry.worker = worker.map(str::to_string);
+                    let claimed = (job.clone(), entry.spec.clone(), entry.checkpoint.clone());
+                    let record = Self::record_of(&job, entry);
+                    (Some(claimed), Some(record), cancelled)
+                }
+            }
         };
-        self.persist(&record);
-        Some(claimed)
+        for job in cancelled {
+            self.finish_cancelled(&job, None);
+        }
+        let (record, version) = record?;
+        self.persist(&record, version);
+        claimed
     }
 
-    /// Append events to a job's log.
-    fn publish(&self, job: &str, events: Vec<Json>) {
+    /// Hand a running job back to the queue (its driver is gone — e.g. a
+    /// worker host died).  The job keeps its last replicated checkpoint, so
+    /// the next claim resumes it from there with byte-identical verdicts.
+    /// A job with a pending cancellation is cancelled terminally instead
+    /// of requeued — its driver died before honoring the cancel, and
+    /// re-dispatching it would run waves the client already cancelled.
+    pub(crate) fn requeue_interrupted(&self, job: &str) {
+        let record = {
+            let mut state = self.state.lock().expect("core lock");
+            let Some(entry) = state.jobs.get_mut(job) else { return };
+            if entry.phase != JobPhase::Running {
+                return;
+            }
+            if entry.cancel_requested {
+                drop(state);
+                self.finish_cancelled(job, None);
+                return;
+            }
+            entry.phase = JobPhase::Queued;
+            entry.worker = None;
+            let record = Self::record_of(job, entry);
+            state.queued += 1; // back from Running
+            record
+        };
+        let (record, version) = record;
+        self.persist(&record, version);
+        let _guard = self.state.lock().expect("core lock");
+        self.changed.notify_all();
+    }
+
+    /// Ask for a job's cancellation.  Queued jobs cancel immediately;
+    /// running jobs cancel cooperatively at their next wave boundary (the
+    /// returned phase is still `Running` until then).  Terminal jobs are
+    /// rejected.
+    ///
+    /// # Errors
+    /// Returns a message for unknown or already-finished jobs.
+    pub fn cancel(&self, job: &str) -> Result<JobPhase, String> {
+        // `Some(record)` = running (cooperative cancel; persist the flag),
+        // `None` = still queued (cancel immediately).
+        let cooperative: Option<(SpoolRecord, u64)> = {
+            let mut state = self.state.lock().expect("core lock");
+            let entry = state.jobs.get_mut(job).ok_or_else(|| format!("unknown job `{job}`"))?;
+            match entry.phase {
+                JobPhase::Done => return Err(format!("job `{job}` already finished")),
+                JobPhase::Cancelled => return Ok(JobPhase::Cancelled),
+                JobPhase::Queued => {
+                    // Flag it under the SAME lock as the phase observation:
+                    // if a claim slips in between this lock and the
+                    // `finish_cancelled` below, it sees the flag and
+                    // cancels instead of dispatching — without it, a
+                    // queued job racing a claim would run to completion
+                    // behind its own cancelled `done` event.
+                    entry.cancel_requested = true;
+                    None
+                }
+                JobPhase::Running => {
+                    entry.cancel_requested = true;
+                    // Persisted so the cancellation survives a server kill
+                    // before the next wave boundary.
+                    Some(Self::record_of(job, entry))
+                }
+            }
+        };
+        match cooperative {
+            None => {
+                self.finish_cancelled(job, None);
+                Ok(JobPhase::Cancelled)
+            }
+            Some((record, version)) => {
+                self.persist(&record, version);
+                let _guard = self.state.lock().expect("core lock");
+                self.changed.notify_all();
+                Ok(JobPhase::Running)
+            }
+        }
+    }
+
+    /// Has a cancellation been requested for this (running) job?
+    pub fn cancel_requested(&self, job: &str) -> bool {
+        let state = self.state.lock().expect("core lock");
+        state.jobs.get(job).is_some_and(|e| e.cancel_requested && !e.phase.terminal())
+    }
+
+    /// Terminally cancel a job: record the (optional) final checkpoint as
+    /// the stopping point, store the `cancelled` result payload and publish
+    /// the terminating `done` event.  Called by whichever driver honors the
+    /// cooperative cancel — or directly for still-queued jobs.
+    pub(crate) fn finish_cancelled(&self, job: &str, checkpoint: Option<MatrixCheckpoint>) {
+        let result = Json::obj().field("job", job).field("cancelled", true);
+        let done = Json::obj()
+            .field("event", "done")
+            .field("job", job)
+            .field("cancelled", true)
+            .field("result", result.clone());
+        let record = {
+            let mut state = self.state.lock().expect("core lock");
+            let Some(entry) = state.jobs.get_mut(job) else { return };
+            if entry.phase.terminal() {
+                return;
+            }
+            let was_queued = entry.phase == JobPhase::Queued;
+            entry.phase = JobPhase::Cancelled;
+            entry.cancel_requested = false;
+            entry.worker = None;
+            entry.result = Some(result);
+            if let Some(checkpoint) = checkpoint {
+                entry.checkpoint = Some(checkpoint);
+            }
+            let done = self.stamp(done);
+            entry.events.push(done);
+            let record = Self::record_of(job, entry);
+            if was_queued {
+                state.queued -= 1;
+            }
+            record
+        };
+        let (record, version) = record;
+        self.persist(&record, version);
+        let _guard = self.state.lock().expect("core lock");
+        self.changed.notify_all();
+    }
+
+    /// Stamp an event with the next global sequence number.
+    fn stamp(&self, event: Json) -> Json {
+        event.field("seq", self.event_seq.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Append events to a job's log (each stamped with the global `seq`).
+    /// Terminal jobs accept no further events: their `done` line stays the
+    /// last one watchers ever see, even if a straggling driver (one that
+    /// raced a cancellation) is still producing.
+    pub(crate) fn publish(&self, job: &str, events: Vec<Json>) {
         if events.is_empty() {
             return;
         }
         let mut state = self.state.lock().expect("core lock");
         if let Some(entry) = state.jobs.get_mut(job) {
-            entry.events.extend(events);
+            if entry.phase.terminal() {
+                return;
+            }
+            for event in events {
+                let event = self.stamp(event);
+                entry.events.push(event);
+            }
         }
         self.changed.notify_all();
     }
 
     /// Store a wave checkpoint (and persist it, outside the lock).
-    fn save_checkpoint(&self, job: &str, checkpoint: MatrixCheckpoint, phase: JobPhase) {
+    pub(crate) fn save_checkpoint(&self, job: &str, checkpoint: MatrixCheckpoint, phase: JobPhase) {
         let record = {
             let mut state = self.state.lock().expect("core lock");
             let Some(entry) = state.jobs.get_mut(job) else { return };
+            if entry.phase.terminal() {
+                // A straggling driver must never resurrect a finished or
+                // cancelled job to Running.
+                return;
+            }
+            let was_queued = entry.phase == JobPhase::Queued;
             entry.checkpoint = Some(checkpoint);
             entry.phase = phase;
-            Self::record_of(job, entry)
+            let record = Self::record_of(job, entry);
+            match (was_queued, phase == JobPhase::Queued) {
+                (false, true) => state.queued += 1,
+                (true, false) => state.queued -= 1,
+                _ => {}
+            }
+            record
         };
-        self.persist(&record);
+        let (record, version) = record;
+        self.persist(&record, version);
         self.changed.notify_all();
     }
 
     /// Finish a job: store the result, drop the checkpoint, publish the
     /// `done` event.
-    fn complete(&self, job: &str, result: Json) {
+    pub(crate) fn complete(&self, job: &str, result: Json) {
         let done = Json::obj()
             .field("event", "done")
             .field("job", job)
@@ -349,21 +680,33 @@ impl ServiceCore {
         let record = {
             let mut state = self.state.lock().expect("core lock");
             let Some(entry) = state.jobs.get_mut(job) else { return };
+            if entry.phase.terminal() {
+                // A result racing a cancellation: first terminal state wins.
+                return;
+            }
+            let was_queued = entry.phase == JobPhase::Queued;
             entry.phase = JobPhase::Done;
             entry.result = Some(result);
             entry.checkpoint = None;
+            entry.worker = None;
+            let done = self.stamp(done);
             entry.events.push(done);
-            Self::record_of(job, entry)
+            let record = Self::record_of(job, entry);
+            if was_queued {
+                state.queued -= 1;
+            }
+            record
         };
-        self.persist(&record);
+        let (record, version) = record;
+        self.persist(&record, version);
         self.changed.notify_all();
     }
 
     /// The body of one shard worker thread: claim → drive → complete, until
     /// the core stops.
-    pub fn run_worker(self: &Arc<Self>, shard: usize) {
+    pub fn run_worker(self: &Arc<Self>, _shard: usize) {
         while !self.stopped() {
-            let Some((job, spec, checkpoint)) = self.claim(shard) else {
+            let Some((job, spec, checkpoint)) = self.claim(None) else {
                 // Idle: wait for a submission (or stop).
                 let state = self.state.lock().expect("core lock");
                 let _ = self
@@ -406,6 +749,19 @@ impl ServiceCore {
                 self.save_checkpoint(job, run.checkpoint(), JobPhase::Queued);
                 return;
             }
+            if self.cancel_requested(job) {
+                // Cooperative cancellation: stop at the wave boundary and
+                // record where the job stopped.
+                self.publish(job, std::mem::take(&mut collector.events));
+                self.finish_cancelled(job, Some(run.checkpoint()));
+                return;
+            }
+            if self.job_phase(job).is_none_or(JobPhase::terminal) {
+                // The job went terminal behind our back (a cancel raced
+                // the claim): abandon the run; the terminal state already
+                // published its closing event.
+                return;
+            }
             let more = run.step(&mut collector);
             self.publish(job, std::mem::take(&mut collector.events));
             if !more {
@@ -429,6 +785,8 @@ fn summarize(job: &str, e: &JobEntry) -> JobStatus {
         job: job.to_string(),
         phase: e.phase,
         shard: e.shard,
+        priority: e.spec.priority,
+        worker: e.worker.clone(),
         cells,
         cells_finished: match e.phase {
             JobPhase::Done => cells,
@@ -471,12 +829,11 @@ fn restored_events(record: &SpoolRecord) -> Vec<Json> {
         }
     }
     if let Some(result) = &record.result {
-        events.push(
-            Json::obj()
-                .field("event", "done")
-                .field("job", record.job.as_str())
-                .field("result", result.clone()),
-        );
+        let mut done = Json::obj().field("event", "done").field("job", record.job.as_str());
+        if record.phase == JobPhase::Cancelled {
+            done = done.field("cancelled", true);
+        }
+        events.push(done.field("result", result.clone()));
     }
     events
 }
@@ -511,10 +868,11 @@ pub fn deterministic_result(result: &Json) -> Json {
     }
 }
 
-/// Collects matrix progress events as wire-format JSON lines.
-struct EventCollector {
-    job: String,
-    events: Vec<Json>,
+/// Collects matrix progress events as wire-format JSON lines (shared by
+/// the in-process shard workers and the remote worker loop).
+pub(crate) struct EventCollector {
+    pub(crate) job: String,
+    pub(crate) events: Vec<Json>,
 }
 
 impl ProgressObserver for EventCollector {
@@ -559,6 +917,12 @@ fn shard_of(job: &str, shards: usize) -> usize {
     (fnv(job.as_bytes()) % shards.max(1) as u64) as usize
 }
 
+/// The submission counter baked into a server-minted job id
+/// (`j<digest>-<counter hex>`); `None` for hand-named spool files.
+fn id_counter(job: &str) -> Option<u64> {
+    job.rsplit('-').next().and_then(|suffix| u64::from_str_radix(suffix, 16).ok())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,5 +955,192 @@ mod tests {
         let core = ServiceCore::new(ServiceConfig::default()).unwrap();
         let err = core.submit(JobSpec::new(1).add_cell(42, "CT-SEQ")).expect_err("rejects");
         assert!(err.contains("unknown target"), "{err}");
+    }
+
+    /// No shard threads run here (the core is constructed directly), so
+    /// the queue can be claimed by hand and its order observed.
+    #[test]
+    fn claim_drains_higher_priority_first_then_fifo() {
+        let config = ServiceConfig { shards: 1, ..ServiceConfig::default() };
+        let core = ServiceCore::new(config).unwrap();
+        let spec = |p: i64| JobSpec::new(1).with_priority(p).add_cell(1, "CT-SEQ");
+        let low_first = core.submit(spec(0)).unwrap();
+        let low_second = core.submit(spec(0)).unwrap();
+        let high = core.submit(spec(5)).unwrap();
+        let negative = core.submit(spec(-1)).unwrap();
+        let drained: Vec<String> = std::iter::from_fn(|| core.claim(None))
+            .map(|(job, _, _)| job)
+            .collect();
+        assert_eq!(drained, vec![high, low_first, low_second, negative]);
+        assert!(core.claim(None).is_none(), "queue fully drained");
+    }
+
+    #[test]
+    fn cancel_transitions_and_rejections() {
+        let config = ServiceConfig { shards: 1, ..ServiceConfig::default() };
+        let core = ServiceCore::new(config).unwrap();
+        let job = core.submit(JobSpec::new(1).add_cell(1, "CT-SEQ")).unwrap();
+        assert!(core.cancel("j-unknown").is_err());
+        // Queued cancels immediately and terminally; cancel is idempotent.
+        assert_eq!(core.cancel(&job).unwrap(), JobPhase::Cancelled);
+        assert_eq!(core.cancel(&job).unwrap(), JobPhase::Cancelled);
+        assert_eq!(core.status(&job).unwrap().phase, JobPhase::Cancelled);
+        let result = core.result(&job).unwrap().expect("cancelled result payload");
+        assert_eq!(result.get("cancelled").and_then(Json::as_bool), Some(true));
+        // A cancelled job is never claimed.
+        assert!(core.claim(None).is_none());
+        // The event log terminates with a cancelled `done` event.
+        let events = core.events_from(&job, 0).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("event").and_then(Json::as_str), Some("done"));
+        assert_eq!(events[0].get("cancelled").and_then(Json::as_bool), Some(true));
+        // A running job cancels cooperatively: the claim holder observes
+        // the request at its next wave boundary.
+        let running = core.submit(JobSpec::new(2).add_cell(1, "CT-SEQ")).unwrap();
+        let (claimed, _, _) = core.claim(None).unwrap();
+        assert_eq!(claimed, running);
+        assert_eq!(core.cancel(&running).unwrap(), JobPhase::Running);
+        assert!(core.cancel_requested(&running));
+        core.finish_cancelled(&running, None);
+        assert!(!core.cancel_requested(&running), "terminal phase clears the request");
+        assert_eq!(core.status(&running).unwrap().phase, JobPhase::Cancelled);
+        // Completing after cancellation must not overwrite the terminal state.
+        core.complete(&running, Json::obj().field("job", running.as_str()));
+        assert_eq!(core.status(&running).unwrap().phase, JobPhase::Cancelled);
+    }
+
+    #[test]
+    fn pending_cancel_survives_requeue_and_claim_never_redispatches_it() {
+        let config = ServiceConfig { shards: 1, ..ServiceConfig::default() };
+        let core = ServiceCore::new(config).unwrap();
+        // A cancel that lands while the job runs, whose driver then dies
+        // (worker host lost): requeue must cancel terminally, not hand the
+        // job back to the queue.
+        let job = core.submit(JobSpec::new(1).add_cell(1, "CT-SEQ")).unwrap();
+        core.claim(Some("w1")).expect("claimed");
+        assert_eq!(core.cancel(&job).unwrap(), JobPhase::Running);
+        core.requeue_interrupted(&job);
+        assert_eq!(core.status(&job).unwrap().phase, JobPhase::Cancelled);
+        assert!(core.result(&job).unwrap().is_some(), "terminal result published");
+
+        // Defense in depth: even a Queued job carrying the flag (the
+        // cancel raced a requeue) is cancelled at claim time, never
+        // dispatched — and does not shadow other queued work.
+        let stuck = core.submit(JobSpec::new(2).add_cell(1, "CT-SEQ")).unwrap();
+        let next = core.submit(JobSpec::new(3).add_cell(1, "CT-SEQ")).unwrap();
+        {
+            let mut state = core.state.lock().unwrap();
+            state.jobs.get_mut(&stuck).unwrap().cancel_requested = true;
+        }
+        let (claimed, _, _) = core.claim(None).expect("other work still claimable");
+        assert_eq!(claimed, next);
+        assert_eq!(core.status(&stuck).unwrap().phase, JobPhase::Cancelled);
+    }
+
+    #[test]
+    fn restored_pending_cancel_is_cancelled_at_startup() {
+        // A server killed between a cancel request and the next wave
+        // boundary leaves Running + cancel_requested in the spool; the
+        // next server must cancel the job, not resume it (nor strand it
+        // queued forever when no worker connects).
+        let dir = std::env::temp_dir()
+            .join(format!("rvz-core-test-{}-restored-cancel", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spool = Spool::open(&dir).unwrap();
+        spool
+            .save(&SpoolRecord {
+                job: "j-test-9".to_string(),
+                spec: JobSpec::new(1).add_cell(1, "CT-SEQ"),
+                phase: JobPhase::Running,
+                checkpoint: None,
+                result: None,
+                cancel_requested: true,
+            })
+            .unwrap();
+        let config = ServiceConfig {
+            shards: 1,
+            spool: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let core = ServiceCore::new(config).unwrap();
+        assert_eq!(core.status("j-test-9").unwrap().phase, JobPhase::Cancelled);
+        assert!(core.claim(None).is_none(), "never dispatched");
+        // The cancelled phase is durable for the *next* restart too.
+        let record = Spool::open(&dir).unwrap().load_all().remove(0);
+        assert_eq!(record.phase, JobPhase::Cancelled);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restored_jobs_keep_submission_order_not_directory_order() {
+        // Job ids are `j<digest>-<counter hex>`: the spool's lexicographic
+        // directory scan orders by digest (and misorders unpadded hex
+        // counters across widths), so restore must re-sort by counter to
+        // keep the FIFO-within-priority guarantee across restarts.
+        let dir = std::env::temp_dir()
+            .join(format!("rvz-core-test-{}-restore-order", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spool = Spool::open(&dir).unwrap();
+        // Submission order by counter: jzz-9 (9), jmm-a (10), jaa-10 (16)
+        // — exactly inverse to the lexicographic file order.
+        for job in ["jzz-9", "jmm-a", "jaa-10"] {
+            spool
+                .save(&SpoolRecord {
+                    job: job.to_string(),
+                    spec: JobSpec::new(1).add_cell(1, "CT-SEQ"),
+                    phase: JobPhase::Queued,
+                    checkpoint: None,
+                    result: None,
+                    cancel_requested: false,
+                })
+                .unwrap();
+        }
+        let config = ServiceConfig {
+            shards: 1,
+            spool: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let core = ServiceCore::new(config).unwrap();
+        let drained: Vec<String> = std::iter::from_fn(|| core.claim(None))
+            .map(|(job, _, _)| job)
+            .collect();
+        assert_eq!(drained, vec!["jzz-9", "jmm-a", "jaa-10"]);
+        // And fresh ids keep allocating above the highest restored counter.
+        let fresh = core.submit(JobSpec::new(2).add_cell(1, "CT-SEQ")).unwrap();
+        assert!(u64::from_str_radix(fresh.rsplit('-').next().unwrap(), 16).unwrap() > 0x10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_host_mode_pins_every_job_to_shard_zero() {
+        // The wire-visible `shard` field is documented as always 0 in
+        // multi-host mode; the config normalizes shards to 1 there.
+        let core = ServiceCore::new(ServiceConfig {
+            shards: 8,
+            worker_listen: Some("127.0.0.1:0".to_string()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        for seed in 0..6u64 {
+            let job = core.submit(JobSpec::new(seed).add_cell(1, "CT-SEQ")).unwrap();
+            assert_eq!(core.status(&job).unwrap().shard, 0);
+        }
+    }
+
+    #[test]
+    fn published_events_carry_increasing_seq_stamps() {
+        let config = ServiceConfig { shards: 1, ..ServiceConfig::default() };
+        let core = ServiceCore::new(config).unwrap();
+        let a = core.submit(JobSpec::new(1).add_cell(1, "CT-SEQ")).unwrap();
+        let b = core.submit(JobSpec::new(2).add_cell(1, "CT-SEQ")).unwrap();
+        core.publish(&a, vec![Json::obj().field("event", "round")]);
+        core.publish(&b, vec![Json::obj().field("event", "round")]);
+        core.publish(&a, vec![Json::obj().field("event", "round")]);
+        let seq_of = |job: &str, i: usize| {
+            core.events_from(job, 0).unwrap()[i].get("seq").and_then(Json::as_u64).unwrap()
+        };
+        assert_eq!(seq_of(&a, 0), 0);
+        assert_eq!(seq_of(&b, 0), 1);
+        assert_eq!(seq_of(&a, 1), 2);
     }
 }

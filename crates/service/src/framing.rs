@@ -1,0 +1,90 @@
+//! Shared non-blocking line-framing primitives for the poll reactors
+//! (the client front-end in [`crate::server`] and the worker-port
+//! coordinator in [`crate::coordinator`]).
+//!
+//! Both reactors speak one JSON document per `\n`-terminated line over
+//! non-blocking sockets; the subtle edge cases (orderly close on `Ok(0)`,
+//! `WouldBlock` as "drained", hard errors as close, partial writes) live
+//! here once.
+
+use rvz_bench::json::Json;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Drain everything currently readable into `inbuf`.  Returns
+/// `(progress, closed)`: whether any bytes arrived, and whether the
+/// connection ended (EOF or a hard error).
+pub(crate) fn read_available(stream: &mut TcpStream, inbuf: &mut Vec<u8>) -> (bool, bool) {
+    let mut progress = false;
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return (progress, true),
+            Ok(n) => {
+                inbuf.extend_from_slice(&buf[..n]);
+                progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return (progress, false),
+            Err(_) => return (progress, true),
+        }
+    }
+}
+
+/// Pop the next complete, non-blank line from `inbuf` (without its
+/// terminator), if one is buffered.
+pub(crate) fn next_line(inbuf: &mut Vec<u8>) -> Option<String> {
+    while let Some(pos) = inbuf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = inbuf.drain(..=pos).collect();
+        let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+        if !line.trim().is_empty() {
+            return Some(line);
+        }
+    }
+    None
+}
+
+/// Append one rendered frame (plus terminator) to `outbuf`.
+pub(crate) fn queue_line(outbuf: &mut Vec<u8>, doc: &Json) {
+    outbuf.extend_from_slice(doc.render().as_bytes());
+    outbuf.push(b'\n');
+}
+
+/// Write as much of `outbuf` as the socket accepts.  Returns
+/// `(progress, closed)` like [`read_available`].
+pub(crate) fn flush(stream: &mut TcpStream, outbuf: &mut Vec<u8>) -> (bool, bool) {
+    let mut progress = false;
+    while !outbuf.is_empty() {
+        match stream.write(outbuf) {
+            Ok(0) => return (progress, true),
+            Ok(n) => {
+                outbuf.drain(..n);
+                progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return (progress, false),
+            Err(_) => return (progress, true),
+        }
+    }
+    (progress, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_line_skips_blanks_and_preserves_order() {
+        let mut buf = b"\n  \n{\"a\":1}\n{\"b\":2}\npartial".to_vec();
+        assert_eq!(next_line(&mut buf).as_deref(), Some("{\"a\":1}"));
+        assert_eq!(next_line(&mut buf).as_deref(), Some("{\"b\":2}"));
+        assert_eq!(next_line(&mut buf), None, "incomplete line stays buffered");
+        assert_eq!(buf, b"partial");
+    }
+
+    #[test]
+    fn queue_line_terminates_frames() {
+        let mut out = Vec::new();
+        queue_line(&mut out, &Json::obj().field("ok", true));
+        queue_line(&mut out, &Json::obj().field("ok", false));
+        assert_eq!(out, b"{\"ok\":true}\n{\"ok\":false}\n");
+    }
+}

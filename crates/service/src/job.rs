@@ -8,7 +8,7 @@
 use revizor::orchestrator::CampaignMatrix;
 use revizor::targets::Target;
 use rvz_bench::json::Json;
-use rvz_bench::report::contract_from_name;
+use rvz_bench::report::{contract_from_name, i64_from_json, i64_to_json};
 
 /// A submittable fuzzing job: the parameters of one [`CampaignMatrix`].
 ///
@@ -37,6 +37,9 @@ pub struct JobSpec {
     pub branch_then_load_bias: bool,
     /// §5.6 diversity escalation per cell group.
     pub escalation: bool,
+    /// Scheduling priority: among queued jobs, higher drains first (FIFO
+    /// within a priority).  Does not preempt a job that already runs.
+    pub priority: i64,
     /// The matrix cells: `(Table 2 target id, canonical contract name)`.
     pub cells: Vec<(u8, String)>,
 }
@@ -55,6 +58,7 @@ impl JobSpec {
             instructions: 14,
             branch_then_load_bias: true,
             escalation: false,
+            priority: 0,
             cells: Vec::new(),
         }
     }
@@ -85,6 +89,12 @@ impl JobSpec {
     /// Builder: set the matrix seed.
     pub fn with_seed(mut self, seed: u64) -> JobSpec {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: set the scheduling priority (higher drains first).
+    pub fn with_priority(mut self, priority: i64) -> JobSpec {
+        self.priority = priority;
         self
     }
 
@@ -133,6 +143,7 @@ impl JobSpec {
             .field("instructions", self.instructions)
             .field("branch_then_load_bias", self.branch_then_load_bias)
             .field("escalation", self.escalation)
+            .field("priority", i64_to_json(self.priority))
             .field("cells", Json::Arr(cells))
     }
 
@@ -176,6 +187,10 @@ impl JobSpec {
         spec.branch_then_load_bias =
             bool_field("branch_then_load_bias", spec.branch_then_load_bias)?;
         spec.escalation = bool_field("escalation", spec.escalation)?;
+        spec.priority = match v.get("priority") {
+            None => 0,
+            Some(p) => i64_from_json(p).map_err(|e| format!("spec field `priority`: {e}"))?,
+        };
         let cells = v
             .get("cells")
             .and_then(Json::as_array)
@@ -206,13 +221,16 @@ mod tests {
 
     #[test]
     fn spec_round_trips() {
-        let spec = JobSpec::new(7)
-            .with_budget(40)
-            .add_cell(5, "CT-SEQ")
-            .add_cell(5, "CT-BPAS")
-            .add_cell(1, "ARCH-SEQ");
-        let doc = spec.to_json().render();
-        assert_eq!(JobSpec::from_json(&parse(&doc).unwrap()).unwrap(), spec);
+        for priority in [0i64, 7, -3, i64::MIN] {
+            let spec = JobSpec::new(7)
+                .with_budget(40)
+                .with_priority(priority)
+                .add_cell(5, "CT-SEQ")
+                .add_cell(5, "CT-BPAS")
+                .add_cell(1, "ARCH-SEQ");
+            let doc = spec.to_json().render();
+            assert_eq!(JobSpec::from_json(&parse(&doc).unwrap()).unwrap(), spec);
+        }
     }
 
     #[test]

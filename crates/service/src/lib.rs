@@ -15,6 +15,17 @@
 //!                                      └──────── event logs ◄──────────────┘
 //! ```
 //!
+//! In **multi-host mode** ([`ServiceConfig::worker_listen`]) the shard
+//! threads are replaced by remote worker hosts (`revizor-worker`): the
+//! [`coordinator`] dispatches jobs to them, replicates every wave
+//! checkpoint (digest-validated) into the spool, reassigns the jobs of
+//! dead workers, and forwards cancellations — see [`coordinator`] and
+//! [`worker`] for the protocol, and `tests/chaos.rs` for the seeded
+//! fault-injection sweep proving verdicts survive any kill/drop/delay
+//! interleaving byte-identically.  Jobs carry submit-time priorities
+//! (higher drains first) and can be cancelled cooperatively in either
+//! mode.
+//!
 //! Three guarantees make the service trustworthy as a *testing* service:
 //!
 //! * **Determinism** — a job's verdict section (`result.cells`) is a pure
@@ -42,16 +53,21 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
 pub mod core;
+mod framing;
 pub mod job;
 pub mod server;
 pub mod spool;
+pub mod worker;
 
-pub use client::Client;
+pub use client::{Client, WatchError};
+pub use coordinator::{Coordinator, CoordinatorHandle};
 pub use core::{deterministic_result, job_result_json, JobStatus, ServiceConfig, ServiceCore};
 pub use job::JobSpec;
 pub use server::{Server, ServerHandle};
 pub use spool::{JobPhase, Spool, SpoolRecord};
+pub use worker::{FaultAction, FaultHook, Worker, WorkerConfig};
 
 use rvz_bench::json::Json;
 use std::io;
@@ -75,18 +91,27 @@ pub struct ServiceHandle {
     core: Arc<ServiceCore>,
     workers: Vec<JoinHandle<()>>,
     server: Option<ServerHandle>,
+    coordinator: Option<CoordinatorHandle>,
 }
 
 impl ServiceHandle {
-    /// Start the shard workers (and the TCP reactor when
-    /// [`ServiceConfig::listen`] is set), resuming any unfinished spool
-    /// jobs.
+    /// Start the service, resuming any unfinished spool jobs.
+    ///
+    /// With [`ServiceConfig::worker_listen`] unset this spawns the
+    /// in-process shard workers; set, the service runs in **multi-host
+    /// mode** instead — no local shards, jobs are dispatched to
+    /// `revizor-worker` hosts connecting on that address (see
+    /// [`coordinator`]).  The client-facing TCP reactor is attached in
+    /// either mode when [`ServiceConfig::listen`] is set.
     ///
     /// # Errors
     /// Propagates spool and listener failures.
     pub fn start(config: ServiceConfig) -> io::Result<ServiceHandle> {
         let listen = config.listen.clone();
-        let shards = config.shards.max(1);
+        let worker_listen = config.worker_listen.clone();
+        // Coordinator mode runs no local shard threads: worker hosts are
+        // the execution substrate.
+        let shards = if worker_listen.is_some() { 0 } else { config.shards.max(1) };
         let core = ServiceCore::new(config)?;
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -98,11 +123,15 @@ impl ServiceHandle {
                     .map_err(io::Error::other)?,
             );
         }
+        let coordinator = match &worker_listen {
+            Some(listen) => Some(CoordinatorHandle::spawn(Arc::clone(&core), listen)?),
+            None => None,
+        };
         let server = match &listen {
             Some(listen) => Some(ServerHandle::spawn(Arc::clone(&core), listen)?),
             None => None,
         };
-        Ok(ServiceHandle { core, workers, server })
+        Ok(ServiceHandle { core, workers, server, coordinator })
     }
 
     /// The transport-agnostic core (full API surface).
@@ -113,6 +142,11 @@ impl ServiceHandle {
     /// The TCP address, when a front-end is attached.
     pub fn local_addr(&self) -> Option<SocketAddr> {
         self.server.as_ref().map(ServerHandle::local_addr)
+    }
+
+    /// The worker-port address, when running in multi-host mode.
+    pub fn worker_addr(&self) -> Option<SocketAddr> {
+        self.coordinator.as_ref().map(CoordinatorHandle::local_addr)
     }
 
     /// Submit a job in-process.
@@ -131,6 +165,15 @@ impl ServiceHandle {
         self.core.wait(job)
     }
 
+    /// Request a job's cancellation: queued jobs cancel immediately,
+    /// running jobs cooperatively at their next wave boundary.
+    ///
+    /// # Errors
+    /// Returns a message for unknown or already-finished jobs.
+    pub fn cancel(&self, job: &str) -> Result<JobPhase, String> {
+        self.core.cancel(job)
+    }
+
     /// Stop the service: workers halt at their next wave boundary, persist
     /// a checkpoint for any in-flight job and exit — exactly the state a
     /// killed server leaves behind, so unfinished jobs resume on the next
@@ -139,6 +182,9 @@ impl ServiceHandle {
         self.core.stop();
         for worker in self.workers {
             let _ = worker.join();
+        }
+        if let Some(coordinator) = self.coordinator {
+            coordinator.join();
         }
         if let Some(server) = self.server {
             server.join();

@@ -21,15 +21,22 @@
 //! | `{"op":"list"}` | `{"ok":true,"jobs":[{…}]}` |
 //! | `{"op":"result","job":"…"}` | `{"ok":true,"done":bool,"result":{…}\|null}` |
 //! | `{"op":"watch","job":"…"}` | `{"ok":true,"watching":"…"}`, then streamed events |
+//! | `{"op":"cancel","job":"…"}` | `{"ok":true,"job":"…","state":"cancelled"\|"cancelling"}` |
 //!
 //! Errors come back as `{"ok":false,"error":"…"}`.  A `watch` subscription
 //! streams the job's event log from the beginning (`{"event":"round"\|"cell"}`
-//! lines) and ends with the `{"event":"done","result":{…}}` line.
+//! lines) and ends with the `{"event":"done","result":{…}}` line (for a
+//! cancelled job that line additionally carries `"cancelled":true`).
+//! `submit` specs may carry a `"priority"` field — among queued jobs,
+//! higher priorities start first.  A `cancel` of a queued job is
+//! immediate (`"cancelled"`); a running job stops cooperatively at its
+//! next wave boundary (`"cancelling"`, then the `done` event).
 
 use crate::core::ServiceCore;
+use crate::framing;
 use crate::job::JobSpec;
 use rvz_bench::json::{parse, Json};
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -47,8 +54,7 @@ struct Conn {
 
 impl Conn {
     fn queue_line(&mut self, doc: &Json) {
-        self.outbuf.extend_from_slice(doc.render().as_bytes());
-        self.outbuf.push(b'\n');
+        framing::queue_line(&mut self.outbuf, doc);
     }
 }
 
@@ -112,35 +118,12 @@ impl Server {
 
     /// Read, dispatch and write one connection; returns progress.
     fn service_conn(core: &Arc<ServiceCore>, conn: &mut Conn) -> bool {
-        let mut progress = false;
-
         // Read whatever is available.
-        let mut buf = [0u8; 4096];
-        loop {
-            match conn.stream.read(&mut buf) {
-                Ok(0) => {
-                    conn.closed = true;
-                    break;
-                }
-                Ok(n) => {
-                    conn.inbuf.extend_from_slice(&buf[..n]);
-                    progress = true;
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(_) => {
-                    conn.closed = true;
-                    break;
-                }
-            }
-        }
+        let (mut progress, closed) = framing::read_available(&mut conn.stream, &mut conn.inbuf);
+        conn.closed |= closed;
 
         // Dispatch complete lines.
-        while let Some(pos) = conn.inbuf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = conn.inbuf.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-            if line.trim().is_empty() {
-                continue;
-            }
+        while let Some(line) = framing::next_line(&mut conn.inbuf) {
             let response = dispatch(core, &line, &mut conn.watches);
             conn.queue_line(&response);
             progress = true;
@@ -151,8 +134,7 @@ impl Server {
         for (wi, (job, cursor)) in conn.watches.iter_mut().enumerate() {
             if let Some(events) = core.events_from(job, *cursor) {
                 for event in &events {
-                    conn.outbuf.extend_from_slice(event.render().as_bytes());
-                    conn.outbuf.push(b'\n');
+                    framing::queue_line(&mut conn.outbuf, event);
                     if event.get("event").and_then(Json::as_str) == Some("done") {
                         finished_watches.push(wi);
                     }
@@ -166,24 +148,9 @@ impl Server {
         }
 
         // Flush as much as the socket accepts.
-        while !conn.outbuf.is_empty() {
-            match conn.stream.write(&conn.outbuf) {
-                Ok(0) => {
-                    conn.closed = true;
-                    break;
-                }
-                Ok(n) => {
-                    conn.outbuf.drain(..n);
-                    progress = true;
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(_) => {
-                    conn.closed = true;
-                    break;
-                }
-            }
-        }
-        progress
+        let (wrote, closed) = framing::flush(&mut conn.stream, &mut conn.outbuf);
+        conn.closed |= closed;
+        progress | wrote
     }
 
     /// Drive the reactor until the core stops.
@@ -255,6 +222,22 @@ fn dispatch(core: &Arc<ServiceCore>, line: &str, watches: &mut Vec<(String, usiz
                 watches.push((job.to_string(), 0));
                 Json::obj().field("ok", true).field("watching", job)
             }
+        },
+        "cancel" => match job_of(&request) {
+            Err(e) => error(e),
+            Ok(job) => match core.cancel(job) {
+                // A queued job is already terminally cancelled; a running
+                // one stops cooperatively at its next wave boundary.
+                Ok(phase) => Json::obj().field("ok", true).field("job", job).field(
+                    "state",
+                    if phase == crate::spool::JobPhase::Cancelled {
+                        "cancelled"
+                    } else {
+                        "cancelling"
+                    },
+                ),
+                Err(e) => error(e),
+            },
         },
         op => error(format!("unknown op `{op}`")),
     }

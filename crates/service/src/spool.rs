@@ -26,6 +26,10 @@ pub enum JobPhase {
     Running,
     /// Finished; the result payload is available.
     Done,
+    /// Cancelled by a client; a terminal state like [`JobPhase::Done`],
+    /// with a `{"cancelled": true}` result payload.  A restarted server
+    /// keeps the record but never re-runs the job.
+    Cancelled,
 }
 
 impl JobPhase {
@@ -35,7 +39,13 @@ impl JobPhase {
             JobPhase::Queued => "queued",
             JobPhase::Running => "running",
             JobPhase::Done => "done",
+            JobPhase::Cancelled => "cancelled",
         }
+    }
+
+    /// Is this a terminal phase (the job will never run again)?
+    pub fn terminal(self) -> bool {
+        matches!(self, JobPhase::Done | JobPhase::Cancelled)
     }
 
     fn from_label(s: &str) -> Option<JobPhase> {
@@ -43,6 +53,7 @@ impl JobPhase {
             "queued" => Some(JobPhase::Queued),
             "running" => Some(JobPhase::Running),
             "done" => Some(JobPhase::Done),
+            "cancelled" => Some(JobPhase::Cancelled),
             _ => None,
         }
     }
@@ -57,10 +68,15 @@ pub struct SpoolRecord {
     pub spec: JobSpec,
     /// Lifecycle phase at the time of the last save.
     pub phase: JobPhase,
-    /// Latest wave checkpoint, when the job has started but not finished.
+    /// Latest wave checkpoint, when the job has started but not finished
+    /// (kept on cancellation too, as a record of where the job stopped).
     pub checkpoint: Option<MatrixCheckpoint>,
-    /// Result payload, when the job is done.
+    /// Result payload, when the job is done (or cancelled).
     pub result: Option<Json>,
+    /// A cancel arrived while the job was running but had not yet reached
+    /// a wave boundary.  Persisted so the cancellation survives a server
+    /// kill: a restarted server cancels the job instead of resuming it.
+    pub cancel_requested: bool,
 }
 
 /// A spool directory.
@@ -102,7 +118,8 @@ impl Spool {
             .field("phase", record.phase.label())
             .field("spec", record.spec.to_json())
             .field("checkpoint", record.checkpoint.as_ref().map(matrix_checkpoint_to_json))
-            .field("result", record.result.clone());
+            .field("result", record.result.clone())
+            .field("cancel_requested", record.cancel_requested);
         let path = self.path_for(&record.job);
         let tmp = self.dir.join(format!("{}.tmp", record.job));
         fs::write(&tmp, doc.render())?;
@@ -155,7 +172,9 @@ impl Spool {
             None | Some(Json::Null) => None,
             Some(r) => Some(r.clone()),
         };
-        Ok(SpoolRecord { job, spec, phase, checkpoint, result })
+        let cancel_requested =
+            doc.get("cancel_requested").and_then(Json::as_bool).unwrap_or(false);
+        Ok(SpoolRecord { job, spec, phase, checkpoint, result, cancel_requested })
     }
 }
 
@@ -181,6 +200,7 @@ mod tests {
             phase: JobPhase::Queued,
             checkpoint: None,
             result: None,
+            cancel_requested: false,
         };
         spool.save(&record).unwrap();
         let loaded = spool.load_all();
@@ -188,6 +208,43 @@ mod tests {
         assert_eq!(loaded[0].job, "j-test-1");
         assert_eq!(loaded[0].spec, spec);
         assert_eq!(loaded[0].phase, JobPhase::Queued);
+        assert!(!loaded[0].cancel_requested);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_state_round_trips_and_stays_terminal() {
+        let dir = scratch_dir("cancelled");
+        let spool = Spool::open(&dir).unwrap();
+        let record = SpoolRecord {
+            job: "j-test-3".to_string(),
+            spec: JobSpec::new(1).with_priority(-2).add_cell(1, "CT-SEQ"),
+            phase: JobPhase::Cancelled,
+            checkpoint: None,
+            result: Some(Json::obj().field("cancelled", true)),
+            cancel_requested: false,
+        };
+        spool.save(&record).unwrap();
+        // A running record whose cancel arrived just before the kill keeps
+        // the pending-cancel flag through the restart.
+        let pending = SpoolRecord {
+            job: "j-test-4".to_string(),
+            spec: JobSpec::new(2).add_cell(1, "CT-SEQ"),
+            phase: JobPhase::Running,
+            checkpoint: None,
+            result: None,
+            cancel_requested: true,
+        };
+        spool.save(&pending).unwrap();
+        let loaded = spool.load_all();
+        assert_eq!(loaded.len(), 2);
+        let cancelled = loaded.iter().find(|r| r.job == "j-test-3").unwrap();
+        assert_eq!(cancelled.phase, JobPhase::Cancelled);
+        assert!(cancelled.phase.terminal());
+        assert_eq!(cancelled.spec.priority, -2);
+        let pending = loaded.iter().find(|r| r.job == "j-test-4").unwrap();
+        assert_eq!(pending.phase, JobPhase::Queued, "running demotes to queued");
+        assert!(pending.cancel_requested, "the pending cancel must survive the restart");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -201,6 +258,7 @@ mod tests {
             phase: JobPhase::Running,
             checkpoint: None,
             result: None,
+            cancel_requested: false,
         };
         spool.save(&record).unwrap();
         fs::write(dir.join("garbage.json"), "not json at all").unwrap();

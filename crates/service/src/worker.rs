@@ -1,0 +1,343 @@
+//! Multi-host mode: the worker-host side of the worker protocol.
+//!
+//! A worker (`revizor-worker`) dials the coordinator's worker port,
+//! registers, and then processes one assignment at a time: it resolves the
+//! job's [`JobSpec`] into a [`CampaignMatrix`], resumes from the shipped
+//! checkpoint (or starts fresh), and steps the resulting
+//! [`MatrixRun`](revizor::orchestrator::MatrixRun) wave by wave.  After
+//! every wave it streams the checkpoint (plus digest and progress events)
+//! to the coordinator and blocks for the `ack` — so the coordinator's
+//! spool replica is never more than one wave behind, and a worker that
+//! dies mid-job loses at most the wave it was computing.
+//!
+//! Cancellation is cooperative: a `cancel` frame is honored at the next
+//! wave boundary, answered with a final `cancelled` frame carrying the
+//! stopping checkpoint.
+//!
+//! ## Fault injection (test-only)
+//!
+//! [`Worker::with_fault_hook`] installs a hook that fires at every wave
+//! boundary with `(job id, wave index)` and decides a [`FaultAction`]:
+//! continue, delay (models a slow host / delayed checkpoint ack), drop the
+//! coordinator connection (models a network partition — the worker
+//! reconnects and re-registers), or die (models a worker kill).  The chaos
+//! harness (`tests/chaos.rs`) drives seeded schedules of these actions and
+//! asserts the coordinator's final verdicts stay byte-identical through
+//! all of them.  Production binaries never install a hook.
+//!
+//! [`CampaignMatrix`]: revizor::orchestrator::CampaignMatrix
+
+use crate::core::{job_result_json, EventCollector};
+use crate::framing;
+use crate::job::JobSpec;
+use rvz_bench::json::{parse, Json};
+use rvz_bench::report::{checkpoint_transfer_to_json, matrix_checkpoint_from_json};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// What the fault hook tells the worker loop to do at a wave boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: keep going.
+    Continue,
+    /// Sleep before proceeding (a slow host; since waves are ack-gated,
+    /// this is also what a delayed checkpoint ack looks like end-to-end).
+    Delay(Duration),
+    /// Drop the coordinator connection mid-job, then reconnect and
+    /// re-register.  The coordinator requeues the abandoned job from its
+    /// last replicated checkpoint.
+    DropConnection,
+    /// Terminate the worker loop for good (a worker-host kill).
+    Die,
+}
+
+/// The fault hook signature: `(job id, wave index about to run)`.
+pub type FaultHook = Box<dyn FnMut(&str, usize) -> FaultAction + Send>;
+
+/// Configuration of one worker host.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator worker-port address (`host:port`).
+    pub coordinator: String,
+    /// The name this worker registers under (shows up in job status).
+    pub name: String,
+    /// How long to keep retrying a failed connect (initial *and*
+    /// reconnect) before giving up.  Lets workers start before the
+    /// coordinator and survive coordinator restarts.
+    pub retry_for: Duration,
+}
+
+impl WorkerConfig {
+    /// A worker config with a process-unique default name.
+    pub fn new(coordinator: impl Into<String>) -> WorkerConfig {
+        WorkerConfig {
+            coordinator: coordinator.into(),
+            name: format!("worker-{}", std::process::id()),
+            retry_for: Duration::from_secs(10),
+        }
+    }
+}
+
+/// How an assignment ended, steering the outer connection loop.
+enum Flow {
+    /// Frame handled (or assignment finished): keep serving this
+    /// connection.
+    Continue,
+    /// The connection is unusable (or a fault dropped it): reconnect.
+    Reconnect,
+    /// Shut down the worker loop.
+    Exit,
+}
+
+/// A line-framed JSON connection to the coordinator.
+struct FrameConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FrameConn {
+    /// Connect, retrying for up to `retry_for`.
+    fn connect(addr: &str, retry_for: Duration) -> io::Result<FrameConn> {
+        let deadline = Instant::now() + retry_for;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Ok(FrameConn { stream, buf: Vec::new() }),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Send one frame.
+    fn send(&mut self, doc: &Json) -> io::Result<()> {
+        let mut line = doc.render();
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())
+    }
+
+    /// Read one frame, blocking until a full line arrives.
+    fn read_frame(&mut self) -> io::Result<Json> {
+        loop {
+            if let Some(line) = framing::next_line(&mut self.buf) {
+                return parse(&line)
+                    .map_err(|e| io::Error::new(ErrorKind::InvalidData, e));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Read one frame if one is already available, without blocking (used
+    /// between waves to notice cancels promptly).
+    fn try_read_frame(&mut self) -> io::Result<Option<Json>> {
+        if !self.buf.contains(&b'\n') {
+            // No complete line buffered: drain whatever the socket has.
+            self.stream.set_nonblocking(true)?;
+            let (_, closed) = framing::read_available(&mut self.stream, &mut self.buf);
+            self.stream.set_nonblocking(false)?;
+            if closed {
+                return Err(ErrorKind::UnexpectedEof.into());
+            }
+        }
+        match framing::next_line(&mut self.buf) {
+            None => Ok(None),
+            Some(line) => parse(&line)
+                .map(Some)
+                .map_err(|e| io::Error::new(ErrorKind::InvalidData, e)),
+        }
+    }
+}
+
+/// A worker host: connects to a coordinator and runs assigned jobs (see
+/// the module docs).
+pub struct Worker {
+    config: WorkerConfig,
+    hook: Option<FaultHook>,
+}
+
+impl Worker {
+    /// A worker for the given configuration.
+    pub fn new(config: WorkerConfig) -> Worker {
+        Worker { config, hook: None }
+    }
+
+    /// Install a fault-injection hook (test-only; see the module docs).
+    #[must_use]
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Worker {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Run the worker loop: connect (with retries), register, and serve
+    /// assignments until the coordinator shuts it down, the retry window
+    /// closes with the coordinator unreachable, or a `Die` fault fires.
+    ///
+    /// # Errors
+    /// Returns the final connect error once the retry window closes.
+    pub fn run(mut self) -> io::Result<()> {
+        loop {
+            let mut conn = FrameConn::connect(&self.config.coordinator, self.config.retry_for)?;
+            let register = Json::obj()
+                .field("op", "register")
+                .field("worker", self.config.name.as_str());
+            if conn.send(&register).is_err() {
+                continue;
+            }
+            // Serve frames until the connection is lost (then reconnect).
+            while let Ok(frame) = conn.read_frame() {
+                match frame.get("op").and_then(Json::as_str) {
+                    Some("assign") => match self.run_assignment(&mut conn, &frame) {
+                        Flow::Continue => {}
+                        Flow::Reconnect => break,
+                        Flow::Exit => return Ok(()),
+                    },
+                    Some("shutdown") => return Ok(()),
+                    // `registered` acks and stale cancels (for a job this
+                    // worker no longer holds) need no action.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Drive one assigned job: step, replicate, ack-gate, honor cancels
+    /// and injected faults.
+    fn run_assignment(&mut self, conn: &mut FrameConn, frame: &Json) -> Flow {
+        let Some(job) = frame.get("job").and_then(Json::as_str).map(str::to_string) else {
+            return Flow::Continue;
+        };
+        let spec = match frame.get("spec") {
+            None => return self.report_bad_assignment(conn, &job, "assign carries no spec"),
+            Some(s) => match JobSpec::from_json(s) {
+                Ok(spec) => spec,
+                Err(e) => return self.report_bad_assignment(conn, &job, &e),
+            },
+        };
+        let checkpoint = match frame.get("checkpoint") {
+            None | Some(Json::Null) => None,
+            Some(cp) => match matrix_checkpoint_from_json(cp) {
+                Ok(cp) => Some(cp),
+                Err(e) => return self.report_bad_assignment(conn, &job, &e),
+            },
+        };
+        let matrix = match spec.to_matrix() {
+            Ok(matrix) => matrix,
+            Err(e) => return self.report_bad_assignment(conn, &job, &e),
+        };
+        let mut run = match &checkpoint {
+            Some(cp) => match matrix.resume(cp) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("worker: job {job}: stale checkpoint ({e}); restarting");
+                    matrix.start()
+                }
+            },
+            None => matrix.start(),
+        };
+
+        let mut collector = EventCollector { job: job.clone(), events: Vec::new() };
+        let mut cancelled = false;
+        loop {
+            match self.fault(&job, run.wave()) {
+                FaultAction::Continue => {}
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::DropConnection => return Flow::Reconnect,
+                FaultAction::Die => return Flow::Exit,
+            }
+            // Notice cancels that arrived since the last ack.
+            loop {
+                match conn.try_read_frame() {
+                    Ok(None) => break,
+                    Ok(Some(f)) => Self::note_cancel(&f, &job, &mut cancelled),
+                    Err(_) => return Flow::Reconnect,
+                }
+            }
+            if cancelled {
+                let stop = checkpoint_transfer_to_json(&job, &run.checkpoint())
+                    .field("op", "cancelled");
+                return match conn.send(&stop) {
+                    Ok(()) => Flow::Continue,
+                    Err(_) => Flow::Reconnect,
+                };
+            }
+            let more = run.step(&mut collector);
+            if !more {
+                break;
+            }
+            // Replicate the wave and block for the coordinator's ack (the
+            // spool replica stays at most one wave behind).
+            let wave = run.wave();
+            let transfer = checkpoint_transfer_to_json(&job, &run.checkpoint())
+                .field("op", "wave")
+                .field("events", Json::Arr(std::mem::take(&mut collector.events)));
+            if conn.send(&transfer).is_err() {
+                return Flow::Reconnect;
+            }
+            loop {
+                let reply = match conn.read_frame() {
+                    Ok(reply) => reply,
+                    Err(_) => return Flow::Reconnect,
+                };
+                match reply.get("op").and_then(Json::as_str) {
+                    Some("ack")
+                        if reply.get("wave").and_then(Json::as_u64)
+                            == Some(wave as u64) =>
+                    {
+                        break
+                    }
+                    Some("shutdown") => return Flow::Exit,
+                    _ => Self::note_cancel(&reply, &job, &mut cancelled),
+                }
+            }
+        }
+        let report = run.finish(&mut collector);
+        let done = Json::obj()
+            .field("op", "done")
+            .field("job", job.as_str())
+            .field("events", Json::Arr(std::mem::take(&mut collector.events)))
+            .field("result", job_result_json(&job, &spec, &report));
+        match conn.send(&done) {
+            Ok(()) => Flow::Continue,
+            Err(_) => Flow::Reconnect,
+        }
+    }
+
+    /// Record a cancel frame for the current job.
+    fn note_cancel(frame: &Json, job: &str, cancelled: &mut bool) {
+        if frame.get("op").and_then(Json::as_str) == Some("cancel")
+            && frame.get("job").and_then(Json::as_str) == Some(job)
+        {
+            *cancelled = true;
+        }
+    }
+
+    /// Consult the fault hook (production workers always continue).
+    fn fault(&mut self, job: &str, wave: usize) -> FaultAction {
+        match &mut self.hook {
+            Some(hook) => hook(job, wave),
+            None => FaultAction::Continue,
+        }
+    }
+
+    /// An assignment this worker cannot run (undecodable spec — only a
+    /// hand-edited spool can produce one): report it as the job's result
+    /// so it fails visibly instead of bouncing between workers forever.
+    fn report_bad_assignment(&self, conn: &mut FrameConn, job: &str, error: &str) -> Flow {
+        let done = Json::obj()
+            .field("op", "done")
+            .field("job", job)
+            .field("result", Json::obj().field("job", job).field("error", error));
+        match conn.send(&done) {
+            Ok(()) => Flow::Continue,
+            Err(_) => Flow::Reconnect,
+        }
+    }
+}

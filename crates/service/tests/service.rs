@@ -1,11 +1,13 @@
 //! Integration tests for the campaign service: determinism of served
-//! verdicts against in-process runs, kill + resume through the spool, and
-//! client isolation.
+//! verdicts against in-process runs, kill + resume through the spool,
+//! client isolation, multi-host dispatch, job priorities, cancellation
+//! and the server-gone watch error.
 
 use rvz_bench::json::Json;
 use rvz_bench::report::matrix_cells_json;
 use rvz_service::{
-    deterministic_result, Client, JobSpec, ServiceConfig, ServiceHandle, Spool,
+    deterministic_result, Client, JobPhase, JobSpec, ServiceConfig, ServiceHandle, Spool,
+    WatchError, Worker, WorkerConfig,
 };
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -33,6 +35,8 @@ fn served_job_is_byte_identical_to_an_in_process_matrix_run() {
         spool: None,
         checkpoint_every: 1,
         listen: Some("127.0.0.1:0".to_string()),
+        worker_listen: None,
+        ..ServiceConfig::default()
     })
     .expect("service starts");
     let addr = handle.local_addr().expect("TCP front-end attached");
@@ -97,6 +101,8 @@ fn killed_server_resumes_from_the_spool_byte_identically() {
         spool: Some(dir.clone()),
         checkpoint_every: 1,
         listen,
+        worker_listen: None,
+        ..ServiceConfig::default()
     };
 
     // First server: submit, let it make progress, then kill it mid-job.
@@ -156,6 +162,8 @@ fn concurrent_clients_do_not_perturb_each_others_verdicts() {
         spool: None,
         checkpoint_every: 1,
         listen: Some("127.0.0.1:0".to_string()),
+        worker_listen: None,
+        ..ServiceConfig::default()
     })
     .expect("service starts");
     let addr = handle.local_addr().expect("TCP front-end attached");
@@ -199,6 +207,8 @@ fn restart_preserves_results_and_never_reuses_job_ids() {
         spool: Some(dir.clone()),
         checkpoint_every: 1,
         listen: None,
+        worker_listen: None,
+        ..ServiceConfig::default()
     };
     let spec = JobSpec::new(3).with_budget(4).add_cell(1, "CT-SEQ");
 
@@ -234,6 +244,340 @@ fn restart_preserves_results_and_never_reuses_job_ids() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Poll `check` until it returns true or `secs` elapse (assert on timeout).
+fn await_or_die(secs: u64, what: &str, mut check: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !check() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn multi_host_jobs_run_on_worker_hosts_byte_identically() {
+    let dir = scratch_dir("multi-host");
+    // Coordinator mode: no local shards; jobs go to worker hosts.
+    let handle = ServiceHandle::start(ServiceConfig {
+        shards: 2, // ignored in coordinator mode
+        spool: Some(dir.clone()),
+        checkpoint_every: 1,
+        listen: None,
+        worker_listen: Some("127.0.0.1:0".to_string()),
+        ..ServiceConfig::default()
+    })
+    .expect("coordinator starts");
+    let worker_addr = handle.worker_addr().expect("worker port bound").to_string();
+
+    // Two worker hosts (threads here; separate processes in production —
+    // the CI smoke covers that shape).
+    let spawn_worker = |name: &str| {
+        let mut config = WorkerConfig::new(worker_addr.clone());
+        config.name = name.to_string();
+        config.retry_for = Duration::from_secs(5);
+        std::thread::spawn(move || Worker::new(config).run())
+    };
+    let w1 = spawn_worker("w1");
+    let w2 = spawn_worker("w2");
+
+    let spec_a = slice_spec(7);
+    let spec_b = JobSpec::new(19).with_budget(40).add_cell(5, "CT-SEQ").add_cell(1, "CT-SEQ");
+    let job_a = handle.submit(spec_a.clone()).expect("job A accepted");
+    let job_b = handle.submit(spec_b.clone()).expect("job B accepted");
+    let result_a = handle.wait(&job_a).expect("job A completes");
+    let result_b = handle.wait(&job_b).expect("job B completes");
+
+    for (spec, result) in [(&spec_a, &result_a), (&spec_b, &result_b)] {
+        let baseline = spec.to_matrix().expect("spec resolves").run();
+        assert_eq!(
+            result.get("cells").expect("result has cells").render(),
+            matrix_cells_json(&baseline).render(),
+            "worker-host verdicts must be byte-identical to in-process runs"
+        );
+    }
+    // Watchers see the full event history, worker-driven or not.
+    let events = handle.core().events_from(&job_a, 0).expect("job A known");
+    let rounds = events
+        .iter()
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("round"))
+        .count();
+    assert!(rounds >= 2, "worker-driven jobs must stream round events (got {rounds})");
+    assert_eq!(
+        events.last().and_then(|e| e.get("event")).and_then(Json::as_str),
+        Some("done")
+    );
+
+    handle.shutdown();
+    let _ = (w1.join(), w2.join());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watch_surfaces_server_gone_and_the_job_resumes_on_restart() {
+    let dir = scratch_dir("server-gone");
+    // Target 1 never violates CT-SEQ: the job runs its whole budget, so
+    // the server can be stopped mid-watch deterministically.
+    let spec = JobSpec::new(7).with_budget(200).add_cell(1, "CT-SEQ").add_cell(5, "CT-SEQ");
+    let config = || ServiceConfig {
+        shards: 1,
+        spool: Some(dir.clone()),
+        checkpoint_every: 1,
+        listen: Some("127.0.0.1:0".to_string()),
+        worker_listen: None,
+        ..ServiceConfig::default()
+    };
+
+    let first = ServiceHandle::start(config()).expect("first server starts");
+    let addr = first.local_addr().expect("TCP front-end attached");
+    let mut client = Client::connect(addr).expect("client connects");
+    let job = client.submit(&spec).expect("job accepted");
+
+    // Watch on a second connection; kill the server once events flow.
+    let watcher = {
+        let job = job.clone();
+        let mut watch_client = Client::connect(addr).expect("watcher connects");
+        std::thread::spawn(move || watch_client.watch(&job, |_| {}))
+    };
+    {
+        let core = first.core();
+        let job = job.clone();
+        await_or_die(60, "first round events", move || {
+            core.events_from(&job, 0).expect("job known").iter().any(|e| {
+                e.get("event").and_then(Json::as_str) == Some("round")
+            })
+        });
+    }
+    first.shutdown();
+
+    // The distinct error: not a job failure, the job is spooled.
+    let outcome = watcher.join().expect("watcher thread");
+    assert_eq!(outcome, Err(WatchError::ServerGone { job: job.clone() }));
+    let message = WatchError::ServerGone { job: job.clone() }.to_string();
+    assert!(message.contains("spooled"), "the error must say the job survives: {message}");
+
+    // Restart over the same spool: the SAME job id resumes and completes
+    // with byte-identical verdicts.
+    let second = ServiceHandle::start(config()).expect("second server starts");
+    let addr = second.local_addr().expect("TCP front-end attached");
+    let mut client = Client::connect(addr).expect("client reconnects");
+    let result = client.watch(&job, |_| {}).expect("resumed job completes");
+    let baseline = spec.to_matrix().expect("spec resolves").run();
+    assert_eq!(
+        result.get("cells").expect("result has cells").render(),
+        matrix_cells_json(&baseline).render(),
+        "the job resumed after the server died mid-watch must not change verdicts"
+    );
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn higher_priority_jobs_start_first_on_a_saturated_worker() {
+    // One shard: the filler job saturates it; everything submitted while
+    // it runs drains strictly by (priority, submission order) —
+    // observable through the global `seq` stamps on the event logs.
+    let handle = ServiceHandle::start(ServiceConfig {
+        shards: 1,
+        spool: None,
+        checkpoint_every: 1,
+        listen: None,
+        worker_listen: None,
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+
+    let filler = handle
+        .submit(JobSpec::new(3).with_budget(40).add_cell(1, "CT-SEQ"))
+        .expect("filler accepted");
+    // Saturation point: only submit the contenders once the single shard
+    // worker is committed to the filler.
+    {
+        let core = handle.core();
+        let job = filler.clone();
+        await_or_die(60, "filler claimed", move || {
+            core.status(&job).unwrap().phase == JobPhase::Running
+        });
+    }
+    let low = handle
+        .submit(JobSpec::new(4).with_budget(4).add_cell(1, "CT-SEQ"))
+        .expect("low accepted");
+    let high = handle
+        .submit(JobSpec::new(5).with_budget(4).with_priority(10).add_cell(1, "CT-SEQ"))
+        .expect("high accepted");
+    assert_eq!(handle.core().status(&high).unwrap().priority, 10);
+
+    for job in [&filler, &low, &high] {
+        handle.wait(job).expect("job completes");
+    }
+    let first_seq = |job: &str| {
+        handle.core().events_from(job, 0).expect("job known")[0]
+            .get("seq")
+            .and_then(Json::as_u64)
+            .expect("events are seq-stamped")
+    };
+    assert!(
+        first_seq(&filler) < first_seq(&high) && first_seq(&high) < first_seq(&low),
+        "expected filler < high < low, got {} / {} / {}",
+        first_seq(&filler),
+        first_seq(&high),
+        first_seq(&low)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn priority_is_never_inverted_by_placement_across_shard_workers() {
+    // Two shard workers: a short filler on one, a much longer filler on
+    // the other.  The worker that frees first must take the
+    // high-priority contender from the ONE global queue (and then the
+    // low one, serially — the long filler is still running), so job-id
+    // hashing can never pin the high-priority job behind a busy thread.
+    let handle = ServiceHandle::start(ServiceConfig {
+        shards: 2,
+        spool: None,
+        checkpoint_every: 1,
+        listen: None,
+        worker_listen: None,
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+
+    let short_filler = handle
+        .submit(JobSpec::new(3).with_budget(40).add_cell(1, "CT-SEQ"))
+        .expect("short filler accepted");
+    // ~10x the short filler: still running while both contenders drain.
+    let long_filler = handle
+        .submit(JobSpec::new(4).with_budget(400).add_cell(1, "CT-SEQ"))
+        .expect("long filler accepted");
+    {
+        let core = handle.core();
+        let (a, b) = (short_filler.clone(), long_filler.clone());
+        await_or_die(60, "both shard workers saturated", move || {
+            core.status(&a).unwrap().phase == JobPhase::Running
+                && core.status(&b).unwrap().phase == JobPhase::Running
+        });
+    }
+    let low = handle
+        .submit(JobSpec::new(5).with_budget(4).add_cell(1, "CT-SEQ"))
+        .expect("low accepted");
+    let high = handle
+        .submit(JobSpec::new(6).with_budget(4).with_priority(7).add_cell(1, "CT-SEQ"))
+        .expect("high accepted");
+    for job in [&short_filler, &low, &high] {
+        handle.wait(job).expect("job completes");
+    }
+    // Both contenders ran on the worker the short filler freed (the long
+    // filler still occupied the other), so their event order IS the claim
+    // order: high first despite being submitted last.
+    let first_seq = |job: &str| {
+        handle.core().events_from(job, 0).expect("job known")[0]
+            .get("seq")
+            .and_then(Json::as_u64)
+            .expect("events are seq-stamped")
+    };
+    assert!(
+        first_seq(&high) < first_seq(&low),
+        "the freed worker must take the high-priority job first: high {} vs low {}",
+        first_seq(&high),
+        first_seq(&low)
+    );
+    assert_eq!(
+        handle.core().status(&long_filler).unwrap().phase,
+        JobPhase::Running,
+        "the long filler must still be running, proving the contenders shared one worker"
+    );
+    handle.wait(&long_filler).expect("long filler completes");
+    handle.shutdown();
+}
+
+#[test]
+fn cancelled_job_stops_emitting_and_its_spool_record_survives_restart() {
+    let dir = scratch_dir("cancel");
+    let config = |listen: Option<String>| ServiceConfig {
+        shards: 1,
+        spool: Some(dir.clone()),
+        checkpoint_every: 1,
+        listen,
+        worker_listen: None,
+        ..ServiceConfig::default()
+    };
+    let handle = ServiceHandle::start(config(Some("127.0.0.1:0".to_string())))
+        .expect("service starts");
+    let addr = handle.local_addr().expect("TCP front-end attached");
+
+    // A long-running job (target 1 exhausts its budget of 200).
+    let running = handle
+        .submit(JobSpec::new(7).with_budget(200).add_cell(1, "CT-SEQ"))
+        .expect("job accepted");
+    // A queued job behind it cancels immediately.
+    let queued = handle
+        .submit(JobSpec::new(8).with_budget(200).add_cell(1, "CT-SEQ"))
+        .expect("queued job accepted");
+    let mut client = Client::connect(addr).expect("client connects");
+    assert_eq!(client.cancel(&queued).expect("cancel accepted"), "cancelled");
+    assert_eq!(handle.core().status(&queued).unwrap().phase, JobPhase::Cancelled);
+
+    // Cancel the running job once it has streamed some rounds; it stops
+    // cooperatively at the next wave boundary.
+    {
+        let core = handle.core();
+        let job = running.clone();
+        await_or_die(60, "round events before cancelling", move || {
+            core.events_from(&job, 0).expect("job known").iter().any(|e| {
+                e.get("event").and_then(Json::as_str) == Some("round")
+            })
+        });
+    }
+    assert_eq!(client.cancel(&running).expect("cancel accepted"), "cancelling");
+    {
+        let core = handle.core();
+        let job = running.clone();
+        await_or_die(60, "cooperative cancellation", move || {
+            core.status(&job).unwrap().phase == JobPhase::Cancelled
+        });
+    }
+
+    // Invariant: after the terminal event, the log never grows again.
+    let events = handle.core().events_from(&running, 0).expect("job known");
+    let done = events.last().expect("terminal event");
+    assert_eq!(done.get("event").and_then(Json::as_str), Some("done"));
+    assert_eq!(done.get("cancelled").and_then(Json::as_bool), Some(true));
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        handle.core().events_from(&running, 0).expect("job known").len(),
+        events.len(),
+        "a cancelled job must not emit further events"
+    );
+    // A watch of the cancelled job terminates cleanly with the cancelled
+    // result payload.
+    let payload = client.watch(&running, |_| {}).expect("watch terminates");
+    assert_eq!(payload.get("cancelled").and_then(Json::as_bool), Some(true));
+    handle.shutdown();
+
+    // The spool records the cancelled state (including where it stopped)…
+    let records = Spool::open(&dir).expect("spool opens").load_all();
+    let record = records.iter().find(|r| r.job == running).expect("record kept");
+    assert_eq!(record.phase, JobPhase::Cancelled);
+    let checkpoint = record.checkpoint.as_ref().expect("stopping checkpoint kept");
+    assert!(checkpoint.groups[0].next_index > 0, "stopped mid-stream, not at 0");
+    assert!(checkpoint.groups[0].next_index < 200, "stopped before the budget");
+
+    // …and a restarted server keeps both jobs terminally cancelled: no
+    // resume, no further events.
+    let restarted = ServiceHandle::start(config(None)).expect("restart");
+    for job in [&running, &queued] {
+        assert_eq!(restarted.core().status(job).unwrap().phase, JobPhase::Cancelled);
+    }
+    let before = restarted.core().events_from(&running, 0).expect("known").len();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        restarted.core().events_from(&running, 0).expect("known").len(),
+        before,
+        "a restarted server must not resume a cancelled job"
+    );
+    restarted.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn protocol_errors_are_reported_not_fatal() {
     let handle = ServiceHandle::start(ServiceConfig {
@@ -241,6 +585,8 @@ fn protocol_errors_are_reported_not_fatal() {
         spool: None,
         checkpoint_every: 1,
         listen: Some("127.0.0.1:0".to_string()),
+        worker_listen: None,
+        ..ServiceConfig::default()
     })
     .expect("service starts");
     let addr = handle.local_addr().expect("TCP front-end attached");

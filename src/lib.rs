@@ -58,7 +58,7 @@ pub mod prelude {
     pub use revizor::gadgets;
     pub use revizor::orchestrator::{CampaignMatrix, MatrixRun};
     pub use revizor::targets::Target;
-    pub use rvz_service::{JobSpec, ServiceConfig, ServiceHandle};
+    pub use rvz_service::{JobPhase, JobSpec, ServiceConfig, ServiceHandle, Worker, WorkerConfig};
     pub use revizor::{
         CellEvent, FuzzReport, FuzzerConfig, Postprocessor, ProgressObserver, Revizor, RoundEvent,
         VulnClass,
