@@ -39,6 +39,17 @@ pub struct EffectivenessStats {
 }
 
 impl EffectivenessStats {
+    /// Accumulate another test case's statistics into this one (field-wise
+    /// sums).  Campaign drivers use this to aggregate per-cell totals out
+    /// of per-test-case analyses; the sums stay exact integers, so
+    /// aggregates survive serialization round trips byte-identically.
+    pub fn merge(&mut self, other: &EffectivenessStats) {
+        self.total_inputs += other.total_inputs;
+        self.effective_inputs += other.effective_inputs;
+        self.classes += other.classes;
+        self.singleton_classes += other.singleton_classes;
+    }
+
     /// Fraction of inputs that are effective (0.0 when there are no inputs).
     pub fn effectiveness(&self) -> f64 {
         if self.total_inputs == 0 {

@@ -28,6 +28,7 @@ pub mod json;
 pub mod report;
 
 use json::Json;
+use report::effectiveness_stats_to_json;
 use revizor::orchestrator::MatrixReport;
 use std::time::Duration;
 
@@ -64,7 +65,9 @@ pub fn flag_value_from_args<T: std::str::FromStr>(name: &str) -> Option<T> {
 
 /// The machine-readable form of a matrix run (the `table3 --json` output):
 /// one object per cell with `target`, `contract`, `found`, `vulnerability`,
-/// `test_cases`, `duration_ms` and `seed` fields, plus the run parameters.
+/// `gadget_class`, `test_cases`, `statically_filtered`, `effectiveness`,
+/// `duration_ms` and `seed` fields, plus the run parameters and the
+/// generated / statically-filtered / measured totals.
 /// A cell's `duration_ms` is its group's attributed evaluation time
 /// ([`CellReport::detection_time`](revizor::CellReport)) — comparable to an
 /// independent per-cell campaign's duration; the top-level `duration_ms` is
@@ -79,7 +82,13 @@ pub fn matrix_report_json(report: &MatrixReport, budget: usize) -> Json {
                 .field("contract", cell.contract.name())
                 .field("found", cell.found())
                 .field("vulnerability", cell.vulnerability().map(|v| v.to_string()))
+                .field(
+                    "gadget_class",
+                    cell.violation.as_ref().and_then(|v| v.gadget.map(|g| g.label())),
+                )
                 .field("test_cases", cell.test_cases)
+                .field("statically_filtered", cell.filtered)
+                .field("effectiveness", effectiveness_stats_to_json(&cell.effectiveness))
                 .field("duration_ms", cell.detection_time.as_secs_f64() * 1000.0)
                 .field("seed", report.seed)
         })
@@ -88,6 +97,8 @@ pub fn matrix_report_json(report: &MatrixReport, budget: usize) -> Json {
         .field("budget", budget)
         .field("seed", report.seed)
         .field("measured_test_cases", report.test_cases)
+        .field("generated_test_cases", report.generated)
+        .field("statically_filtered", report.statically_filtered)
         .field("duration_ms", report.duration.as_secs_f64() * 1000.0)
         .field("cells", Json::Arr(cells))
 }

@@ -22,8 +22,9 @@
 use crate::json::Json;
 use revizor::diversity::{Pattern, PatternCoverage};
 use revizor::fuzzer::{FuzzReport, ViolationReport};
+use revizor::staticanalysis::{GadgetSignature, SourceKind, TransmitterKind};
 use revizor::VulnClass;
-use rvz_analyzer::Violation;
+use rvz_analyzer::{EffectivenessStats, Violation};
 use rvz_cache::SetVector;
 use rvz_executor::HTrace;
 use rvz_isa::{
@@ -628,6 +629,64 @@ fn vuln_class_from_label(s: &str) -> Result<VulnClass, DecodeError> {
 // ---------------------------------------------------------------------------
 // Reports.
 
+/// Serialize a [`GadgetSignature`] (the static gadget classifier's output).
+/// The derived `class` label rides along for consumers that only want the
+/// leak-class string; decoding ignores it.
+pub fn gadget_signature_to_json(g: &GadgetSignature) -> Json {
+    Json::obj()
+        .field("source", g.source.to_string())
+        .field("transmitter", g.transmitter.to_string())
+        .field("through_load", g.through_load)
+        .field("var_latency", g.var_latency)
+        .field("class", g.label())
+}
+
+/// Deserialize a signature written by [`gadget_signature_to_json`].
+pub fn gadget_signature_from_json(v: &Json) -> Result<GadgetSignature, DecodeError> {
+    let src = get_str(v, "source")?;
+    let source = [
+        SourceKind::CondBranch,
+        SourceKind::IndirectBranch,
+        SourceKind::Return,
+        SourceKind::StoreBypass,
+        SourceKind::AssistLoad,
+        SourceKind::VarLatency,
+    ]
+    .into_iter()
+    .find(|k| k.to_string() == src)
+    .ok_or_else(|| format!("unknown source kind `{src}`"))?;
+    let tx = get_str(v, "transmitter")?;
+    let transmitter = [TransmitterKind::Load, TransmitterKind::Store]
+        .into_iter()
+        .find(|k| k.to_string() == tx)
+        .ok_or_else(|| format!("unknown transmitter kind `{tx}`"))?;
+    Ok(GadgetSignature {
+        source,
+        transmitter,
+        through_load: get_bool(v, "through_load")?,
+        var_latency: get_bool(v, "var_latency")?,
+    })
+}
+
+/// Serialize the integer-sum [`EffectivenessStats`] aggregate (§5.2).
+pub fn effectiveness_stats_to_json(e: &EffectivenessStats) -> Json {
+    Json::obj()
+        .field("total_inputs", e.total_inputs)
+        .field("effective_inputs", e.effective_inputs)
+        .field("classes", e.classes)
+        .field("singleton_classes", e.singleton_classes)
+}
+
+/// Deserialize statistics written by [`effectiveness_stats_to_json`].
+pub fn effectiveness_stats_from_json(v: &Json) -> Result<EffectivenessStats, DecodeError> {
+    Ok(EffectivenessStats {
+        total_inputs: get_usize(v, "total_inputs")?,
+        effective_inputs: get_usize(v, "effective_inputs")?,
+        classes: get_usize(v, "classes")?,
+        singleton_classes: get_usize(v, "singleton_classes")?,
+    })
+}
+
 /// Serialize a [`ViolationReport`]: the full counterexample (test case,
 /// inputs, diverging trace pair), the violated contract, the exact `u64`
 /// campaign seed and the detection counters.
@@ -639,6 +698,7 @@ pub fn violation_report_to_json(r: &ViolationReport) -> Json {
         .field("contract", contract_to_json(&r.contract))
         .field("test_case_seed", r.test_case_seed)
         .field("vulnerability", r.vulnerability.to_string())
+        .field("gadget", r.gadget.as_ref().map(gadget_signature_to_json))
         .field("test_cases_until_detection", r.test_cases_until_detection)
         .field("inputs_until_detection", r.inputs_until_detection)
 }
@@ -657,6 +717,11 @@ pub fn violation_report_from_json(v: &Json) -> Result<ViolationReport, DecodeErr
         contract: in_field("contract", contract_from_json(get(v, "contract")?))?,
         test_case_seed: get_u64(v, "test_case_seed")?,
         vulnerability: vuln_class_from_label(get_str(v, "vulnerability")?)?,
+        // Absent in reports exported before the static classifier existed.
+        gadget: match v.get("gadget") {
+            None | Some(Json::Null) => None,
+            Some(g) => Some(in_field("gadget", gadget_signature_from_json(g))?),
+        },
         test_cases_until_detection: get_usize(v, "test_cases_until_detection")?,
         inputs_until_detection: get_usize(v, "inputs_until_detection")?,
     })
@@ -700,6 +765,8 @@ pub fn fuzz_report_to_json(r: &FuzzReport) -> Json {
     Json::obj()
         .field("violation", r.violation.as_ref().map(violation_report_to_json))
         .field("test_cases", r.test_cases)
+        .field("generated", r.generated)
+        .field("statically_filtered", r.statically_filtered)
         .field("total_inputs", r.total_inputs)
         .field("rounds", r.rounds)
         .field("escalations", r.escalations)
@@ -714,9 +781,20 @@ pub fn fuzz_report_from_json(v: &Json) -> Result<FuzzReport, DecodeError> {
         Json::Null => None,
         r => Some(in_field("violation", violation_report_from_json(r))?),
     };
+    let test_cases = get_usize(v, "test_cases")?;
     Ok(FuzzReport {
         violation,
-        test_cases: get_usize(v, "test_cases")?,
+        test_cases,
+        // Absent in reports exported before the static pre-filter existed,
+        // where every generated test case was measured.
+        generated: match v.get("generated") {
+            None => test_cases,
+            Some(_) => get_usize(v, "generated")?,
+        },
+        statically_filtered: match v.get("statically_filtered") {
+            None => 0,
+            Some(_) => get_usize(v, "statically_filtered")?,
+        },
         total_inputs: get_usize(v, "total_inputs")?,
         rounds: get_usize(v, "rounds")?,
         escalations: get_usize(v, "escalations")?,
@@ -738,7 +816,9 @@ fn cell_progress_to_json(c: &CellProgress) -> Json {
     Json::obj()
         .field("violation", c.violation.as_ref().map(violation_report_to_json))
         .field("test_cases", c.test_cases)
+        .field("filtered", c.filtered)
         .field("total_inputs", c.total_inputs)
+        .field("effectiveness", effectiveness_stats_to_json(&c.effectiveness))
         .field("detection_ns", duration_to_json(c.detection_time))
 }
 
@@ -750,7 +830,17 @@ fn cell_progress_from_json(v: &Json) -> Result<CellProgress, DecodeError> {
     Ok(CellProgress {
         violation,
         test_cases: get_usize(v, "test_cases")?,
+        // Absent in pre-filter spools: nothing was ever filtered, and
+        // effectiveness sums were not yet tracked.
+        filtered: match v.get("filtered") {
+            None => 0,
+            Some(_) => get_usize(v, "filtered")?,
+        },
         total_inputs: get_usize(v, "total_inputs")?,
+        effectiveness: match v.get("effectiveness") {
+            None => EffectivenessStats::default(),
+            Some(e) => in_field("effectiveness", effectiveness_stats_from_json(e))?,
+        },
         detection_time: in_field("detection_ns", duration_from_json(get(v, "detection_ns")?))?,
     })
 }
@@ -760,7 +850,9 @@ fn group_progress_to_json(g: &GroupProgress) -> Json {
         .field("target_id", g.target_id)
         .field("next_index", g.next_index)
         .field("test_cases", g.test_cases)
+        .field("filtered", g.filtered)
         .field("total_inputs", g.total_inputs)
+        .field("effectiveness", Json::Arr(g.effectiveness.iter().map(effectiveness_stats_to_json).collect()))
         .field("round", g.round)
         .field("work_ns", duration_to_json(g.work))
         .field("escalations", g.escalations)
@@ -774,7 +866,20 @@ fn group_progress_from_json(v: &Json) -> Result<GroupProgress, DecodeError> {
         target_id: get_int(v, "target_id")?,
         next_index: get_usize(v, "next_index")?,
         test_cases: get_usize(v, "test_cases")?,
+        // Absent in pre-filter spools (see `cell_progress_from_json`).
+        filtered: match v.get("filtered") {
+            None => 0,
+            Some(_) => get_usize(v, "filtered")?,
+        },
         total_inputs: get_usize(v, "total_inputs")?,
+        effectiveness: match v.get("effectiveness") {
+            None => Vec::new(),
+            Some(_) => get_arr(v, "effectiveness")?
+                .iter()
+                .enumerate()
+                .map(|(i, e)| in_field(&format!("effectiveness[{i}]"), effectiveness_stats_from_json(e)))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
         round: get_usize(v, "round")?,
         work: in_field("work_ns", duration_from_json(get(v, "work_ns")?))?,
         escalations: get_usize(v, "escalations")?,
@@ -905,8 +1010,11 @@ fn cell_report_to_json(cell: &CellReport) -> Json {
         .field("contract", cell.contract.name())
         .field("found", cell.found())
         .field("vulnerability", cell.vulnerability().map(|v| v.to_string()))
+        .field("gadget_class", cell.violation.as_ref().and_then(|v| v.gadget.map(|g| g.label())))
         .field("test_cases", cell.test_cases)
+        .field("statically_filtered", cell.filtered)
         .field("total_inputs", cell.total_inputs)
+        .field("effectiveness", effectiveness_stats_to_json(&cell.effectiveness))
         .field("violation", cell.violation.as_ref().map(violation_report_to_json))
 }
 

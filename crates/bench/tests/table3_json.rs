@@ -19,6 +19,12 @@ fn tiny_budget_table3_json_parses_and_covers_all_32_cells() {
     assert_eq!(doc.get("seed").and_then(Json::as_f64), Some(3.0));
     assert!(doc.get("duration_ms").and_then(Json::as_f64).is_some());
     assert!(doc.get("measured_test_cases").and_then(Json::as_f64).is_some());
+    // Filtering is off here, so every generated test case was measured.
+    assert_eq!(doc.get("statically_filtered").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(
+        doc.get("generated_test_cases").and_then(Json::as_f64),
+        doc.get("measured_test_cases").and_then(Json::as_f64),
+    );
 
     let cells = doc.get("cells").and_then(Json::as_array).expect("cells array");
     assert_eq!(cells.len(), 32, "8 targets x 4 contracts");
@@ -37,13 +43,40 @@ fn tiny_budget_table3_json_parses_and_covers_all_32_cells() {
             }
             other => panic!("vulnerability must be a string or null, got {other}"),
         }
+        match cell.get("gadget_class").expect("gadget_class field") {
+            Json::Null => {}
+            Json::Str(_) => assert!(found, "a gadget class implies a violation"),
+            other => panic!("gadget_class must be a string or null, got {other}"),
+        }
         let tcs = cell.get("test_cases").and_then(Json::as_f64).expect("test_cases");
         assert!(tcs <= budget as f64);
+        assert_eq!(cell.get("statically_filtered").and_then(Json::as_f64), Some(0.0));
+        let eff = cell.get("effectiveness").expect("effectiveness object");
+        for field in ["total_inputs", "effective_inputs", "classes", "singleton_classes"] {
+            assert!(eff.get(field).and_then(Json::as_f64).is_some(), "effectiveness.{field}");
+        }
         assert!(cell.get("duration_ms").and_then(Json::as_f64).is_some());
         assert_eq!(cell.get("seed").and_then(Json::as_f64), Some(3.0));
         seen.insert((target, contract));
     }
     assert_eq!(seen.len(), 32, "every (target, contract) cell appears exactly once");
+}
+
+#[test]
+fn filtered_run_reports_its_filter_counters() {
+    // Same tiny matrix with the static pre-filter on: the JSON must account
+    // for every generated test case as either measured or filtered.
+    let budget = 2;
+    let report = CampaignMatrix::table3(3).with_budget(budget).with_speculation_filter(true).run();
+    let doc = parse(&matrix_report_json(&report, budget).render_pretty()).unwrap();
+
+    let generated = doc.get("generated_test_cases").and_then(Json::as_f64).unwrap();
+    let measured = doc.get("measured_test_cases").and_then(Json::as_f64).unwrap();
+    let filtered = doc.get("statically_filtered").and_then(Json::as_f64).unwrap();
+    assert_eq!(generated, measured + filtered);
+    // Target 1 generates arithmetic-only programs — all filterable — so a
+    // table3 matrix always filters something.
+    assert!(filtered > 0.0);
 }
 
 #[test]

@@ -194,6 +194,10 @@ pub struct SlateSpec {
     pub checks: SlateChecks,
     /// The contracts of the slate.
     pub contracts: Vec<Contract>,
+    /// Discard statically-leak-impossible test cases before any model or
+    /// hardware measurement (the [`staticanalysis`](crate::staticanalysis)
+    /// pre-filter).  Sound: only true negatives are discarded.
+    pub speculation_filter: bool,
 }
 
 /// One evaluated campaign seed: the generated test case, its input batch
@@ -219,6 +223,33 @@ pub(crate) fn input_stream_seed(test_case_seed: u64) -> u64 {
     test_case_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
+/// The result of evaluating one campaign seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedEval {
+    /// The static pre-filter proved the test case leak-impossible; it was
+    /// discarded before any model or hardware measurement.
+    Filtered,
+    /// The test case faulted (never happens for generated code).
+    Faulted,
+    /// The test case was measured.
+    Measured(Box<SlateUnit>),
+}
+
+impl SeedEval {
+    /// The measured unit, if any.
+    pub fn into_unit(self) -> Option<SlateUnit> {
+        match self {
+            SeedEval::Measured(unit) => Some(*unit),
+            _ => None,
+        }
+    }
+
+    /// Was the seed discarded by the static pre-filter?
+    pub fn is_filtered(&self) -> bool {
+        matches!(self, SeedEval::Filtered)
+    }
+}
+
 /// Evaluate one campaign seed with a fresh executor built from a clone of
 /// the CPU under test.
 ///
@@ -227,17 +258,26 @@ pub(crate) fn input_stream_seed(test_case_seed: u64) -> u64 {
 /// `(cpu_template, spec, seed)` — the generated test case, the input batch
 /// and the synthetic-noise stream all derive from `seed` alone — so units
 /// can be evaluated on any worker, in any order, with identical results.
-///
-/// Returns `None` for a malformed (faulting) test case; generated test
-/// cases never fault.
+/// The static pre-filter (when enabled) runs on the generated program
+/// before input generation, so filtered seeds cost only the program
+/// generation; because every unit is independent, skipping one cannot
+/// perturb any other unit's verdict.
 pub fn evaluate_seed<C: CpuUnderTest + Clone>(
     cpu_template: &C,
     spec: &SlateSpec,
     seed: u64,
-) -> Option<SlateUnit> {
+) -> SeedEval {
     let generator = ProgramGenerator::new(spec.generator.clone());
-    let input_gen = InputGenerator::new(spec.generator.input_entropy_bits);
     let tc = generator.generate(seed);
+    if spec.speculation_filter {
+        // The `*+Assist` executor modes arm an assist page even when the
+        // sandbox does not declare one.
+        let assists = spec.executor.mode.assists || tc.sandbox().assist_page.is_some();
+        if !crate::staticanalysis::leak_possible(&tc, assists) {
+            return SeedEval::Filtered;
+        }
+    }
+    let input_gen = InputGenerator::new(spec.generator.input_entropy_bits);
     let inputs = input_gen.generate(&tc, input_stream_seed(seed), spec.generator.inputs_per_test_case);
     // Derive the synthetic-noise stream from the test-case seed so that
     // measurements do not depend on which worker (or in which order) the
@@ -247,9 +287,9 @@ pub fn evaluate_seed<C: CpuUnderTest + Clone>(
     let mut executor = Executor::new(cpu_template.clone(), exec_cfg);
     let analyzer = Analyzer::new();
     match evaluate_slate(&mut executor, &analyzer, spec.checks, &spec.contracts, &tc, &inputs) {
-        Ok(outcomes) => Some(SlateUnit { seed, tc, inputs, outcomes }),
+        Ok(outcomes) => SeedEval::Measured(Box::new(SlateUnit { seed, tc, inputs, outcomes })),
         // Malformed test case; skipped (never happens for generated code).
-        Err(_) => None,
+        Err(_) => SeedEval::Faulted,
     }
 }
 
@@ -262,6 +302,9 @@ pub struct RoundEvent {
     pub round: usize,
     /// Test cases evaluated so far in this campaign / cell group.
     pub test_cases: usize,
+    /// Test cases discarded by the static speculation pre-filter so far in
+    /// this campaign / cell group (0 when the filter is off).
+    pub filtered: usize,
     /// Generator escalations of this campaign / cell group so far (§5.6).
     /// Matrix cell groups run a fixed generator configuration unless
     /// [`CampaignMatrix::with_escalation`](crate::CampaignMatrix::with_escalation)
@@ -324,6 +367,7 @@ mod tests {
             executor: ExecutorConfig::fast(target.mode).with_repetitions(2),
             checks: SlateChecks::all(),
             contracts,
+            speculation_filter: false,
         }
     }
 
@@ -336,10 +380,10 @@ mod tests {
         let spec = spec_for(&target, contracts.clone());
         let cpu = target.cpu();
         for seed in [3u64, 19, 57] {
-            let shared = evaluate_seed(&cpu, &spec, seed).unwrap();
+            let shared = evaluate_seed(&cpu, &spec, seed).into_unit().unwrap();
             for (k, contract) in contracts.iter().enumerate() {
                 let solo_spec = spec_for(&target, vec![contract.clone()]);
-                let solo = evaluate_seed(&cpu, &solo_spec, seed).unwrap();
+                let solo = evaluate_seed(&cpu, &solo_spec, seed).into_unit().unwrap();
                 assert_eq!(shared.outcomes[k], solo.outcomes[0], "seed {seed}, {}", contract.name());
             }
         }
@@ -359,11 +403,11 @@ mod tests {
             .with_noise(NoiseConfig { one_off_probability: 0.1, smi_probability: 0.05, seed: 23 });
         let cpu = target.cpu();
         for seed in [5u64, 42] {
-            let shared = evaluate_seed(&cpu, &spec, seed).unwrap();
+            let shared = evaluate_seed(&cpu, &spec, seed).into_unit().unwrap();
             for (k, contract) in contracts.iter().enumerate() {
                 let mut solo_spec = spec.clone();
                 solo_spec.contracts = vec![contract.clone()];
-                let solo = evaluate_seed(&cpu, &solo_spec, seed).unwrap();
+                let solo = evaluate_seed(&cpu, &solo_spec, seed).into_unit().unwrap();
                 assert_eq!(shared.outcomes[k], solo.outcomes[0], "seed {seed}, {}", contract.name());
             }
         }
@@ -393,8 +437,8 @@ mod tests {
     fn evaluate_seed_is_a_pure_function_of_its_arguments() {
         let target = Target::target1();
         let spec = spec_for(&target, vec![Contract::ct_seq()]);
-        let a = evaluate_seed(&target.cpu(), &spec, 7).unwrap();
-        let b = evaluate_seed(&target.cpu(), &spec, 7).unwrap();
+        let a = evaluate_seed(&target.cpu(), &spec, 7).into_unit().unwrap();
+        let b = evaluate_seed(&target.cpu(), &spec, 7).into_unit().unwrap();
         assert_eq!(a, b);
     }
 }

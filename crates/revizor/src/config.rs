@@ -26,6 +26,11 @@ pub struct FuzzerConfig {
     /// Re-check reported violations with the priming-swap test to filter
     /// divergence caused by the microarchitectural context (§5.3).
     pub priming_swap_check: bool,
+    /// Discard statically-leak-impossible test cases before the model and
+    /// hardware measurements (the [`staticanalysis`](crate::staticanalysis)
+    /// pre-filter).  Sound — only true negatives are discarded — but off by
+    /// default so reported test-case counts match the unfiltered pipeline.
+    pub speculation_filter: bool,
     /// Number of test cases per testing round; the diversity analysis runs
     /// at round boundaries (§5.6).
     pub round_size: usize,
@@ -49,6 +54,7 @@ impl FuzzerConfig {
             seed: 0,
             verify_with_nesting: true,
             priming_swap_check: true,
+            speculation_filter: false,
             round_size: 10,
             parallelism: 1,
         }
@@ -88,6 +94,12 @@ impl FuzzerConfig {
     /// both mean single-threaded).
     pub fn with_parallelism(mut self, n: usize) -> FuzzerConfig {
         self.parallelism = n.max(1);
+        self
+    }
+
+    /// Builder: enable or disable the static speculation pre-filter.
+    pub fn with_speculation_filter(mut self, enabled: bool) -> FuzzerConfig {
+        self.speculation_filter = enabled;
         self
     }
 }

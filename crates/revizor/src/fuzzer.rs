@@ -1,11 +1,12 @@
 //! The end-to-end fuzzer (Figure 2).
 
 use crate::campaign::{
-    self, NoopObserver, ProgressObserver, RoundEvent, SlateSpec, SlateUnit,
+    self, NoopObserver, ProgressObserver, RoundEvent, SeedEval, SlateSpec, SlateUnit,
 };
 use crate::classify::{classify, VulnClass};
 use crate::config::FuzzerConfig;
 use crate::diversity::PatternCoverage;
+use crate::staticanalysis::{self, GadgetSignature};
 use crate::targets::Target;
 use rvz_analyzer::{AnalysisResult, Analyzer, Violation};
 use rvz_emu::Fault;
@@ -56,6 +57,11 @@ pub struct ViolationReport {
     pub test_case_seed: u64,
     /// Heuristic classification of the underlying vulnerability.
     pub vulnerability: VulnClass,
+    /// Static gadget signature of the violating program (source kind ×
+    /// dependency shape × transmitter kind), for deduplicating equivalent
+    /// gadgets across campaigns.  `None` when the static pass cannot
+    /// attribute the leak to a transmitter.
+    pub gadget: Option<GadgetSignature>,
     /// Number of test cases executed up to and including this one.
     pub test_cases_until_detection: usize,
     /// Number of inputs executed up to and including this test case.
@@ -69,6 +75,12 @@ pub struct FuzzReport {
     pub violation: Option<ViolationReport>,
     /// Test cases executed.
     pub test_cases: usize,
+    /// Test cases generated, including ones the static pre-filter discarded
+    /// before measurement.  Equals [`test_cases`](FuzzReport::test_cases)
+    /// when the filter is off.
+    pub generated: usize,
+    /// Test cases discarded by the static speculation pre-filter.
+    pub statically_filtered: usize,
     /// Inputs executed (across all test cases).
     pub total_inputs: usize,
     /// Testing rounds completed.
@@ -237,18 +249,21 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
         &self,
         pool: Option<&rayon::ThreadPool>,
         range: std::ops::Range<usize>,
-    ) -> Vec<Option<RoundUnit>> {
+    ) -> Vec<Option<SeedEval>> {
         let spec = SlateSpec {
             generator: self.config.generator.clone(),
             executor: self.config.executor,
             checks: (&self.config).into(),
             contracts: vec![self.config.contract.clone()],
+            speculation_filter: self.config.speculation_filter,
         };
         let cpu_template = self.executor.cpu();
         let seeds: Vec<(usize, u64)> =
             range.map(|i| (i, self.config.seed.wrapping_add(i as u64))).collect();
-        let evaluate_one = move |seed: u64| -> Option<RoundUnit> {
-            campaign::evaluate_seed(cpu_template, &spec, seed).map(RoundUnit::from_slate)
+        let evaluate_one =
+            move |seed: u64| -> SeedEval { campaign::evaluate_seed(cpu_template, &spec, seed) };
+        let violated = |eval: &SeedEval| -> bool {
+            matches!(eval, SeedEval::Measured(u) if u.outcomes[0].confirmed_violation.is_some())
         };
         match pool {
             None => {
@@ -257,11 +272,9 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
                 // after it anyway.
                 let mut units = Vec::with_capacity(seeds.len());
                 for (_, seed) in seeds {
-                    let unit = evaluate_one(seed);
-                    let found = unit
-                        .as_ref()
-                        .is_some_and(|u| u.outcome.confirmed_violation.is_some());
-                    units.push(unit);
+                    let eval = evaluate_one(seed);
+                    let found = violated(&eval);
+                    units.push(Some(eval));
                     if found {
                         break;
                     }
@@ -272,8 +285,8 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
                 // Cooperative cancellation: once some worker confirms a
                 // violation at campaign index `v`, workers skip indices
                 // `> v` — the merge loop stops at the lowest violating
-                // index, so skipped units are never read and the results
-                // stay identical to the single-threaded path.
+                // index, so skipped units (`None`) are never read and the
+                // results stay identical to the single-threaded path.
                 let first_violation = AtomicUsize::new(usize::MAX);
                 pool.install(|| {
                     use rayon::prelude::*;
@@ -283,14 +296,11 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
                             if first_violation.load(Ordering::Relaxed) < idx {
                                 return None;
                             }
-                            let unit = evaluate_one(seed);
-                            if unit
-                                .as_ref()
-                                .is_some_and(|u| u.outcome.confirmed_violation.is_some())
-                            {
+                            let eval = evaluate_one(seed);
+                            if violated(&eval) {
                                 first_violation.fetch_min(idx, Ordering::Relaxed);
                             }
-                            unit
+                            Some(eval)
                         })
                         .collect()
                 })
@@ -329,6 +339,8 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
                 .expect("failed to spawn fuzzing worker threads")
         });
         let mut test_cases = 0usize;
+        let mut generated = 0usize;
+        let mut statically_filtered = 0usize;
         let mut total_inputs = 0usize;
         let mut rounds = 0usize;
         let mut escalations = 0usize;
@@ -345,7 +357,16 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
             let round_end = (round_start + round_size).min(self.config.max_test_cases);
             let units = self.evaluate_round(pool.as_ref(), round_start..round_end);
 
-            for unit in units.into_iter().flatten() {
+            for eval in units.into_iter().flatten() {
+                generated += 1;
+                let unit = match eval {
+                    SeedEval::Filtered => {
+                        statically_filtered += 1;
+                        continue;
+                    }
+                    SeedEval::Faulted => continue,
+                    SeedEval::Measured(u) => RoundUnit::from_slate(*u),
+                };
                 let RoundUnit { seed, tc, outcome, class_members } = unit;
                 round_improved |= self.absorb_coverage(&class_members);
                 test_cases += 1;
@@ -357,6 +378,7 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
                         Some(t) => classify(t, &self.config.contract, &tc),
                         None => VulnClass::Unknown,
                     };
+                    let gadget = staticanalysis::gadget_class(&tc, self.target.as_ref());
                     violation = Some(ViolationReport {
                         test_case: tc,
                         inputs: outcome.inputs,
@@ -364,6 +386,7 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
                         contract: self.config.contract.clone(),
                         test_case_seed: seed,
                         vulnerability,
+                        gadget,
                         test_cases_until_detection: test_cases,
                         inputs_until_detection: total_inputs,
                     });
@@ -380,6 +403,7 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
                 target_id: self.target.as_ref().map(|t| t.id),
                 round: rounds,
                 test_cases,
+                filtered: statically_filtered,
                 escalations,
             });
 
@@ -410,6 +434,8 @@ impl<C: CpuUnderTest + Clone + Send + Sync> Revizor<C> {
         FuzzReport {
             violation,
             test_cases,
+            generated,
+            statically_filtered,
             total_inputs,
             rounds,
             escalations,

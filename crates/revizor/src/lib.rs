@@ -65,6 +65,7 @@ pub mod fuzzer;
 pub mod gadgets;
 pub mod minimize;
 pub mod orchestrator;
+pub mod staticanalysis;
 pub mod targets;
 
 pub use campaign::{CellEvent, ContractOutcome, NoopObserver, ProgressObserver, RoundEvent};
@@ -77,4 +78,7 @@ pub use orchestrator::{
     CampaignMatrix, CellProgress, CellReport, GroupProgress, MatrixCheckpoint, MatrixReport,
     MatrixRun,
 };
+pub use staticanalysis::{GadgetSignature, SourceKind, TaintReport, TransmitterKind};
 pub use targets::Target;
+// Part of the public API through `CellReport`/`GroupProgress`.
+pub use rvz_analyzer::EffectivenessStats;

@@ -8,9 +8,12 @@
 //!    what is needed to prime the microarchitectural state);
 //! 2. **Minimal test case** — remove one instruction at a time while the
 //!    violation persists;
-//! 3. **Leak localization** — insert `LFENCE`s starting from the last
-//!    instruction while the violation persists; the remaining fence-free
-//!    region is the location of the leak (Figure 4).
+//! 3. **Leak localization** — insert `LFENCE`s while the violation
+//!    persists; the remaining fence-free region is the location of the
+//!    leak (Figure 4).  Placements inside the statically identified
+//!    speculation window ([`staticanalysis`](crate::staticanalysis)) are
+//!    tried first, so a tight check budget is spent on the positions that
+//!    actually decide the leak location.
 
 use crate::fuzzer::Revizor;
 use rvz_isa::{Input, Instr, TestCase};
@@ -108,25 +111,42 @@ impl Postprocessor {
             }
         }
 
-        // Stage 3: insert LFENCEs from the back; instructions that cannot be
-        // fenced are the leaking region.
-        let mut leaking_region = Vec::new();
-        let positions: Vec<(usize, usize)> = tc
+        // Stage 3: insert LFENCEs while the violation persists; instructions
+        // that cannot be fenced are the leaking region.  Placements inside
+        // the statically identified speculation window
+        // ([`TaintReport::window`](crate::staticanalysis::TaintReport)) are
+        // tried first, back to front — those are the cuts that decide the
+        // leak location, so a tight `max_checks` budget is spent where it
+        // matters — followed by the remaining positions, also back to front
+        // (the plain Figure 4 order).
+        let window = crate::staticanalysis::analyze(&tc).window;
+        let all: Vec<(usize, usize)> = tc
             .blocks()
             .iter()
             .enumerate()
             .flat_map(|(b, block)| (0..block.instrs.len()).map(move |i| (b, i)))
             .collect();
-        for &(b, i) in positions.iter().rev() {
+        let mut order: Vec<(usize, usize)> =
+            all.iter().rev().copied().filter(|p| window.contains(p)).collect();
+        order.extend(all.iter().rev().copied().filter(|p| !window.contains(p)));
+
+        // Both `order` and `leaking_region` use the stage-2 (pre-fence)
+        // coordinates; every fence kept at a smaller index of the same block
+        // shifts the actual insertion point right by one.
+        let mut leaking_region = Vec::new();
+        let mut inserted: Vec<Vec<usize>> = vec![Vec::new(); tc.blocks().len()];
+        for (b, i) in order {
+            let at = i + inserted[b].iter().filter(|&&k| k < i).count();
             let mut candidate = tc.clone();
-            candidate.blocks_mut()[b].instrs.insert(i, Instr::Lfence);
+            candidate.blocks_mut()[b].instrs.insert(at, Instr::Lfence);
             if violates(&candidate, &inputs) {
                 tc = candidate;
+                inserted[b].push(i);
             } else {
                 leaking_region.push((b, i));
             }
         }
-        leaking_region.reverse();
+        leaking_region.sort_unstable();
 
         // `instruction_count()` includes the stage-3 fences, so add them
         // back before subtracting: summing first keeps the arithmetic in
@@ -226,6 +246,34 @@ mod tests {
         assert!(fences > 0, "stage 3 must fence the non-leaking prefix");
         assert_eq!(minimized.test_case.instruction_count(), original + fences);
         assert!(!minimized.leaking_region.is_empty());
+    }
+
+    #[test]
+    fn static_window_covers_the_leaking_region() {
+        // The leaking region found dynamically (positions whose fence kills
+        // the violation) must lie inside the static over-approximation that
+        // stage 3 uses to order its placements — otherwise the window-first
+        // ordering would demote the decisive checks to the tail of the
+        // budget.
+        let mut fuzzer = v1_fuzzer();
+        let tc = gadgets::spectre_v1();
+        let inputs = InputGenerator::new(2).generate(&tc, 11, 24);
+        let minimized = Postprocessor::new().minimize(&mut fuzzer, &tc, &inputs);
+        assert!(!minimized.leaking_region.is_empty());
+
+        // `leaking_region` uses pre-fence coordinates: strip the stage-3
+        // fences to recover the test case the window was computed on.
+        let mut stripped = minimized.test_case.clone();
+        for block in stripped.blocks_mut() {
+            block.instrs.retain(|i| !i.is_fence());
+        }
+        let window = crate::staticanalysis::analyze(&stripped).window;
+        for pos in &minimized.leaking_region {
+            assert!(
+                window.contains(pos),
+                "leaking position {pos:?} outside the static speculation window {window:?}"
+            );
+        }
     }
 
     #[test]

@@ -61,11 +61,13 @@
 //!
 //! [`Executor::collect_htraces`]: rvz_executor::Executor::collect_htraces
 
-use crate::campaign::{self, CellEvent, NoopObserver, ProgressObserver, RoundEvent, SlateChecks, SlateSpec, SlateUnit};
+use crate::campaign::{self, CellEvent, NoopObserver, ProgressObserver, RoundEvent, SeedEval, SlateChecks, SlateSpec};
 use crate::classify::{classify, VulnClass};
 use crate::diversity::PatternCoverage;
 use crate::fuzzer::ViolationReport;
+use crate::staticanalysis;
 use crate::targets::Target;
+use rvz_analyzer::EffectivenessStats;
 use rvz_executor::ExecutorConfig;
 use rvz_gen::GeneratorConfig;
 use rvz_model::{Contract, ExecutionInfo};
@@ -93,8 +95,15 @@ pub struct CellReport {
     /// Test cases of the group stream evaluated for this cell (up to and
     /// including the violating one, or the whole budget).
     pub test_cases: usize,
+    /// Group-stream test cases the static speculation pre-filter discarded
+    /// before this cell finished (0 when the filter is off).
+    pub filtered: usize,
     /// Inputs executed across those test cases.
     pub total_inputs: usize,
+    /// Input-effectiveness statistics summed over the cell's measured test
+    /// cases (integer sums; per §5.2 the ratio is
+    /// [`EffectivenessStats::effectiveness`]).
+    pub effectiveness: EffectivenessStats,
     /// Evaluation time the cell's group had accumulated when this cell
     /// finished: the shared measurement cost attributed to the cell, i.e.
     /// the time an independent campaign for this cell would have needed
@@ -130,6 +139,12 @@ pub struct MatrixReport {
     /// measurement work actually performed.  The per-cell `test_cases`
     /// counters sum to more than this whenever groups share traces.
     pub test_cases: usize,
+    /// Test cases generated across all cell groups, including ones the
+    /// static pre-filter discarded before measurement.
+    pub generated: usize,
+    /// Test cases discarded by the static speculation pre-filter across all
+    /// cell groups (0 when the filter is off).
+    pub statically_filtered: usize,
     /// Wall-clock duration of the whole matrix run (of the final segment
     /// only, if the run was checkpoint-resumed).
     pub duration: Duration,
@@ -150,8 +165,14 @@ pub struct CellProgress {
     pub violation: Option<ViolationReport>,
     /// Test cases evaluated for the cell when it finished.
     pub test_cases: usize,
+    /// Statically pre-filtered group-stream test cases when the cell
+    /// finished.
+    pub filtered: usize,
     /// Inputs executed across those test cases.
     pub total_inputs: usize,
+    /// Summed input-effectiveness statistics of the cell's measured test
+    /// cases.
+    pub effectiveness: EffectivenessStats,
     /// Attributed group evaluation time when the cell finished.
     pub detection_time: Duration,
 }
@@ -165,8 +186,15 @@ pub struct GroupProgress {
     pub next_index: usize,
     /// Test cases evaluated so far.
     pub test_cases: usize,
+    /// Test cases the static speculation pre-filter discarded so far.
+    pub filtered: usize,
     /// Inputs executed so far.
     pub total_inputs: usize,
+    /// Per-cell summed input-effectiveness statistics, indexed like the
+    /// group's cells (discovery order); unfinished cells keep accumulating
+    /// after a resume.  Empty in checkpoints taken before this field
+    /// existed.
+    pub effectiveness: Vec<EffectivenessStats>,
     /// Completed rounds.
     pub round: usize,
     /// Accumulated unit-evaluation time.
@@ -278,6 +306,7 @@ pub struct CampaignMatrix {
     instructions: usize,
     branch_then_load_bias: bool,
     escalation: bool,
+    speculation_filter: bool,
 }
 
 impl CampaignMatrix {
@@ -299,6 +328,7 @@ impl CampaignMatrix {
             instructions: 14,
             branch_then_load_bias: true,
             escalation: false,
+            speculation_filter: false,
         }
     }
 
@@ -390,6 +420,17 @@ impl CampaignMatrix {
         self
     }
 
+    /// Builder: enable the static speculation pre-filter (off by default).
+    /// Statically-leak-impossible test cases are discarded before the model
+    /// and hardware measurements; the filter is sound, so every cell's
+    /// verdict (and violating test case) is unchanged — only the number of
+    /// *measured* test cases shrinks.  Filtered seeds still consume stream
+    /// indices, so the shared streams stay aligned with the unfiltered run.
+    pub fn with_speculation_filter(mut self, enabled: bool) -> CampaignMatrix {
+        self.speculation_filter = enabled;
+        self
+    }
+
     /// The cells added so far.
     pub fn cells(&self) -> &[MatrixCell] {
         &self.cells
@@ -413,6 +454,11 @@ impl CampaignMatrix {
             self.instructions,
             self.branch_then_load_bias,
         );
+        // Appended only when enabled so checkpoints taken before the filter
+        // existed keep their digest.
+        if self.speculation_filter {
+            desc.push_str("|speculation_filter");
+        }
         for cell in &self.cells {
             use std::fmt::Write;
             let _ = write!(
@@ -449,7 +495,12 @@ impl CampaignMatrix {
     fn build_groups(&self) -> Vec<Group> {
         let mut groups: Vec<Group> = Vec::new();
         for (cell_idx, cell) in self.cells.iter().enumerate() {
-            let gc = GroupCell { cell_idx, contract: cell.contract.clone(), report: None };
+            let gc = GroupCell {
+                cell_idx,
+                contract: cell.contract.clone(),
+                effectiveness: EffectivenessStats::default(),
+                report: None,
+            };
             match groups.iter_mut().find(|g| g.target == cell.target) {
                 Some(g) => g.cells.push(gc),
                 None => groups.push(Group {
@@ -458,6 +509,7 @@ impl CampaignMatrix {
                     cells: vec![gc],
                     next_index: 0,
                     test_cases: 0,
+                    filtered: 0,
                     total_inputs: 0,
                     round: 0,
                     work: Duration::ZERO,
@@ -528,7 +580,16 @@ impl CampaignMatrix {
             }
             group.next_index = progress.next_index;
             group.test_cases = progress.test_cases;
+            group.filtered = progress.filtered;
             group.total_inputs = progress.total_inputs;
+            // Per-cell effectiveness sums (empty in pre-filter checkpoints,
+            // which never carried them — the sums then restart from zero,
+            // matching what such a checkpoint's writer reported).
+            if progress.effectiveness.len() == group.cells.len() {
+                for (gc, eff) in group.cells.iter_mut().zip(&progress.effectiveness) {
+                    gc.effectiveness = *eff;
+                }
+            }
             group.round = progress.round;
             group.work = progress.work;
             group.coverage = progress.coverage.clone();
@@ -548,7 +609,9 @@ impl CampaignMatrix {
                         contract: gc.contract.clone(),
                         violation: progress.violation.clone(),
                         test_cases: progress.test_cases,
+                        filtered: progress.filtered,
                         total_inputs: progress.total_inputs,
+                        effectiveness: progress.effectiveness,
                         detection_time: progress.detection_time,
                     });
                 }
@@ -578,6 +641,9 @@ impl CampaignMatrix {
 struct GroupCell {
     cell_idx: usize,
     contract: Contract,
+    /// Summed effectiveness statistics of the cell's measured test cases
+    /// (accumulation stops when the cell finishes).
+    effectiveness: EffectivenessStats,
     report: Option<CellReport>,
 }
 
@@ -588,6 +654,8 @@ struct Group {
     cells: Vec<GroupCell>,
     next_index: usize,
     test_cases: usize,
+    /// Stream test cases the static pre-filter discarded.
+    filtered: usize,
     total_inputs: usize,
     round: usize,
     /// Accumulated unit-evaluation time of this group's stream.
@@ -694,6 +762,7 @@ impl<'m> MatrixRun<'m> {
                     .with_repetitions(matrix.repetitions),
                 checks: SlateChecks::all(),
                 contracts,
+                speculation_filter: matrix.speculation_filter,
             });
             wave_cells[gi] = active;
             wave_counts[gi] = end - group.next_index;
@@ -712,13 +781,13 @@ impl<'m> MatrixRun<'m> {
         let specs = &wave_specs;
         let cpus: Vec<SpecCpu> = self.groups.iter().map(|g| g.target.cpu()).collect();
         let cpus = &cpus;
-        let eval = move |(gi, seed): (usize, u64)| -> (usize, Option<SlateUnit>, Duration) {
+        let eval = move |(gi, seed): (usize, u64)| -> (usize, SeedEval, Duration) {
             let spec = specs[gi].as_ref().expect("scheduled group has a spec");
             let t0 = Instant::now();
             let unit = campaign::evaluate_seed(&cpus[gi], spec, seed);
             (gi, unit, t0.elapsed())
         };
-        let units: Vec<(usize, Option<SlateUnit>, Duration)> = match &self.pool {
+        let units: Vec<(usize, SeedEval, Duration)> = match &self.pool {
             None => wave.into_iter().map(eval).collect(),
             Some(pool) => pool.install(|| {
                 use rayon::prelude::*;
@@ -734,12 +803,20 @@ impl<'m> MatrixRun<'m> {
                 continue;
             }
             let group = &mut self.groups[gi];
-            for (_, unit, unit_time) in &units[cursor..cursor + scheduled] {
+            for (_, eval, unit_time) in &units[cursor..cursor + scheduled] {
                 group.next_index += 1;
                 group.work += *unit_time;
-                // Malformed test cases are skipped (never happens for
-                // generated code).
-                let Some(unit) = unit else { continue };
+                let unit = match eval {
+                    // Statically leak-impossible: discarded unmeasured.
+                    SeedEval::Filtered => {
+                        group.filtered += 1;
+                        continue;
+                    }
+                    // Malformed test cases are skipped (never happens for
+                    // generated code).
+                    SeedEval::Faulted => continue,
+                    SeedEval::Measured(unit) => &**unit,
+                };
                 group.test_cases += 1;
                 group.total_inputs += unit.inputs.len();
                 if matrix.escalation {
@@ -750,13 +827,18 @@ impl<'m> MatrixRun<'m> {
                 for (k, ci) in wave_cells[gi].iter().enumerate() {
                     let outcome = &unit.outcomes[k];
                     let cell = &mut group.cells[*ci];
-                    if cell.report.is_some() || outcome.confirmed_violation.is_none() {
+                    if cell.report.is_some() {
+                        continue;
+                    }
+                    cell.effectiveness.merge(&outcome.analysis.stats);
+                    if outcome.confirmed_violation.is_none() {
                         continue;
                     }
                     // First confirmed violation for this cell: the cell
                     // finishes; later stream test cases no longer count
                     // toward it.
                     let vulnerability = classify(&group.target, &outcome.contract, &unit.tc);
+                    let gadget = staticanalysis::gadget_class(&unit.tc, Some(&group.target));
                     let violation = ViolationReport {
                         test_case: unit.tc.clone(),
                         inputs: unit.inputs.clone(),
@@ -767,6 +849,7 @@ impl<'m> MatrixRun<'m> {
                         contract: outcome.contract.clone(),
                         test_case_seed: unit.seed,
                         vulnerability,
+                        gadget,
                         test_cases_until_detection: group.test_cases,
                         inputs_until_detection: group.total_inputs,
                     };
@@ -783,7 +866,9 @@ impl<'m> MatrixRun<'m> {
                         contract: outcome.contract.clone(),
                         violation: Some(violation),
                         test_cases: group.test_cases,
+                        filtered: group.filtered,
                         total_inputs: group.total_inputs,
+                        effectiveness: cell.effectiveness,
                         detection_time: group.work,
                     });
                 }
@@ -814,6 +899,7 @@ impl<'m> MatrixRun<'m> {
                 target_id: Some(group.target.id),
                 round: group.round,
                 test_cases: group.test_cases,
+                filtered: group.filtered,
                 escalations: group.escalations,
             });
         }
@@ -830,7 +916,9 @@ impl<'m> MatrixRun<'m> {
                     cells[gc.cell_idx] = Some(CellProgress {
                         violation: report.violation.clone(),
                         test_cases: report.test_cases,
+                        filtered: report.filtered,
                         total_inputs: report.total_inputs,
+                        effectiveness: report.effectiveness,
                         detection_time: report.detection_time,
                     });
                 }
@@ -851,7 +939,9 @@ impl<'m> MatrixRun<'m> {
                     target_id: g.target.id,
                     next_index: g.next_index,
                     test_cases: g.test_cases,
+                    filtered: g.filtered,
                     total_inputs: g.total_inputs,
+                    effectiveness: g.cells.iter().map(|c| c.effectiveness).collect(),
                     round: g.round,
                     work: g.work,
                     escalations: g.escalations,
@@ -883,7 +973,9 @@ impl<'m> MatrixRun<'m> {
                         contract: cell.contract.clone(),
                         violation: None,
                         test_cases: group.test_cases,
+                        filtered: group.filtered,
                         total_inputs: group.total_inputs,
+                        effectiveness: cell.effectiveness,
                         detection_time: group.work,
                     });
                 }
@@ -892,6 +984,8 @@ impl<'m> MatrixRun<'m> {
 
         // Reassemble the reports in cell insertion order.
         let test_cases = self.groups.iter().map(|g| g.test_cases).sum();
+        let generated = self.groups.iter().map(|g| g.next_index).sum();
+        let statically_filtered = self.groups.iter().map(|g| g.filtered).sum();
         let mut slots: Vec<Option<CellReport>> = self.matrix.cells.iter().map(|_| None).collect();
         for group in self.groups {
             for cell in group.cells {
@@ -902,6 +996,8 @@ impl<'m> MatrixRun<'m> {
             cells: slots.into_iter().map(|s| s.expect("every cell closed")).collect(),
             seed: self.matrix.seed,
             test_cases,
+            generated,
+            statically_filtered,
             duration: self.start.elapsed(),
         }
     }
@@ -1010,6 +1106,63 @@ mod tests {
         assert_eq!(
             a.violation.as_ref().map(|v| v.test_case_seed),
             b.violation.as_ref().map(|v| v.test_case_seed)
+        );
+    }
+
+    #[test]
+    fn speculation_filter_preserves_verdicts_and_reduces_measurements() {
+        // The filter is sound: every violating cell keeps the exact same
+        // violation (same seed, same counterexample), only the number of
+        // *measured* test cases shrinks.  Target 1 generates AR-only
+        // programs, which can never speculatively leak — its whole stream
+        // is filtered.
+        let build = |filter: bool| {
+            CampaignMatrix::new(7)
+                .with_budget(60)
+                .add_cells(Target::target5(), Contract::table3_contracts())
+                .add_cell(Target::target1(), Contract::ct_seq())
+                .with_speculation_filter(filter)
+                .run()
+        };
+        let unfiltered = build(false);
+        let filtered = build(true);
+        assert_eq!(unfiltered.statically_filtered, 0);
+        assert!(filtered.statically_filtered > 0, "some test cases must be filtered");
+        assert_eq!(unfiltered.generated, unfiltered.test_cases);
+        assert_eq!(filtered.test_cases + filtered.statically_filtered, filtered.generated);
+
+        for (a, b) in unfiltered.cells.iter().zip(&filtered.cells) {
+            let cell = format!("target {} × {}", a.target.id, a.contract.name());
+            assert_eq!(a.found(), b.found(), "{cell}: verdict must not change");
+            assert!(b.test_cases <= a.test_cases, "{cell}: filtering cannot measure more");
+            match (&a.violation, &b.violation) {
+                (None, None) => {}
+                (Some(va), Some(vb)) => {
+                    // The counterexample itself is byte-identical; only the
+                    // measured-work counters may shrink.
+                    assert_eq!(va.test_case_seed, vb.test_case_seed, "{cell}");
+                    assert_eq!(va.test_case, vb.test_case, "{cell}");
+                    assert_eq!(va.inputs, vb.inputs, "{cell}");
+                    assert_eq!(va.violation, vb.violation, "{cell}");
+                    assert_eq!(va.vulnerability, vb.vulnerability, "{cell}");
+                    assert_eq!(va.gadget, vb.gadget, "{cell}");
+                    assert!(vb.test_cases_until_detection <= va.test_cases_until_detection);
+                }
+                _ => panic!("{cell}: verdicts diverged"),
+            }
+        }
+
+        // The AR-only target shows the full reduction: nothing is measured.
+        let t1 = filtered.cell(1, &Contract::ct_seq()).unwrap();
+        assert_eq!(t1.test_cases, 0, "AR-only programs are all statically leak-impossible");
+        assert_eq!(t1.filtered, 60);
+        // And at least one *violating* cell measured strictly less.
+        let a = unfiltered.cell(5, &Contract::ct_seq()).unwrap();
+        let b = filtered.cell(5, &Contract::ct_seq()).unwrap();
+        assert!(b.found());
+        assert!(
+            b.test_cases < a.test_cases || b.filtered > 0,
+            "the violating group must show a measured reduction"
         );
     }
 
@@ -1162,6 +1315,9 @@ mod tests {
         assert!(small_matrix(1).with_generator_size(5, 14).resume(&snapshot).is_err());
         assert!(small_matrix(1).with_inputs_per_test_case(10).resume(&snapshot).is_err());
         assert!(small_matrix(1).with_repetitions(3).resume(&snapshot).is_err());
+        // The pre-filter changes which seeds are measured, so an
+        // unfiltered checkpoint must not resume on a filtering matrix.
+        assert!(small_matrix(1).with_speculation_filter(true).resume(&snapshot).is_err());
         let swapped_contract = CampaignMatrix::new(7)
             .with_budget(60)
             .add_cells(

@@ -848,6 +848,8 @@ pub fn job_result_json(job: &str, spec: &JobSpec, report: &MatrixReport) -> Json
         .field("spec", spec.to_json())
         .field("seed", report.seed)
         .field("measured_test_cases", report.test_cases)
+        .field("generated_test_cases", report.generated)
+        .field("statically_filtered", report.statically_filtered)
         .field("cells", matrix_cells_json(report))
         .field("timing", matrix_timing_json(report))
 }

@@ -6,6 +6,7 @@
 
 use revizor::orchestrator::{CellProgress, GroupProgress, MatrixCheckpoint};
 use revizor::diversity::PatternCoverage;
+use revizor::EffectivenessStats;
 use rvz_bench::json::{parse, Json};
 use rvz_bench::report::{
     checkpoint_transfer_from_json, checkpoint_transfer_to_json, matrix_checkpoint_from_json,
@@ -61,7 +62,14 @@ fn checkpoint_from(scalars: [u64; 4], groups: &[(u8, u64)], cells: &[u64]) -> Ma
                 (c & 1 == 1).then(|| CellProgress {
                     violation: None,
                     test_cases: (c >> 1 & 0xFFFF) as usize,
+                    filtered: (c >> 40 & 0xFF) as usize,
                     total_inputs: (c >> 17 & 0xFFFF) as usize,
+                    effectiveness: EffectivenessStats {
+                        total_inputs: (c >> 17 & 0xFFFF) as usize,
+                        effective_inputs: (c >> 21 & 0xFFF) as usize,
+                        classes: (c >> 48 & 0xFF) as usize,
+                        singleton_classes: (c >> 52 & 0xFF) as usize,
+                    },
                     detection_time: Duration::from_nanos(c >> 33),
                 })
             })
@@ -72,7 +80,14 @@ fn checkpoint_from(scalars: [u64; 4], groups: &[(u8, u64)], cells: &[u64]) -> Ma
                 target_id,
                 next_index: (g & 0xFFFF) as usize,
                 test_cases: (g >> 16 & 0xFFFF) as usize,
+                filtered: (g >> 24 & 0xFF) as usize,
                 total_inputs: (g >> 32 & 0xFFFF) as usize,
+                effectiveness: vec![EffectivenessStats {
+                    total_inputs: (g >> 32 & 0xFFFF) as usize,
+                    effective_inputs: (g >> 36 & 0xFFF) as usize,
+                    classes: (g >> 8 & 0xFF) as usize,
+                    singleton_classes: (g >> 12 & 0xFF) as usize,
+                }],
                 round: (g >> 48 & 0xFF) as usize,
                 work: Duration::from_nanos(g.rotate_left(13)),
                 escalations: (g >> 56 & 0xF) as usize,
