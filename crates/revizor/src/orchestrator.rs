@@ -622,6 +622,287 @@ impl CampaignMatrix {
         Ok(run)
     }
 
+    /// The matrix's cell groups as full-matrix cell indices, one entry per
+    /// target in discovery order (the same order [`Self::build_groups`]
+    /// produces and checkpoints record).
+    fn group_layout(&self) -> Vec<(Target, Vec<usize>)> {
+        let mut layout: Vec<(Target, Vec<usize>)> = Vec::new();
+        for (idx, cell) in self.cells.iter().enumerate() {
+            match layout.iter_mut().find(|(target, _)| *target == cell.target) {
+                Some((_, indices)) => indices.push(idx),
+                None => layout.push((cell.target.clone(), vec![idx])),
+            }
+        }
+        layout
+    }
+
+    /// Split the matrix into one single-group sub-matrix per target, in
+    /// group discovery order.  Each sub-matrix carries the same seed,
+    /// budget and configuration, so its work units draw the *identical*
+    /// seeds the full matrix would schedule for that group
+    /// ([`unit_seed`] depends only on the matrix seed, the target id and
+    /// the stream index) — sub-runs are relocatable across hosts by
+    /// construction.  Drive them independently (possibly on different
+    /// machines), then recombine with [`Self::merge_checkpoints`] /
+    /// [`Self::merge_reports`].
+    pub fn group_matrices(&self) -> Vec<CampaignMatrix> {
+        self.group_layout()
+            .into_iter()
+            .map(|(_, indices)| {
+                let mut sub = self.clone();
+                sub.cells = indices.iter().map(|&i| self.cells[i].clone()).collect();
+                sub
+            })
+            .collect()
+    }
+
+    /// The checkpoint of a run that has not stepped yet: wave 0, no
+    /// progress.  Useful to stand in for sub-runs that have not started
+    /// when merging partial fleet progress into a full-matrix checkpoint.
+    pub fn initial_checkpoint(&self) -> MatrixCheckpoint {
+        MatrixCheckpoint {
+            wave: 0,
+            seed: self.seed,
+            budget: self.budget,
+            round_size: self.round_size,
+            escalation: self.escalation,
+            config_digest: self.config_digest(),
+            cells: self.cells.iter().map(|_| None).collect(),
+            groups: self
+                .build_groups()
+                .iter()
+                .map(|g| GroupProgress {
+                    target_id: g.target.id,
+                    next_index: 0,
+                    test_cases: 0,
+                    filtered: 0,
+                    total_inputs: 0,
+                    effectiveness: g.cells.iter().map(|_| EffectivenessStats::default()).collect(),
+                    round: 0,
+                    work: Duration::ZERO,
+                    escalations: 0,
+                    coverage_level: 1,
+                    round_improved: false,
+                    coverage: PatternCoverage::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Split a full-matrix checkpoint into one single-group checkpoint per
+    /// target, each resumable on the corresponding [`Self::group_matrices`]
+    /// sub-matrix.  A sub-checkpoint's `wave` is its group's completed
+    /// round count — exactly the wave count a standalone single-group run
+    /// would have reached, since every wave of a single-group run is one
+    /// round of its only group.
+    ///
+    /// # Errors
+    /// Returns a message when the checkpoint does not match this matrix
+    /// (same validation as [`Self::resume`]).
+    pub fn split_checkpoint(
+        &self,
+        checkpoint: &MatrixCheckpoint,
+    ) -> Result<Vec<MatrixCheckpoint>, String> {
+        if checkpoint.seed != self.seed {
+            return Err(format!(
+                "checkpoint seed {} does not match matrix seed {}",
+                checkpoint.seed, self.seed
+            ));
+        }
+        if checkpoint.budget != self.budget || checkpoint.round_size != self.round_size {
+            return Err("checkpoint budget/round size does not match the matrix".to_string());
+        }
+        if checkpoint.escalation != self.escalation {
+            return Err("checkpoint escalation mode does not match the matrix".to_string());
+        }
+        if checkpoint.config_digest != self.config_digest() {
+            return Err("checkpoint configuration does not match the matrix".to_string());
+        }
+        if checkpoint.cells.len() != self.cells.len() {
+            return Err(format!(
+                "checkpoint has {} cells, matrix has {}",
+                checkpoint.cells.len(),
+                self.cells.len()
+            ));
+        }
+        let layout = self.group_layout();
+        if checkpoint.groups.len() != layout.len() {
+            return Err(format!(
+                "checkpoint has {} groups, matrix has {}",
+                checkpoint.groups.len(),
+                layout.len()
+            ));
+        }
+        let subs = self.group_matrices();
+        layout
+            .iter()
+            .zip(&subs)
+            .zip(&checkpoint.groups)
+            .map(|(((target, indices), sub), progress)| {
+                if target.id != progress.target_id {
+                    return Err(format!(
+                        "checkpoint group targets {} where the matrix has {}",
+                        progress.target_id, target.id
+                    ));
+                }
+                Ok(MatrixCheckpoint {
+                    wave: progress.round,
+                    seed: self.seed,
+                    budget: self.budget,
+                    round_size: self.round_size,
+                    escalation: self.escalation,
+                    config_digest: sub.config_digest(),
+                    cells: indices.iter().map(|&i| checkpoint.cells[i].clone()).collect(),
+                    groups: vec![progress.clone()],
+                })
+            })
+            .collect()
+    }
+
+    /// Merge per-group sub-checkpoints (one per [`Self::group_matrices`]
+    /// sub-matrix, in group order) back into a full-matrix checkpoint
+    /// resumable on this matrix.  The merged `wave` is the sum of the
+    /// sub-run waves (purely informational, like the field itself).
+    /// Inverse of [`Self::split_checkpoint`]; sub-runs may have progressed
+    /// unevenly in between.
+    ///
+    /// # Errors
+    /// Returns a message when the parts do not match this matrix's groups.
+    pub fn merge_checkpoints(
+        &self,
+        parts: &[MatrixCheckpoint],
+    ) -> Result<MatrixCheckpoint, String> {
+        let layout = self.group_layout();
+        if parts.len() != layout.len() {
+            return Err(format!(
+                "{} sub-checkpoints for a matrix with {} groups",
+                parts.len(),
+                layout.len()
+            ));
+        }
+        let subs = self.group_matrices();
+        let mut cells: Vec<Option<CellProgress>> = self.cells.iter().map(|_| None).collect();
+        let mut groups = Vec::with_capacity(parts.len());
+        let mut wave = 0usize;
+        for (((target, indices), sub), part) in layout.iter().zip(&subs).zip(parts) {
+            if part.seed != self.seed
+                || part.budget != self.budget
+                || part.round_size != self.round_size
+                || part.escalation != self.escalation
+            {
+                return Err(format!(
+                    "sub-checkpoint for target {} does not match the matrix configuration",
+                    target.id
+                ));
+            }
+            if part.config_digest != sub.config_digest() {
+                return Err(format!(
+                    "sub-checkpoint configuration for target {} does not match its group",
+                    target.id
+                ));
+            }
+            match part.groups.as_slice() {
+                [group] if group.target_id == target.id => groups.push(group.clone()),
+                [group] => {
+                    return Err(format!(
+                        "sub-checkpoint targets {} where the matrix group is {}",
+                        group.target_id, target.id
+                    ));
+                }
+                _ => {
+                    return Err(format!(
+                        "sub-checkpoint for target {} has {} groups, expected exactly 1",
+                        target.id,
+                        part.groups.len()
+                    ));
+                }
+            }
+            if part.cells.len() != indices.len() {
+                return Err(format!(
+                    "sub-checkpoint for target {} has {} cells, its group has {}",
+                    target.id,
+                    part.cells.len(),
+                    indices.len()
+                ));
+            }
+            for (&full_idx, cell) in indices.iter().zip(&part.cells) {
+                cells[full_idx] = cell.clone();
+            }
+            wave += part.wave;
+        }
+        Ok(MatrixCheckpoint {
+            wave,
+            seed: self.seed,
+            budget: self.budget,
+            round_size: self.round_size,
+            escalation: self.escalation,
+            config_digest: self.config_digest(),
+            cells,
+            groups,
+        })
+    }
+
+    /// Merge per-group sub-run reports (one per [`Self::group_matrices`]
+    /// sub-matrix, in group order) into the full-matrix report.  Verdict
+    /// fields recombine exactly — the shared streams make a group's cells
+    /// independent of the rest of the matrix — and the merged wall clock is
+    /// the slowest part's (sub-runs execute concurrently on a fleet).
+    ///
+    /// # Errors
+    /// Returns a message when the parts do not match this matrix's groups.
+    pub fn merge_reports(&self, parts: Vec<MatrixReport>) -> Result<MatrixReport, String> {
+        let layout = self.group_layout();
+        if parts.len() != layout.len() {
+            return Err(format!(
+                "{} sub-reports for a matrix with {} groups",
+                parts.len(),
+                layout.len()
+            ));
+        }
+        let mut slots: Vec<Option<CellReport>> = self.cells.iter().map(|_| None).collect();
+        let mut test_cases = 0usize;
+        let mut generated = 0usize;
+        let mut statically_filtered = 0usize;
+        let mut duration = Duration::ZERO;
+        for ((target, indices), part) in layout.iter().zip(parts) {
+            if part.seed != self.seed {
+                return Err(format!(
+                    "sub-report seed {} does not match matrix seed {}",
+                    part.seed, self.seed
+                ));
+            }
+            if part.cells.len() != indices.len() {
+                return Err(format!(
+                    "sub-report for target {} has {} cells, its group has {}",
+                    target.id,
+                    part.cells.len(),
+                    indices.len()
+                ));
+            }
+            for (&full_idx, cell) in indices.iter().zip(part.cells) {
+                if cell.target.id != target.id {
+                    return Err(format!(
+                        "sub-report cell targets {} where the matrix group is {}",
+                        cell.target.id, target.id
+                    ));
+                }
+                slots[full_idx] = Some(cell);
+            }
+            test_cases += part.test_cases;
+            generated += part.generated;
+            statically_filtered += part.statically_filtered;
+            duration = duration.max(part.duration);
+        }
+        Ok(MatrixReport {
+            cells: slots.into_iter().map(|s| s.expect("every group slot filled")).collect(),
+            seed: self.seed,
+            test_cases,
+            generated,
+            statically_filtered,
+            duration,
+        })
+    }
+
     /// Run the matrix.
     pub fn run(&self) -> MatrixReport {
         self.run_with_observer(&mut NoopObserver)
@@ -1405,6 +1686,185 @@ mod tests {
             a.violation.as_ref().map(|v| v.test_case_seed),
             b.violation.as_ref().map(|v| v.test_case_seed)
         );
+    }
+
+    /// Two groups with different stream lengths: target 5 finds violations
+    /// early, target 1 runs its whole budget.
+    fn two_group_matrix() -> CampaignMatrix {
+        CampaignMatrix::new(7)
+            .with_budget(40)
+            .add_cells(Target::target5(), Contract::table3_contracts())
+            .add_cell(Target::target1(), Contract::ct_seq())
+    }
+
+    #[test]
+    fn initial_checkpoint_matches_an_unstepped_run() {
+        let matrix = two_group_matrix();
+        let fresh = matrix.start().checkpoint();
+        assert_eq!(matrix.initial_checkpoint(), fresh);
+        assert_eq!(matrix.initial_checkpoint().digest(), fresh.digest());
+    }
+
+    #[test]
+    fn independently_driven_sub_runs_merge_into_the_exact_full_report() {
+        let matrix = two_group_matrix();
+        let baseline = matrix.run();
+
+        // Drive each group on its own sub-matrix — as different fleet hosts
+        // would — checkpointing after every wave like the service does.
+        let subs = matrix.group_matrices();
+        assert_eq!(subs.len(), 2);
+        let mut parts = Vec::new();
+        for sub in &subs {
+            let first = sub.cells()[0].target.id;
+            assert!(sub.cells().iter().all(|c| c.target.id == first), "one target per sub-matrix");
+            let mut run = sub.start();
+            let mut last = run.checkpoint();
+            while run.step(&mut NoopObserver) {
+                last = run.checkpoint();
+            }
+            drop(run); // the host never reports a MatrixReport, only checkpoints
+
+            // A finished sub-run's final checkpoint IS its result: resuming
+            // it and finishing with zero steps reproduces the exact report.
+            let resumed = sub.resume(&last).expect("final checkpoint matches");
+            assert!(!resumed.has_work());
+            parts.push(resumed.finish(&mut NoopObserver));
+        }
+
+        let merged = matrix.merge_reports(parts).expect("parts match the matrix");
+        assert_eq!(verdicts(&baseline), verdicts(&merged));
+        for (a, b) in baseline.cells.iter().zip(&merged.cells) {
+            assert_eq!(a.violation, b.violation, "violation reports must match exactly");
+        }
+        assert_eq!(baseline.test_cases, merged.test_cases);
+        assert_eq!(baseline.generated, merged.generated);
+    }
+
+    #[test]
+    fn split_checkpoint_relocates_groups_mid_run() {
+        // Start the full matrix in-process, interrupt it mid-run, split the
+        // checkpoint and finish each group on its own sub-matrix (the
+        // "units stolen by other hosts" shape).  Verdicts must be
+        // byte-identical to the uninterrupted run.
+        let matrix = two_group_matrix();
+        let baseline = matrix.run();
+        let mut run = matrix.start();
+        run.step(&mut NoopObserver);
+        run.step(&mut NoopObserver);
+        let snapshot = run.checkpoint();
+        drop(run);
+
+        let subs = matrix.group_matrices();
+        let split = matrix.split_checkpoint(&snapshot).expect("checkpoint matches");
+        assert_eq!(split.len(), subs.len());
+        // A sub-checkpoint's wave is its group's completed round count.
+        for (part, progress) in split.iter().zip(&snapshot.groups) {
+            assert_eq!(part.wave, progress.round);
+        }
+        let mut parts = Vec::new();
+        for (sub, part) in subs.iter().zip(&split) {
+            let mut run = sub.resume(part).expect("sub-checkpoint matches its sub-matrix");
+            while run.step(&mut NoopObserver) {}
+            parts.push(run.finish(&mut NoopObserver));
+        }
+        let merged = matrix.merge_reports(parts).expect("parts match the matrix");
+        assert_eq!(verdicts(&baseline), verdicts(&merged));
+        for (a, b) in baseline.cells.iter().zip(&merged.cells) {
+            assert_eq!(a.violation, b.violation);
+        }
+    }
+
+    #[test]
+    fn unevenly_progressed_sub_runs_merge_into_a_resumable_checkpoint() {
+        // Split a fresh matrix, advance the groups by different amounts on
+        // their sub-matrices, merge the sub-checkpoints and resume the
+        // merged snapshot on the FULL matrix in one process.  This is the
+        // coordinator's restart path: per-unit fleet progress folds back
+        // into one job-level checkpoint.
+        let matrix = two_group_matrix();
+        let baseline = matrix.run();
+
+        let subs = matrix.group_matrices();
+        let split = matrix.split_checkpoint(&matrix.initial_checkpoint()).expect("fresh split");
+        let mut advanced = Vec::new();
+        for (gi, (sub, part)) in subs.iter().zip(&split).enumerate() {
+            let mut run = sub.resume(part).expect("fresh sub-checkpoint matches");
+            for _ in 0..gi * 2 {
+                run.step(&mut NoopObserver); // group 0: untouched; group 1: 2 waves
+            }
+            advanced.push(run.checkpoint());
+        }
+        let merged = matrix.merge_checkpoints(&advanced).expect("parts match");
+        assert_eq!(merged.wave, advanced.iter().map(|p| p.wave).sum::<usize>());
+
+        let mut resumed = matrix.resume(&merged).expect("merged checkpoint matches");
+        while resumed.step(&mut NoopObserver) {}
+        let report = resumed.finish(&mut NoopObserver);
+        assert_eq!(verdicts(&baseline), verdicts(&report));
+        for (a, b) in baseline.cells.iter().zip(&report.cells) {
+            assert_eq!(a.violation, b.violation);
+        }
+    }
+
+    #[test]
+    fn escalating_sub_runs_split_and_merge_byte_identically() {
+        // Escalation state is per group, so it relocates with the
+        // sub-checkpoint: a group stolen mid-escalation replays the same
+        // generator growth on the new host.
+        let matrix = CampaignMatrix::new(11)
+            .with_budget(40)
+            .with_escalation(true)
+            .add_cells(Target::target5(), Contract::table3_contracts())
+            .add_cell(Target::target1(), Contract::ct_seq());
+        let baseline = matrix.run();
+        let mut run = matrix.start();
+        run.step(&mut NoopObserver);
+        run.step(&mut NoopObserver);
+        run.step(&mut NoopObserver);
+        let snapshot = run.checkpoint();
+        drop(run);
+
+        let subs = matrix.group_matrices();
+        let split = matrix.split_checkpoint(&snapshot).expect("checkpoint matches");
+        let mut parts = Vec::new();
+        for (sub, part) in subs.iter().zip(&split) {
+            let mut run = sub.resume(part).expect("sub-checkpoint matches");
+            while run.step(&mut NoopObserver) {}
+            parts.push(run.checkpoint());
+        }
+        // Service shape: results travel as final checkpoints, and the
+        // merged checkpoint resumes-and-finishes on the full matrix.
+        let merged = matrix.merge_checkpoints(&parts).expect("parts match");
+        let resumed = matrix.resume(&merged).expect("merged checkpoint matches");
+        assert!(!resumed.has_work());
+        let report = resumed.finish(&mut NoopObserver);
+        assert_eq!(verdicts(&baseline), verdicts(&report));
+        for (a, b) in baseline.cells.iter().zip(&report.cells) {
+            assert_eq!(a.violation, b.violation);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_parts() {
+        let matrix = two_group_matrix();
+        let split = matrix.split_checkpoint(&matrix.initial_checkpoint()).expect("fresh split");
+
+        // Wrong order: group digests are position-sensitive.
+        let swapped: Vec<MatrixCheckpoint> = split.iter().rev().cloned().collect();
+        assert!(matrix.merge_checkpoints(&swapped).is_err());
+        // Wrong count.
+        assert!(matrix.merge_checkpoints(&split[..1]).is_err());
+        // Tampered seed.
+        let mut bad = split.clone();
+        bad[0].seed ^= 1;
+        assert!(matrix.merge_checkpoints(&bad).is_err());
+        // A foreign matrix's checkpoint cannot be split.
+        let other = CampaignMatrix::new(8).add_cell(Target::target5(), Contract::ct_seq());
+        assert!(matrix.split_checkpoint(&other.initial_checkpoint()).is_err());
+        // Valid parts round-trip.
+        let merged = matrix.merge_checkpoints(&split).expect("identity round-trip");
+        assert_eq!(merged, matrix.initial_checkpoint());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! revizor-serve [--addr=127.0.0.1:15790] [--spool=DIR] [--shards=N] [--checkpoint-every=N]
-//!               [--coordinator] [--worker-addr=127.0.0.1:15791]
+//!               [--coordinator] [--fleet-addr=127.0.0.1:15791] [--steal-after=SECS]
+//!               [--watermark=N]
 //! ```
 //!
 //! * `--addr` — listen address (use port `0` for an ephemeral port; the
@@ -12,36 +13,81 @@
 //! * `--shards` — long-lived worker threads, all draining one shared
 //!   queue (highest priority first, FIFO within a priority).
 //! * `--checkpoint-every` — waves between spool checkpoints (default 1).
-//!   Ignored in multi-host mode, which always persists every replicated
+//!   Ignored in fleet mode, which always persists every replicated
 //!   wave (the at-most-one-wave-behind failover guarantee).
-//! * `--coordinator` / `--worker-addr` — **multi-host mode**: listen for
-//!   `revizor-worker` hosts (on `--worker-addr`, default
-//!   `127.0.0.1:15791`) and dispatch jobs to them instead of running
-//!   local shard threads.  Worker checkpoints are replicated into the
-//!   spool after every wave, so a killed worker's job is reassigned and
-//!   resumes with byte-identical verdicts.
-//! * `--worker-timeout` — seconds an assigned worker may stay silent
-//!   before it is declared partitioned and its job requeued (default
+//! * `--coordinator` / `--fleet-addr` — **fleet mode**: listen for
+//!   `revizor-worker` hosts (on `--fleet-addr`, default
+//!   `127.0.0.1:15791`) instead of running local shard threads.  Workers
+//!   register at runtime and *lease* relocatable work units (one per
+//!   target group of a job); checkpoints are replicated into the spool
+//!   after every wave, and the coordinator steals units back from slow
+//!   or dead workers, so hosts can join, leave or crash mid-job with
+//!   byte-identical verdicts.
+//! * `--worker-timeout` — seconds a unit-holding worker may stay silent
+//!   before it is declared partitioned and its unit requeued (default
 //!   120; workers send at least one frame per wave).
+//! * `--steal-after` — seconds a leased unit may go without replicating
+//!   progress before the coordinator steals it for an idle worker
+//!   (default 30).
+//! * `--watermark` — queued-unit backpressure threshold: at or above
+//!   this backlog, `submit` defers with a retry-after hint instead of
+//!   queueing more work (default 1024).
+//! * `--worker-addr` — **deprecated** alias for `--fleet-addr` (workers
+//!   have registered at runtime since the fleet refactor, so the flag
+//!   no longer pins anything); accepted for compatibility.
 //!
 //! The wire protocol (newline-delimited JSON) is documented in
 //! `rvz_service::server`; submit with `revizor-submit` or any line-based
 //! TCP client.
 
-use rvz_bench::flag_value_from_args;
+use rvz_bench::{flag_from_args, flag_value_from_args};
 use rvz_service::{ServiceConfig, ServiceHandle};
 use std::path::PathBuf;
 use std::time::Duration;
 
+const HELP: &str = "revizor-serve: serve Revizor fuzzing campaigns over TCP
+
+usage: revizor-serve [options]
+
+  --addr=HOST:PORT        client listen address (default 127.0.0.1:15790)
+  --spool=DIR             durable job state; restarts resume unfinished jobs
+  --shards=N              local shard threads (default 2; ignored in fleet mode)
+  --checkpoint-every=N    waves between spool checkpoints (default 1)
+  --coordinator           fleet mode on the default fleet address
+  --fleet-addr=HOST:PORT  fleet mode: revizor-worker hosts register here at
+                          runtime and lease relocatable work units
+                          (default 127.0.0.1:15791)
+  --worker-timeout=SECS   silence budget before a worker's unit is requeued
+                          (default 120)
+  --steal-after=SECS      stall budget before a leased unit is stolen for an
+                          idle worker (default 30)
+  --watermark=N           queued-unit backlog at which `submit` defers with a
+                          retry-after hint (default 1024)
+  --worker-addr=HOST:PORT DEPRECATED alias for --fleet-addr: workers register
+                          at runtime now, nothing is pinned at launch
+  -h, --help              this text
+";
+
 fn main() {
+    if flag_from_args("--help") || flag_from_args("-h") {
+        print!("{HELP}");
+        return;
+    }
     let addr =
         flag_value_from_args::<String>("--addr").unwrap_or_else(|| "127.0.0.1:15790".to_string());
     let spool = flag_value_from_args::<String>("--spool").map(PathBuf::from);
     let shards = flag_value_from_args::<usize>("--shards").unwrap_or(2);
     let checkpoint_every = flag_value_from_args::<usize>("--checkpoint-every").unwrap_or(1);
-    let worker_listen = flag_value_from_args::<String>("--worker-addr").or_else(|| {
-        rvz_bench::flag_from_args("--coordinator").then(|| "127.0.0.1:15791".to_string())
-    });
+    let deprecated_worker_addr = flag_value_from_args::<String>("--worker-addr");
+    if deprecated_worker_addr.is_some() {
+        eprintln!(
+            "revizor-serve: --worker-addr is deprecated (workers register at runtime now); \
+             use --fleet-addr"
+        );
+    }
+    let worker_listen = flag_value_from_args::<String>("--fleet-addr")
+        .or(deprecated_worker_addr)
+        .or_else(|| flag_from_args("--coordinator").then(|| "127.0.0.1:15791".to_string()));
 
     let mut config = ServiceConfig {
         shards,
@@ -52,7 +98,13 @@ fn main() {
         ..ServiceConfig::default()
     };
     if let Some(secs) = flag_value_from_args::<u64>("--worker-timeout") {
-        config.worker_timeout = std::time::Duration::from_secs(secs);
+        config.worker_timeout = Duration::from_secs(secs);
+    }
+    if let Some(secs) = flag_value_from_args::<u64>("--steal-after") {
+        config.steal_after = Duration::from_secs(secs);
+    }
+    if let Some(watermark) = flag_value_from_args::<usize>("--watermark") {
+        config.queue_watermark = watermark;
     }
     let handle = match ServiceHandle::start(config) {
         Ok(handle) => handle,
@@ -63,7 +115,7 @@ fn main() {
     };
     let bound = handle.local_addr().expect("listen address configured");
     let backend = match handle.worker_addr() {
-        Some(worker_addr) => format!("coordinator; workers on {worker_addr}"),
+        Some(fleet_addr) => format!("fleet coordinator; workers register on {fleet_addr}"),
         None => format!("{shards} shard{}", if shards == 1 { "" } else { "s" }),
     };
     eprintln!(

@@ -6,6 +6,32 @@ use rvz_bench::json::{parse, Json};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a backpressure-aware [`Client::try_submit`] did not queue a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The fleet's unit queue is at its watermark; the server asks the
+    /// client to retry after the hint instead of queueing unbounded work.
+    Backpressure {
+        /// The server's suggested wait before retrying.
+        retry_after: Duration,
+    },
+    /// Any other rejection: invalid spec, transport failure, protocol
+    /// error.
+    Rejected(String),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Backpressure { retry_after } => {
+                write!(f, "server backpressured the submission; retry in {retry_after:.1?}")
+            }
+            SubmitError::Rejected(message) => f.write_str(message),
+        }
+    }
+}
 
 /// How a [`Client::watch`] ended without a result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,15 +113,23 @@ impl Client {
         parse(line.trim_end()).map_err(ReadError::Malformed)
     }
 
+    /// Send one request line and read one response line, transport-level
+    /// only: `ok: false` responses come back as `Ok` documents for the
+    /// caller to interpret (used where the error shape carries structured
+    /// fields, e.g. backpressure hints).
+    fn request_raw(&mut self, request: &Json) -> Result<Json, String> {
+        let mut line = request.render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        self.read_line().map_err(ReadError::message)
+    }
+
     /// Send one request line and read one response line.
     ///
     /// # Errors
     /// Returns transport errors or the server's `error` field.
     pub fn request(&mut self, request: &Json) -> Result<Json, String> {
-        let mut line = request.render();
-        line.push('\n');
-        self.writer.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
-        let response = self.read_line().map_err(ReadError::message)?;
+        let response = self.request_raw(request)?;
         if response.get("ok").and_then(Json::as_bool) == Some(false) {
             let message = response
                 .get("error")
@@ -118,6 +152,36 @@ impl Client {
             .and_then(Json::as_str)
             .map(str::to_string)
             .ok_or("submit response carried no job id".to_string())
+    }
+
+    /// Submit a job, surfacing server backpressure as a typed variant:
+    /// when the fleet's unit queue is at its watermark the server defers
+    /// the submission with a retry-after hint instead of queueing it —
+    /// wait that long and call again.
+    ///
+    /// # Errors
+    /// [`SubmitError::Backpressure`] with the server's retry hint, or
+    /// [`SubmitError::Rejected`] for anything else.
+    pub fn try_submit(&mut self, spec: &JobSpec) -> Result<String, SubmitError> {
+        let request = Json::obj().field("op", "submit").field("spec", spec.to_json());
+        let response = self.request_raw(&request).map_err(SubmitError::Rejected)?;
+        if response.get("ok").and_then(Json::as_bool) == Some(false) {
+            if let Some(retry_ms) = response.get("retry_after_ms").and_then(Json::as_u64) {
+                return Err(SubmitError::Backpressure {
+                    retry_after: Duration::from_millis(retry_ms),
+                });
+            }
+            let message = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown server error");
+            return Err(SubmitError::Rejected(message.to_string()));
+        }
+        response
+            .get("job")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or(SubmitError::Rejected("submit response carried no job id".to_string()))
     }
 
     /// Fetch a job's status summary.

@@ -1,50 +1,63 @@
-//! Multi-host mode: the coordinator side of the worker protocol.
+//! Fleet mode: the coordinator side of the worker protocol.
 //!
-//! A coordinator is a campaign server whose jobs run on **remote worker
-//! hosts** (`revizor-worker` processes) instead of in-process shard
-//! threads.  Clients see the exact same JSON-lines protocol; behind the
-//! core, a second listener accepts worker connections and a poll reactor
-//! (same shape as [`crate::server`]) drives dispatch and replication:
+//! A coordinator is a campaign server whose jobs run on an **elastic fleet
+//! of worker hosts** (`revizor-worker` processes) instead of in-process
+//! shard threads.  Clients see the exact same JSON-lines protocol; behind
+//! the core, a second listener accepts worker connections at any time and
+//! a poll reactor (same shape as [`crate::server`]) drives the unit queue:
 //!
 //! ```text
-//!            clients                         worker hosts
-//!   submit/watch/cancel │   ┌──────────────┐ │ register ▲
-//!            ───────────┼──►│ ServiceCore  │◄┼──────────┘
-//!                           │  job table   │ │  assign(job, spec, cp) ─►
-//!                           │  event logs  │ │  ◄─ wave(cp, digest, events)
-//!                           │  spool ◄─────┼─┼─ replicate, then ack ─►
-//!                           └──────────────┘ │  ◄─ done(result) / cancelled
+//!            clients                          worker fleet (elastic)
+//!   submit/watch/cancel │   ┌──────────────┐ │ register ──► lease ──►
+//!            ───────────┼──►│ ServiceCore  │◄┼─────────────────────┐
+//!        (backpressured     │  unit queue  │ │ ◄── grant(unit, cp) │
+//!         at watermark)     │  job table   │ │ ──► wave(cp, digest)│
+//!                           │  spool ◄─────┼─┼── replicate, ack ──►│
+//!                           └──────┬───────┘ │ ──► unit_done(cp)   │
+//!                                  │ steal: revoke slow owner,     │
+//!                                  └── re-lease unit to idle worker┘
 //! ```
+//!
+//! Jobs split into **relocatable work units** (one per target group; see
+//! [`ServiceCore::lease_unit`]).  Workers join at runtime (`register`),
+//! ask for work (`lease`), and drive one unit at a time; a job's units can
+//! run on different hosts concurrently and the final report is
+//! reconstructed from their merged sub-checkpoints, byte-identical to an
+//! in-process run.
 //!
 //! ## The replication contract
 //!
-//! After every wave a worker sends the job's [`MatrixCheckpoint`] (with its
+//! After every wave a worker sends its unit's sub-checkpoint (with its
 //! [`digest`](revizor::orchestrator::MatrixCheckpoint::digest) computed
 //! *before* encoding) and blocks for the coordinator's `ack`.  The
 //! coordinator re-digests the decoded snapshot — a mismatch means the
 //! transfer codec lost state, so the snapshot is **rejected** (`"accepted":
-//! false`) rather than spooled; the job then simply resumes from an older
-//! replicated wave if its worker dies.  Because a resumed
-//! [`MatrixRun`](revizor::orchestrator::MatrixRun) replays the identical
-//! stream suffix from *any* wave boundary, verdicts stay byte-identical no
-//! matter which replicated checkpoint a reassignment starts from — the
-//! chaos harness (`tests/chaos.rs`) sweeps exactly this property.
+//! false`) rather than spooled; the unit then simply resumes from an older
+//! replicated wave if its worker dies.  Because a resumed sub-run replays
+//! the identical stream suffix from *any* wave boundary, verdicts stay
+//! byte-identical no matter which replicated checkpoint a steal or
+//! reassignment starts from — the chaos harness (`tests/chaos.rs`) sweeps
+//! exactly this property.
 //!
 //! ## Failure handling
 //!
-//! * **Worker dies / connection drops** — every job assigned to the
-//!   connection is handed back to the queue with its last replicated
-//!   checkpoint ([`ServiceCore::requeue_interrupted`]) and reassigned to
-//!   the next idle worker.
+//! * **Worker dies / connection drops** — its leased unit is released
+//!   ([`ServiceCore::release_unit`]) and re-leased to the next idle
+//!   worker at the unit's last replicated sub-checkpoint.
+//! * **Worker goes slow** — an idle worker **steals**: a unit without an
+//!   accepted checkpoint for [`steal_after`](crate::ServiceConfig::steal_after)
+//!   is revoked from its owner and re-leased.  Every unit frame quotes its
+//!   lease token, so the old owner's in-flight frames bounce off the core
+//!   (`Revoked`) instead of corrupting the thief's progress.
 //! * **Cancellation** — a client `cancel` marks the job; the coordinator
-//!   forwards `{"op":"cancel"}` to the owning worker, which stops at the
-//!   next wave boundary and reports back its stopping checkpoint.
-//! * **Priorities** — dispatch claims the highest-priority queued job
+//!   forwards `{"op":"cancel"}` to every owner of one of its units, each
+//!   of which stops at the next wave boundary and reports back its
+//!   stopping checkpoint (`unit_cancelled`).
+//! * **Priorities** — leasing picks units of the highest-priority job
 //!   (FIFO within a priority), exactly like the in-process shard workers.
 
-use crate::core::ServiceCore;
+use crate::core::{ServiceCore, UnitDisposition, UnitGrant};
 use crate::framing;
-use crate::spool::JobPhase;
 use rvz_bench::json::{parse, Json};
 use rvz_bench::report::checkpoint_transfer_from_json;
 use std::io::{self, Write};
@@ -61,16 +74,19 @@ struct WorkerConn {
     /// The name the worker registered under (empty until `register`).
     name: String,
     registered: bool,
+    /// Has the worker asked for work (`lease`) it has not been granted yet?
+    wants_work: bool,
     /// When the connection last produced bytes, for the silent-partition
     /// timeout ([`crate::ServiceConfig::worker_timeout`]).
     last_heard: Instant,
-    /// The job currently assigned to this worker (one at a time).
-    job: Option<String>,
-    /// Has the cancel for the assigned job already been forwarded?
+    /// The unit this worker currently drives: `(job, target, lease)`.
+    unit: Option<(String, u8, u64)>,
+    /// When the unit last had a checkpoint *accepted* (grant time before
+    /// that) — the steal clock
+    /// ([`crate::ServiceConfig::steal_after`]).
+    last_progress: Instant,
+    /// Has the cancel for the unit's job already been forwarded?
     cancel_sent: bool,
-    /// Highest wave replicated for the current assignment (transfers must
-    /// arrive strictly increasing).
-    last_wave: Option<usize>,
     closed: bool,
 }
 
@@ -107,7 +123,7 @@ impl Coordinator {
     }
 
     /// One non-blocking pass: accept workers, ingest their frames,
-    /// forward cancels, dispatch queued jobs to idle workers, flush.
+    /// forward cancels, lease (and steal) units for idle workers, flush.
     /// Returns whether any progress was made (callers sleep briefly when
     /// idle).
     pub fn poll_once(&mut self) -> bool {
@@ -123,10 +139,11 @@ impl Coordinator {
                             outbuf: Vec::new(),
                             name: String::new(),
                             registered: false,
+                            wants_work: false,
                             last_heard: Instant::now(),
-                            job: None,
+                            unit: None,
+                            last_progress: Instant::now(),
                             cancel_sent: false,
-                            last_wave: None,
                             closed: false,
                         });
                         progress = true;
@@ -141,14 +158,16 @@ impl Coordinator {
             progress |= Self::service_conn(&self.core, conn);
         }
 
-        // Silent-partition detection: a worker driving a job sends at
-        // least one frame per wave, so a long-silent assigned connection
-        // is dead even if the socket never errors (pulled cable, frozen
-        // host).  Dropping it is safe — the job resumes byte-identically
-        // from its last replicated checkpoint on another worker.
+        // Silent-partition detection: a worker driving a unit sends at
+        // least one frame per wave, so a long-silent unit-holding
+        // connection is dead even if the socket never errors (pulled
+        // cable, frozen host).  Dropping it is safe — the unit resumes
+        // byte-identically from its last replicated sub-checkpoint on
+        // another worker.  Idle (leaseless) workers heartbeat and are
+        // never dropped for silence.
         let timeout = self.core.config().worker_timeout;
         for conn in &mut self.conns {
-            if !conn.closed && conn.job.is_some() && conn.last_heard.elapsed() > timeout {
+            if !conn.closed && conn.unit.is_some() && conn.last_heard.elapsed() > timeout {
                 eprintln!(
                     "coordinator: worker `{}` silent for {:.1?} mid-job; dropping it",
                     conn.name,
@@ -158,21 +177,37 @@ impl Coordinator {
             }
         }
 
-        // A closed connection orphans its assignment: hand the job back to
-        // the queue at its last replicated checkpoint.
+        // A closed connection orphans its lease: release the unit so the
+        // next idle worker picks it up at its last replicated
+        // sub-checkpoint.
         for conn in &mut self.conns {
             if conn.closed {
-                if let Some(job) = conn.job.take() {
+                if let Some((job, target, lease)) = conn.unit.take() {
                     eprintln!(
-                        "coordinator: worker `{}` lost mid-job; requeueing {job}",
+                        "coordinator: worker `{}` lost mid-job; requeueing {job} unit t{target}",
                         conn.name
                     );
-                    self.core.requeue_interrupted(&job);
+                    self.core.release_unit(&job, target, lease);
                     progress = true;
                 }
             }
         }
         self.conns.retain(|c| !c.closed);
+
+        // Lease reconciliation: every lease the core holds must be owned
+        // by a live connection.  The closed-conn pass above covers the
+        // common desync (a dead worker); this sweep self-heals the rest —
+        // a worker that abandoned its grant without a frame the
+        // coordinator kept, or a peer speaking an older protocol.  An
+        // unowned lease would otherwise wedge its job forever: the core
+        // never re-leases a unit that is not `Queued`, and no log line
+        // would ever say why.
+        let live: Vec<(String, u8, u64)> =
+            self.conns.iter().filter_map(|c| c.unit.clone()).collect();
+        for (job, target) in self.core.reconcile_leases(&live) {
+            eprintln!("coordinator: {job} unit t{target} leased but unowned; requeueing it");
+            progress = true;
+        }
 
         progress |= self.forward_cancels();
         progress |= self.dispatch();
@@ -203,14 +238,14 @@ impl Coordinator {
             Ok(doc) => doc,
             Err(e) => {
                 // A malformed frame means the peer is not speaking the
-                // protocol (or the stream is corrupt): drop it; its job is
-                // requeued like any other disconnect.
+                // protocol (or the stream is corrupt): drop it; its unit is
+                // released like any other disconnect.
                 eprintln!("coordinator: malformed worker frame ({e}); dropping `{}`", conn.name);
                 conn.closed = true;
                 return;
             }
         };
-        match frame.get("op").and_then(Json::as_str) {
+        match framing::op(&frame) {
             Some("register") => {
                 conn.name = frame
                     .get("worker")
@@ -220,49 +255,49 @@ impl Coordinator {
                 conn.registered = true;
                 conn.queue_line(&Json::obj().field("op", "registered"));
             }
+            Some("lease") => conn.wants_work = true,
+            // Any frame already refreshed `last_heard`; heartbeats exist
+            // only to do that while a worker waits for a grant.
+            Some("heartbeat") => {}
             Some("wave") => Self::handle_wave(core, conn, &frame),
-            Some("done") => {
-                let Some(job) = frame.get("job").and_then(Json::as_str) else { return };
-                if conn.job.as_deref() != Some(job) {
-                    return; // stale frame from a superseded assignment
-                }
-                // The closing cell events (budget-exhausted cells close at
-                // finish) ride on the done frame; publish before the
-                // terminating done event.
-                let events = frame
-                    .get("events")
-                    .and_then(Json::as_array)
-                    .map(<[Json]>::to_vec)
-                    .unwrap_or_default();
-                core.publish(job, events);
-                let result = frame.get("result").cloned().unwrap_or(Json::Null);
-                core.complete(job, result);
-                conn.job = None;
-                conn.cancel_sent = false;
-                conn.last_wave = None;
-            }
-            Some("cancelled") => {
-                let Some(job) = frame.get("job").and_then(Json::as_str) else { return };
-                if conn.job.as_deref() != Some(job) {
-                    return;
-                }
+            Some("unit_done") => Self::handle_unit_done(core, conn, &frame),
+            Some("unit_cancelled") => {
+                let Some((job, target, lease)) = unit_fields(&frame) else { return };
                 // The worker's stopping point rides along as a normal
                 // checkpoint transfer; keep it only if it validates.
                 let checkpoint = checkpoint_transfer_from_json(&frame)
                     .ok()
                     .filter(|t| t.validates() && t.job == job)
                     .map(|t| t.checkpoint);
-                core.finish_cancelled(job, checkpoint);
-                conn.job = None;
-                conn.cancel_sent = false;
-                conn.last_wave = None;
+                core.cancel_unit(&job, target, lease, checkpoint);
+                if conn.unit.as_ref().is_some_and(|(j, t, _)| *j == job && *t == target) {
+                    conn.unit = None;
+                    conn.cancel_sent = false;
+                }
+            }
+            Some("unit_failed") => {
+                let Some((job, target, lease)) = unit_fields(&frame) else { return };
+                let error = frame
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("worker could not run the unit");
+                core.fail_unit(&job, target, lease, error);
+                if conn.unit.as_ref().is_some_and(|(j, t, _)| *j == job && *t == target) {
+                    conn.unit = None;
+                    conn.cancel_sent = false;
+                }
             }
             _ => {}
         }
     }
 
-    /// Replicate one wave checkpoint (the heart of the failover story).
+    /// Replicate one wave sub-checkpoint (the heart of the failover and
+    /// stealing story).
     fn handle_wave(core: &Arc<ServiceCore>, conn: &mut WorkerConn, frame: &Json) {
+        let Some((job, target, lease)) = unit_fields(frame) else {
+            conn.closed = true;
+            return;
+        };
         let transfer = match checkpoint_transfer_from_json(frame) {
             Ok(t) => t,
             Err(e) => {
@@ -271,42 +306,96 @@ impl Coordinator {
                 return;
             }
         };
-        let stale = conn.job.as_deref() != Some(transfer.job.as_str());
-        let replayed = conn.last_wave.is_some_and(|w| transfer.checkpoint.wave <= w);
-        let valid = transfer.validates();
-        let accepted = !stale && !replayed && valid;
-        if accepted {
-            let events = frame
-                .get("events")
-                .and_then(Json::as_array)
-                .map(<[Json]>::to_vec)
-                .unwrap_or_default();
-            core.publish(&transfer.job, events);
-            core.save_checkpoint(&transfer.job, transfer.checkpoint.clone(), JobPhase::Running);
-            conn.last_wave = Some(transfer.checkpoint.wave);
-        } else if !valid {
+        let wave = transfer.checkpoint.wave;
+        let mut accepted = false;
+        let mut revoked = false;
+        if !transfer.validates() || transfer.job != job {
             // Never spool a snapshot that lost state in transit: resuming
-            // from it could silently change verdicts.  The job still holds
+            // from it could silently change verdicts.  The unit still holds
             // its previous replicated checkpoint, which resumes correctly.
             eprintln!(
-                "coordinator: checkpoint digest mismatch for {} wave {} (rejected)",
-                transfer.job, transfer.checkpoint.wave
+                "coordinator: checkpoint digest mismatch for {job} unit t{target} wave {wave} \
+                 (rejected)"
             );
+        } else {
+            match core.save_unit_checkpoint(&job, target, lease, transfer.checkpoint) {
+                UnitDisposition::Accepted => {
+                    let events = frame
+                        .get("events")
+                        .and_then(Json::as_array)
+                        .map(<[Json]>::to_vec)
+                        .unwrap_or_default();
+                    core.publish(&job, events);
+                    conn.last_progress = Instant::now();
+                    accepted = true;
+                }
+                UnitDisposition::Revoked => revoked = true,
+                UnitDisposition::Ignored => {}
+            }
+        }
+        if revoked && conn.unit.as_ref().is_some_and(|(j, t, _)| *j == job && *t == target) {
+            conn.unit = None;
+            conn.cancel_sent = false;
         }
         conn.queue_line(
             &Json::obj()
                 .field("op", "ack")
-                .field("job", transfer.job.as_str())
-                .field("wave", transfer.checkpoint.wave)
-                .field("accepted", accepted),
+                .field("job", job.as_str())
+                .field("target", target)
+                .field("wave", wave)
+                .field("accepted", accepted)
+                .field("revoked", revoked),
         );
     }
 
-    /// Forward pending cancellations to the workers driving the jobs.
+    /// A worker finished its unit: store the final sub-checkpoint (the
+    /// unit's result — the core reconstructs the job report from it once
+    /// every unit is done).
+    fn handle_unit_done(core: &Arc<ServiceCore>, conn: &mut WorkerConn, frame: &Json) {
+        let Some((job, target, lease)) = unit_fields(frame) else {
+            conn.closed = true;
+            return;
+        };
+        let transfer = match checkpoint_transfer_from_json(frame) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("coordinator: undecodable final checkpoint ({e})");
+                conn.closed = true;
+                return;
+            }
+        };
+        if !transfer.validates() || transfer.job != job {
+            // A final snapshot that lost state in transit cannot be
+            // accepted, and there is nothing older to fall back to for a
+            // *finished* unit — drop the connection; the release path
+            // requeues the unit from its last replicated checkpoint and
+            // another worker re-runs the tail.
+            eprintln!(
+                "coordinator: final checkpoint digest mismatch for {job} unit t{target}; \
+                 dropping `{}`",
+                conn.name
+            );
+            conn.closed = true;
+            return;
+        }
+        let events = frame
+            .get("events")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        core.complete_unit(&job, target, lease, transfer.checkpoint, events);
+        if conn.unit.as_ref().is_some_and(|(j, t, _)| *j == job && *t == target) {
+            conn.unit = None;
+            conn.cancel_sent = false;
+        }
+    }
+
+    /// Forward pending cancellations to every worker driving one of the
+    /// job's units.
     fn forward_cancels(&mut self) -> bool {
         let mut progress = false;
         for conn in &mut self.conns {
-            let Some(job) = conn.job.clone() else { continue };
+            let Some((job, _, _)) = conn.unit.clone() else { continue };
             if !conn.cancel_sent && self.core.cancel_requested(&job) {
                 conn.queue_line(&Json::obj().field("op", "cancel").field("job", job.as_str()));
                 conn.cancel_sent = true;
@@ -316,45 +405,80 @@ impl Coordinator {
         progress
     }
 
-    /// Assign queued jobs (highest priority first) to idle workers.
+    /// Lease units (highest-priority job first) to workers that asked for
+    /// work; when the queue is empty, steal from the slowest eligible
+    /// owner instead.
     fn dispatch(&mut self) -> bool {
         let mut progress = false;
-        for conn in &mut self.conns {
-            if !conn.registered || conn.job.is_some() {
-                continue;
+        for i in 0..self.conns.len() {
+            {
+                let conn = &self.conns[i];
+                if !conn.registered || !conn.wants_work || conn.unit.is_some() || conn.closed {
+                    continue;
+                }
             }
-            let Some((job, spec, checkpoint)) =
-                self.core.claim(Some(conn.name.as_str()))
-            else {
-                break; // queue empty: no later conn will find work either
+            let worker = self.conns[i].name.clone();
+            let grant = match self.core.lease_unit(&worker) {
+                Some(grant) => Some(grant),
+                None => self.steal_for(i).and_then(|()| self.core.lease_unit(&worker)),
             };
-            let assign = Json::obj()
-                .field("op", "assign")
-                .field("job", job.as_str())
-                .field("spec", spec.to_json())
-                .field(
-                    "checkpoint",
-                    checkpoint.as_ref().map(rvz_bench::report::matrix_checkpoint_to_json),
-                );
+            let Some(grant) = grant else { continue };
             eprintln!(
-                "coordinator: assigned {job} to worker `{}`{}",
-                conn.name,
-                match &checkpoint {
+                "coordinator: leased {} unit t{} to worker `{worker}`{}",
+                grant.job,
+                grant.target,
+                match &grant.checkpoint {
                     Some(cp) => format!(" (resuming from wave {})", cp.wave),
                     None => String::new(),
                 }
             );
-            conn.queue_line(&assign);
-            conn.job = Some(job);
+            let conn = &mut self.conns[i];
+            conn.queue_line(&grant_frame(&grant));
+            conn.unit = Some((grant.job, grant.target, grant.lease));
+            conn.wants_work = false;
             conn.cancel_sent = false;
-            conn.last_wave = checkpoint.map(|cp| cp.wave);
-            // The silence clock starts at assignment — idle workers send
-            // nothing, so their stale `last_heard` must not count against
-            // the new job.
+            // The silence and steal clocks start at the grant — idle
+            // workers' stale timestamps must not count against the unit.
             conn.last_heard = Instant::now();
+            conn.last_progress = Instant::now();
             progress = true;
         }
         progress
+    }
+
+    /// Steal for idle worker `thief`: revoke the longest-stalled unit
+    /// (no accepted checkpoint for `steal_after`) and requeue it.  Returns
+    /// `Some(())` when something was freed for re-leasing.
+    fn steal_for(&mut self, thief: usize) -> Option<()> {
+        let steal_after = self.core.config().steal_after;
+        let victim = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter(|(j, c)| {
+                *j != thief
+                    && !c.closed
+                    && c.unit.is_some()
+                    && c.last_progress.elapsed() > steal_after
+            })
+            .max_by_key(|(_, c)| c.last_progress.elapsed())
+            .map(|(j, _)| j)?;
+        let conn = &mut self.conns[victim];
+        let (job, target, lease) = conn.unit.take().expect("filtered on unit");
+        eprintln!(
+            "coordinator: stealing {job} unit t{target} from stalled worker `{}` \
+             (no progress for {:.1?})",
+            conn.name,
+            conn.last_progress.elapsed()
+        );
+        conn.cancel_sent = false;
+        // Tell the old owner its lease is void (best effort — the lease
+        // token fences its frames either way).
+        conn.queue_line(
+            &Json::obj().field("op", "revoke").field("job", job.as_str()).field("target", target),
+        );
+        self.core.release_unit(&job, target, lease);
+        Some(())
     }
 
     /// Flush as much queued output as the socket accepts.
@@ -384,6 +508,28 @@ impl Coordinator {
             let _ = conn.stream.write_all(&conn.outbuf);
         }
     }
+}
+
+/// The `(job, target, lease)` identity every unit-scoped frame carries.
+fn unit_fields(frame: &Json) -> Option<(String, u8, u64)> {
+    let job = frame.get("job").and_then(Json::as_str)?.to_string();
+    let target = u8::try_from(frame.get("target").and_then(Json::as_u64)?).ok()?;
+    let lease = frame.get("lease").and_then(Json::as_u64)?;
+    Some((job, target, lease))
+}
+
+/// The wire form of a lease grant.
+fn grant_frame(grant: &UnitGrant) -> Json {
+    Json::obj()
+        .field("op", "grant")
+        .field("job", grant.job.as_str())
+        .field("target", grant.target)
+        .field("lease", grant.lease)
+        .field("spec", grant.spec.to_json())
+        .field(
+            "checkpoint",
+            grant.checkpoint.as_ref().map(rvz_bench::report::matrix_checkpoint_to_json),
+        )
 }
 
 /// A running coordinator: the reactor thread plus its bound worker

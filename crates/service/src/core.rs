@@ -13,7 +13,7 @@
 //! never perturb verdicts.
 
 use crate::job::JobSpec;
-use crate::spool::{JobPhase, Spool, SpoolRecord};
+use crate::spool::{JobPhase, Spool, SpoolRecord, UnitPhase, UnitRecord};
 use revizor::campaign::{CellEvent, ProgressObserver, RoundEvent};
 use revizor::orchestrator::{MatrixCheckpoint, MatrixReport};
 use rvz_bench::json::Json;
@@ -48,14 +48,27 @@ pub struct ServiceConfig {
     /// no local shard threads are spawned, and jobs are dispatched to
     /// connected workers instead (see [`crate::coordinator`]).
     pub worker_listen: Option<String>,
-    /// Multi-host mode: how long a worker driving a job may go without
-    /// sending any frame before the coordinator declares it silently
-    /// partitioned — the connection is dropped and the job requeued from
-    /// its last replicated checkpoint.  Workers produce at least one frame
-    /// per wave, so set this well above the longest expected wave; a
-    /// spurious trip is *safe* (resume is byte-identical), it only wastes
-    /// the stalled worker's wave.  Idle (unassigned) workers are exempt.
+    /// Multi-host mode: how long a worker driving a work unit may go
+    /// without sending any frame before the coordinator declares it
+    /// silently partitioned — the connection is dropped and its units
+    /// requeued from their last replicated sub-checkpoints.  Workers
+    /// produce at least one frame per wave, so set this well above the
+    /// longest expected wave; a spurious trip is *safe* (resume is
+    /// byte-identical), it only wastes the stalled worker's wave.  Idle
+    /// (leaseless) workers are exempt.
     pub worker_timeout: Duration,
+    /// Fleet mode: how long a leased unit may go without an *accepted*
+    /// checkpoint before an idle worker is allowed to steal it.  The
+    /// original owner's lease is revoked and the unit resumes on the
+    /// thief from the last replicated sub-checkpoint; the owner's
+    /// now-stale frames are fenced by the lease token, so a slow host
+    /// racing its own thief can never corrupt state (verdicts are
+    /// byte-identical either way).
+    pub steal_after: Duration,
+    /// Backpressure watermark: [`ServiceCore::try_submit`] defers new jobs
+    /// (with a retry-after hint) while the queued work-unit count is at or
+    /// above this.  Leased units do not count — they are being worked.
+    pub queue_watermark: usize,
 }
 
 impl Default for ServiceConfig {
@@ -67,8 +80,26 @@ impl Default for ServiceConfig {
             listen: None,
             worker_listen: None,
             worker_timeout: Duration::from_secs(120),
+            steal_after: Duration::from_secs(30),
+            queue_watermark: 1024,
         }
     }
+}
+
+/// One relocatable work unit: one target group of its job's matrix,
+/// independently leasable, steppable and stealable (fleet mode).
+struct UnitState {
+    /// The Table 2 target id whose cell group this unit drives.
+    target: u8,
+    phase: UnitPhase,
+    /// The worker host currently holding the lease.
+    worker: Option<String>,
+    /// Current lease token.  Minted fresh on every lease; every unit frame
+    /// must quote it, so a stolen/released lease fences the old owner's
+    /// in-flight frames (`0` = never leased).
+    lease: u64,
+    /// Last replicated sub-run checkpoint (the final one once `Done`).
+    checkpoint: Option<MatrixCheckpoint>,
 }
 
 /// One job's in-memory state.
@@ -79,12 +110,17 @@ struct JobEntry {
     /// Append-only event log; watchers replay it by cursor.
     events: Vec<Json>,
     checkpoint: Option<MatrixCheckpoint>,
+    /// The job's work units, one per target group (fleet mode; lazily
+    /// materialized at the first lease).  `None` on the shard path, where
+    /// the whole job is one unit of work.
+    units: Option<Vec<UnitState>>,
     result: Option<Json>,
     /// A client asked for cancellation while the job was running; the
     /// driver (shard worker or remote worker host) honors it at the next
     /// wave boundary.
     cancel_requested: bool,
-    /// The worker host currently driving the job (multi-host mode only).
+    /// The worker host that most recently leased part of the job
+    /// (fleet mode only; per-unit placement lives in `units`).
     worker: Option<String>,
     /// Bumped (under the core lock) every time a durable record of this
     /// job is built; persists are ordered by it so a stale record built
@@ -105,6 +141,19 @@ struct CoreState {
 }
 
 
+/// Per-unit placement of a fleet job, for `status` responses.
+#[derive(Debug, Clone)]
+pub struct UnitStatus {
+    /// The Table 2 target id whose cell group this unit drives.
+    pub target: u8,
+    /// Unit lifecycle phase.
+    pub phase: UnitPhase,
+    /// The worker host currently holding the lease, if any.
+    pub worker: Option<String>,
+    /// Last replicated sub-run wave (0 before the first checkpoint).
+    pub wave: usize,
+}
+
 /// A summary of one job, for `status` / `list` responses.
 #[derive(Debug, Clone)]
 pub struct JobStatus {
@@ -113,12 +162,13 @@ pub struct JobStatus {
     /// Lifecycle phase.
     pub phase: JobPhase,
     /// Informational placement label (job-id hash bucket; always 0 in
-    /// multi-host mode).  Scheduling is a single global priority queue —
+    /// fleet mode).  Scheduling is a single global priority queue —
     /// jobs are never pinned.
     pub shard: usize,
     /// Scheduling priority (higher drains first).
     pub priority: i64,
-    /// The worker host currently driving the job (multi-host mode only).
+    /// The worker host that most recently leased part of the job
+    /// (fleet mode only; see `units` for per-unit placement).
     pub worker: Option<String>,
     /// Number of matrix cells.
     pub cells: usize,
@@ -127,12 +177,15 @@ pub struct JobStatus {
     pub cells_finished: usize,
     /// Events published so far.
     pub events: usize,
+    /// Per-unit placement, once the job's work units have materialized
+    /// (fleet mode); empty on the shard path.
+    pub units: Vec<UnitStatus>,
 }
 
 impl JobStatus {
     /// The wire form of the summary.
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut doc = Json::obj()
             .field("job", self.job.as_str())
             .field("state", self.phase.label())
             .field("shard", self.shard)
@@ -140,8 +193,71 @@ impl JobStatus {
             .field("worker", self.worker.as_deref())
             .field("cells", self.cells)
             .field("cells_finished", self.cells_finished)
-            .field("events", self.events)
+            .field("events", self.events);
+        if !self.units.is_empty() {
+            doc = doc.field(
+                "units",
+                Json::Arr(
+                    self.units
+                        .iter()
+                        .map(|u| {
+                            Json::obj()
+                                .field("target", u.target)
+                                .field("state", u.phase.label())
+                                .field("worker", u.worker.as_deref())
+                                .field("wave", u.wave)
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        doc
     }
+}
+
+/// The backpressure hint attached to a deferred submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backpressure {
+    /// Work units queued (not leased) across all live jobs at the time of
+    /// the submission attempt.
+    pub queued_units: usize,
+    /// The configured watermark the count reached.
+    pub watermark: usize,
+    /// How long the client should wait before retrying.
+    pub retry_after: Duration,
+}
+
+/// Why [`ServiceCore::try_submit`] did not accept a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitRejection {
+    /// The spec does not resolve (unknown target/contract).
+    Invalid(String),
+    /// The fleet's queue is at the watermark: retry later.
+    Backpressure(Backpressure),
+}
+
+/// A leased work unit, as handed to the coordinator for granting: the
+/// unit's identity (job + target + lease token), the job spec the worker
+/// resolves locally, and the sub-run checkpoint to resume from.
+pub(crate) struct UnitGrant {
+    pub(crate) job: String,
+    pub(crate) target: u8,
+    pub(crate) lease: u64,
+    pub(crate) spec: JobSpec,
+    pub(crate) checkpoint: Option<MatrixCheckpoint>,
+}
+
+/// How the core disposed of a unit-scoped worker frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UnitDisposition {
+    /// Stored/processed.
+    Accepted,
+    /// The quoted lease is no longer current (stolen, released, or the
+    /// job went terminal): the sender must abandon the unit.
+    Revoked,
+    /// Valid lease but the frame is unacceptable (e.g. a wave replay);
+    /// nothing was stored.
+    Ignored,
 }
 
 /// The transport-agnostic service core (see the module docs).
@@ -154,6 +270,10 @@ pub struct ServiceCore {
     changed: Condvar,
     stop: AtomicBool,
     counter: AtomicU64,
+    /// Lease tokens (fleet mode), minted fresh per lease.  Process-global
+    /// so a token can never repeat across jobs or steals — a stale frame
+    /// quoting an old token is always detectably stale.
+    lease_counter: AtomicU64,
     /// Global event sequence: every published event is stamped with a
     /// strictly increasing `seq`, so cross-job scheduling order (e.g.
     /// "the high-priority job started first") is observable from the logs.
@@ -173,7 +293,7 @@ impl ServiceCore {
     /// # Errors
     /// Propagates spool-directory creation failures.
     pub fn new(config: ServiceConfig) -> io::Result<Arc<ServiceCore>> {
-        // In multi-host mode jobs are dispatched to worker hosts, not
+        // In fleet mode jobs are dispatched to worker hosts, not
         // pinned to local shard threads: collapse to one nominal shard so
         // the wire-visible `shard` field is always 0 there.
         let mut config = config;
@@ -209,6 +329,22 @@ impl ServiceCore {
                 if record.phase == JobPhase::Queued {
                     state.queued += 1;
                 }
+                // Restored units come back leaseless (their owners died
+                // with the server; the spool already demoted Leased to
+                // Queued) with the lease counter reset — tokens only fence
+                // frames within one server lifetime.
+                let units = record.units.map(|units| {
+                    units
+                        .into_iter()
+                        .map(|u| UnitState {
+                            target: u.target,
+                            phase: u.phase,
+                            worker: None,
+                            lease: 0,
+                            checkpoint: u.checkpoint,
+                        })
+                        .collect()
+                });
                 state.order.push(record.job.clone());
                 state.jobs.insert(
                     record.job.clone(),
@@ -218,6 +354,7 @@ impl ServiceCore {
                         phase: record.phase,
                         events,
                         checkpoint: record.checkpoint,
+                        units,
                         result: record.result,
                         cancel_requested: record.cancel_requested,
                         worker: None,
@@ -243,6 +380,7 @@ impl ServiceCore {
             changed: Condvar::new(),
             stop: AtomicBool::new(false),
             counter: AtomicU64::new(next_counter),
+            lease_counter: AtomicU64::new(1),
             event_seq: AtomicU64::new(seq),
             persisted: Mutex::new(BTreeMap::new()),
         });
@@ -260,6 +398,27 @@ impl ServiceCore {
         };
         for job in pending_cancels {
             core.finish_cancelled(&job, None);
+        }
+        // A job restored with every unit already Done died between its
+        // last unit finishing and the result persisting; nothing will ever
+        // lease it again, so reconstruct and complete it now.
+        let pending_done: Vec<String> = {
+            let state = core.state.lock().expect("core lock");
+            state
+                .jobs
+                .iter()
+                .filter(|(_, e)| {
+                    !e.phase.terminal()
+                        && e.units.as_ref().is_some_and(|units| {
+                            !units.is_empty()
+                                && units.iter().all(|u| u.phase == UnitPhase::Done)
+                        })
+                })
+                .map(|(job, _)| job.clone())
+                .collect()
+        };
+        for job in pending_done {
+            core.finalize_units(&job);
         }
         Ok(core)
     }
@@ -284,7 +443,10 @@ impl ServiceCore {
     }
 
     /// Submit a job.  The spec is validated (targets/contracts must
-    /// resolve) and persisted before the job id is returned.
+    /// resolve) and persisted before the job id is returned.  Never
+    /// backpressured — admin/in-process submissions bypass the watermark;
+    /// clients racing fleet capacity go through
+    /// [`ServiceCore::try_submit`].
     ///
     /// # Errors
     /// Returns a message for invalid specs.
@@ -292,6 +454,54 @@ impl ServiceCore {
         // Resolve eagerly so a bad spec fails at the submission boundary,
         // not inside a worker.
         spec.to_matrix()?;
+        Ok(self.accept_submission(spec))
+    }
+
+    /// Submit a job, honoring the backpressure watermark: while the queued
+    /// (not leased) work-unit count across live jobs is at or above
+    /// [`ServiceConfig::queue_watermark`], the submission is deferred with
+    /// a retry-after hint instead of queueing unbounded work.
+    ///
+    /// # Errors
+    /// [`SubmitRejection::Invalid`] for bad specs,
+    /// [`SubmitRejection::Backpressure`] for a full queue.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<String, SubmitRejection> {
+        spec.to_matrix().map_err(SubmitRejection::Invalid)?;
+        let queued_units = {
+            let state = self.state.lock().expect("core lock");
+            state
+                .jobs
+                .values()
+                .filter(|e| !e.phase.terminal())
+                .map(|e| match &e.units {
+                    // Materialized: exactly the units still waiting.
+                    Some(units) =>
+                        units.iter().filter(|u| u.phase == UnitPhase::Queued).count(),
+                    // Not yet materialized: a queued job will split into
+                    // one unit per target group; a running one (shard
+                    // path) is being worked, so it exerts no pressure.
+                    None if e.phase == JobPhase::Queued => e.spec.group_targets().len(),
+                    None => 0,
+                })
+                .sum::<usize>()
+        };
+        let watermark = self.config.queue_watermark.max(1);
+        if queued_units >= watermark {
+            // The hint scales with the overshoot (capped at a minute):
+            // deeper queues take longer to drain, and a fixed hint would
+            // make every deferred client retry in lockstep.
+            let overshoot = (queued_units - watermark + 1).min(240);
+            return Err(SubmitRejection::Backpressure(Backpressure {
+                queued_units,
+                watermark,
+                retry_after: Duration::from_millis(250 * overshoot as u64),
+            }));
+        }
+        Ok(self.accept_submission(spec))
+    }
+
+    /// Queue a pre-validated spec: mint the id, persist, insert.
+    fn accept_submission(&self, spec: JobSpec) -> String {
         let digest = fnv(spec.to_json().render().as_bytes());
         let job = loop {
             // The counter is process-unique and seeded above every id
@@ -309,6 +519,7 @@ impl ServiceCore {
             phase: JobPhase::Queued,
             events: Vec::new(),
             checkpoint: None,
+            units: None,
             result: None,
             cancel_requested: false,
             worker: None,
@@ -321,7 +532,7 @@ impl ServiceCore {
         state.jobs.insert(job.clone(), entry);
         state.queued += 1;
         self.changed.notify_all();
-        Ok(job)
+        job
     }
 
     /// A summary of one job, if known.
@@ -401,6 +612,16 @@ impl ServiceCore {
             spec: entry.spec.clone(),
             phase: entry.phase,
             checkpoint: entry.checkpoint.clone(),
+            units: entry.units.as_ref().map(|units| {
+                units
+                    .iter()
+                    .map(|u| UnitRecord {
+                        target: u.target,
+                        phase: u.phase,
+                        checkpoint: u.checkpoint.clone(),
+                    })
+                    .collect()
+            }),
             result: entry.result.clone(),
             cancel_requested: entry.cancel_requested,
         };
@@ -523,6 +744,383 @@ impl ServiceCore {
         self.persist(&record, version);
         let _guard = self.state.lock().expect("core lock");
         self.changed.notify_all();
+    }
+
+    /// Lease the best queued work unit to `worker` (fleet mode): the
+    /// highest-priority job with a queued unit (FIFO within a priority —
+    /// the same global-queue guarantee as [`ServiceCore::claim`], at unit
+    /// granularity), whose units are lazily split out of its whole-matrix
+    /// checkpoint on first lease.  Mints a fresh lease token; every frame
+    /// the worker sends for the unit must quote it.
+    pub(crate) fn lease_unit(&self, worker: &str) -> Option<UnitGrant> {
+        let (grant, record, cancelled, empty_job) = {
+            let mut state = self.state.lock().expect("core lock");
+            let mut cancelled: Vec<String> = Vec::new();
+            let mut best: Option<(&String, i64)> = None;
+            for job in &state.order {
+                let Some(e) = state.jobs.get(job) else { continue };
+                if e.phase.terminal() {
+                    continue;
+                }
+                if e.cancel_requested {
+                    // A cancelled job must never lease out more units; a
+                    // still-queued one is terminally cancelled right here
+                    // (see `claim`).
+                    if e.phase == JobPhase::Queued {
+                        cancelled.push(job.clone());
+                    }
+                    continue;
+                }
+                let has_queued = match &e.units {
+                    Some(units) => units.iter().any(|u| u.phase == UnitPhase::Queued),
+                    None => e.phase == JobPhase::Queued,
+                };
+                if has_queued && best.is_none_or(|(_, p)| e.spec.priority > p) {
+                    best = Some((job, e.spec.priority));
+                }
+            }
+            match best {
+                None => (None, None, cancelled, None),
+                Some((job, _)) => {
+                    let job = job.clone();
+                    let lease = self.lease_counter.fetch_add(1, Ordering::SeqCst);
+                    let was_queued;
+                    let (grant, empty) = {
+                        let entry = state.jobs.get_mut(&job).expect("found above");
+                        if entry.units.is_none() {
+                            entry.units = Some(materialize_units(
+                                &job,
+                                &entry.spec,
+                                entry.checkpoint.as_ref(),
+                            ));
+                        }
+                        was_queued = entry.phase == JobPhase::Queued;
+                        let spec = entry.spec.clone();
+                        let units = entry.units.as_mut().expect("materialized above");
+                        match units.iter_mut().find(|u| u.phase == UnitPhase::Queued) {
+                            None => {
+                                // A cell-less spec splits into zero units:
+                                // nothing to lease, but the job must still
+                                // complete (vacuously, below).
+                                (None, units.is_empty())
+                            }
+                            Some(unit) => {
+                                unit.phase = UnitPhase::Leased;
+                                unit.worker = Some(worker.to_string());
+                                unit.lease = lease;
+                                let grant = UnitGrant {
+                                    job: job.clone(),
+                                    target: unit.target,
+                                    lease,
+                                    spec,
+                                    checkpoint: unit.checkpoint.clone(),
+                                };
+                                entry.phase = JobPhase::Running;
+                                entry.worker = Some(worker.to_string());
+                                (Some(grant), false)
+                            }
+                        }
+                    };
+                    if was_queued && (grant.is_some() || empty) {
+                        // Leased (or about to vacuously complete): either
+                        // way the job left the queue.
+                        state.queued -= 1;
+                        let entry = state.jobs.get_mut(&job).expect("found above");
+                        entry.phase = JobPhase::Running;
+                    }
+                    let entry = state.jobs.get_mut(&job).expect("found above");
+                    let record = Self::record_of(&job, entry);
+                    let empty_job = if empty { Some(job) } else { None };
+                    (grant, Some(record), cancelled, empty_job)
+                }
+            }
+        };
+        for job in cancelled {
+            self.finish_cancelled(&job, None);
+        }
+        if let Some(job) = empty_job {
+            self.finalize_units(&job);
+        }
+        let (record, version) = record?;
+        self.persist(&record, version);
+        grant
+    }
+
+    /// Store a replicated sub-run checkpoint for a leased unit.  The
+    /// quoted lease must be current ([`UnitDisposition::Revoked`]
+    /// otherwise — the unit was stolen, released or its job went
+    /// terminal); wave numbers must strictly increase per unit
+    /// ([`UnitDisposition::Ignored`] for replays, nothing stored).
+    pub(crate) fn save_unit_checkpoint(
+        &self,
+        job: &str,
+        target: u8,
+        lease: u64,
+        checkpoint: MatrixCheckpoint,
+    ) -> UnitDisposition {
+        let record = {
+            let mut state = self.state.lock().expect("core lock");
+            let Some(entry) = state.jobs.get_mut(job) else {
+                return UnitDisposition::Revoked;
+            };
+            if entry.phase.terminal() {
+                return UnitDisposition::Revoked;
+            }
+            let Some(unit) = entry
+                .units
+                .as_mut()
+                .and_then(|units| units.iter_mut().find(|u| u.target == target))
+            else {
+                return UnitDisposition::Revoked;
+            };
+            if unit.lease != lease || unit.phase != UnitPhase::Leased {
+                return UnitDisposition::Revoked;
+            }
+            if unit.checkpoint.as_ref().is_some_and(|old| checkpoint.wave <= old.wave) {
+                return UnitDisposition::Ignored;
+            }
+            unit.checkpoint = Some(checkpoint);
+            refresh_merged_checkpoint(job, entry);
+            Self::record_of(job, entry)
+        };
+        let (record, version) = record;
+        self.persist(&record, version);
+        self.changed.notify_all();
+        UnitDisposition::Accepted
+    }
+
+    /// Finish a leased unit: store its final sub-checkpoint, publish the
+    /// worker's trailing events, and — when this was the job's last open
+    /// unit — reconstruct and publish the job result.  Any wave is
+    /// accepted on a valid lease (a unit can finish without ever
+    /// checkpointing mid-run).
+    pub(crate) fn complete_unit(
+        &self,
+        job: &str,
+        target: u8,
+        lease: u64,
+        checkpoint: MatrixCheckpoint,
+        events: Vec<Json>,
+    ) -> UnitDisposition {
+        let (record, all_done) = {
+            let mut state = self.state.lock().expect("core lock");
+            let Some(entry) = state.jobs.get_mut(job) else {
+                return UnitDisposition::Revoked;
+            };
+            if entry.phase.terminal() {
+                return UnitDisposition::Revoked;
+            }
+            let Some(units) = entry.units.as_mut() else {
+                return UnitDisposition::Revoked;
+            };
+            let Some(unit) = units.iter_mut().find(|u| u.target == target) else {
+                return UnitDisposition::Revoked;
+            };
+            if unit.lease != lease || unit.phase != UnitPhase::Leased {
+                return UnitDisposition::Revoked;
+            }
+            unit.phase = UnitPhase::Done;
+            unit.worker = None;
+            unit.checkpoint = Some(checkpoint);
+            let all_done = units.iter().all(|u| u.phase == UnitPhase::Done);
+            refresh_merged_checkpoint(job, entry);
+            (Self::record_of(job, entry), all_done)
+        };
+        // Trailing events precede the reconstruction's closing events.
+        self.publish(job, events);
+        let (record, version) = record;
+        self.persist(&record, version);
+        if all_done {
+            self.finalize_units(job);
+        }
+        UnitDisposition::Accepted
+    }
+
+    /// A worker honored a cancellation for its leased unit: store where it
+    /// stopped and release the lease.  When no other unit of the job is
+    /// still leased, the job itself leaves `Running` (terminally cancelled
+    /// when the cancel is still pending — the usual case — or requeued).
+    pub(crate) fn cancel_unit(
+        &self,
+        job: &str,
+        target: u8,
+        lease: u64,
+        checkpoint: Option<MatrixCheckpoint>,
+    ) {
+        let Some((record, none_leased)) = self.release_unit_inner(job, target, lease, checkpoint)
+        else {
+            return;
+        };
+        let (record, version) = record;
+        self.persist(&record, version);
+        if none_leased {
+            self.requeue_interrupted(job);
+        }
+    }
+
+    /// Revoke a unit's lease without new progress (its worker died or is
+    /// being stolen from): the unit requeues at its last replicated
+    /// sub-checkpoint.  The old owner's in-flight frames are fenced — they
+    /// quote a lease that no longer matches a `Leased` unit.
+    pub(crate) fn release_unit(&self, job: &str, target: u8, lease: u64) {
+        let Some((record, none_leased)) = self.release_unit_inner(job, target, lease, None)
+        else {
+            return;
+        };
+        let (record, version) = record;
+        self.persist(&record, version);
+        if none_leased {
+            self.requeue_interrupted(job);
+        }
+    }
+
+    /// Release every `Leased` unit whose `(job, target, lease)` is not in
+    /// `live` — the set of leases actually held by a connected worker.
+    /// The core never re-leases a unit that is not `Queued`, so a lease
+    /// with no owning connection would wedge its job forever, silently;
+    /// this sweep makes that state self-healing no matter how it arose
+    /// (a worker that abandoned a grant without a frame the coordinator
+    /// kept, a peer speaking an older protocol, a future desync bug).
+    /// Returns the released `(job, target)` pairs for logging.
+    pub(crate) fn reconcile_leases(&self, live: &[(String, u8, u64)]) -> Vec<(String, u8)> {
+        let orphaned: Vec<(String, u8, u64)> = {
+            let state = self.state.lock().expect("core lock");
+            state
+                .jobs
+                .iter()
+                .filter(|(_, e)| !e.phase.terminal())
+                .flat_map(|(job, e)| {
+                    e.units.iter().flatten().filter(|u| u.phase == UnitPhase::Leased).filter_map(
+                        move |u| {
+                            let owned = live
+                                .iter()
+                                .any(|(j, t, l)| j == job && *t == u.target && *l == u.lease);
+                            if owned {
+                                None
+                            } else {
+                                Some((job.clone(), u.target, u.lease))
+                            }
+                        },
+                    )
+                })
+                .collect()
+        };
+        let mut released = Vec::with_capacity(orphaned.len());
+        for (job, target, lease) in orphaned {
+            self.release_unit(&job, target, lease);
+            released.push((job, target));
+        }
+        released
+    }
+
+    /// Shared lease-release body: unit back to `Queued` (optionally
+    /// recording a final position), report whether the job now has no
+    /// leased units left.  `None` when the lease is not current.
+    fn release_unit_inner(
+        &self,
+        job: &str,
+        target: u8,
+        lease: u64,
+        checkpoint: Option<MatrixCheckpoint>,
+    ) -> Option<((SpoolRecord, u64), bool)> {
+        let mut state = self.state.lock().expect("core lock");
+        let entry = state.jobs.get_mut(job)?;
+        if entry.phase.terminal() {
+            return None;
+        }
+        let units = entry.units.as_mut()?;
+        let unit = units.iter_mut().find(|u| u.target == target)?;
+        if unit.lease != lease || unit.phase != UnitPhase::Leased {
+            return None;
+        }
+        unit.phase = UnitPhase::Queued;
+        unit.worker = None;
+        if let Some(checkpoint) = checkpoint {
+            unit.checkpoint = Some(checkpoint);
+        }
+        let none_leased = units.iter().all(|u| u.phase != UnitPhase::Leased);
+        refresh_merged_checkpoint(job, entry);
+        Some((Self::record_of(job, entry), none_leased))
+    }
+
+    /// A worker could not run its leased unit at all (the spec no longer
+    /// resolves on that host, or the granted checkpoint was rejected):
+    /// fail the whole job.  Lease-fenced like every other unit frame, so a
+    /// stale owner cannot fail a job its thief is completing.
+    pub(crate) fn fail_unit(&self, job: &str, target: u8, lease: u64, error: &str) {
+        let valid = {
+            let state = self.state.lock().expect("core lock");
+            state.jobs.get(job).is_some_and(|e| {
+                !e.phase.terminal()
+                    && e.units.as_ref().is_some_and(|units| {
+                        units
+                            .iter()
+                            .any(|u| u.target == target && u.lease == lease && u.phase == UnitPhase::Leased)
+                    })
+            })
+        };
+        if valid {
+            self.complete(job, Json::obj().field("job", job).field("error", error));
+        }
+    }
+
+    /// All units of the job are `Done`: reconstruct the final
+    /// [`MatrixReport`] from the per-unit final checkpoints — resuming
+    /// each sub-run at its final checkpoint and closing it reproduces the
+    /// exact per-cell reports an in-process run yields — publish the
+    /// closing cell events, and complete the job.  No-op unless every unit
+    /// really is `Done` (so a straggler can never finish a job early).
+    fn finalize_units(&self, job: &str) {
+        let snapshot = {
+            let state = self.state.lock().expect("core lock");
+            let Some(entry) = state.jobs.get(job) else { return };
+            if entry.phase.terminal() {
+                return;
+            }
+            let Some(units) = entry.units.as_ref() else { return };
+            if !units.iter().all(|u| u.phase == UnitPhase::Done) {
+                return;
+            }
+            (
+                entry.spec.clone(),
+                units.iter().map(|u| u.checkpoint.clone()).collect::<Vec<_>>(),
+            )
+        };
+        let (spec, checkpoints) = snapshot;
+        let mut collector = EventCollector { job: job.to_string(), events: Vec::new() };
+        let outcome: Result<Json, String> = (|| {
+            let matrix = spec.to_matrix()?;
+            let subs = matrix.group_matrices();
+            if subs.len() != checkpoints.len() {
+                return Err(format!(
+                    "{} finished units but the matrix splits into {} groups",
+                    checkpoints.len(),
+                    subs.len()
+                ));
+            }
+            let mut reports = Vec::with_capacity(subs.len());
+            for (sub, checkpoint) in subs.iter().zip(checkpoints) {
+                let checkpoint =
+                    checkpoint.ok_or("a unit finished without a final checkpoint")?;
+                let run = sub
+                    .resume(&checkpoint)
+                    .map_err(|e| format!("final sub-checkpoint rejected: {e}"))?;
+                reports.push(run.finish(&mut collector));
+            }
+            let report = matrix.merge_reports(reports)?;
+            Ok(job_result_json(job, &spec, &report))
+        })();
+        match outcome {
+            Ok(result) => {
+                self.publish(job, std::mem::take(&mut collector.events));
+                self.complete(job, result);
+            }
+            Err(e) => {
+                // Only a hand-edited spool (or a codec bug) gets here.
+                let error = format!("result reconstruction failed: {e}");
+                self.complete(job, Json::obj().field("job", job).field("error", error.as_str()));
+            }
+        }
     }
 
     /// Ask for a job's cancellation.  Queued jobs cancel immediately;
@@ -797,6 +1395,78 @@ fn summarize(job: &str, e: &JobEntry) -> JobStatus {
                 .count(),
         },
         events: e.events.len(),
+        units: e
+            .units
+            .as_ref()
+            .map(|units| {
+                units
+                    .iter()
+                    .map(|u| UnitStatus {
+                        target: u.target,
+                        phase: u.phase,
+                        worker: u.worker.clone(),
+                        wave: u.checkpoint.as_ref().map_or(0, |cp| cp.wave),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+    }
+}
+
+/// Split a job into its work units, one per target group, each resuming
+/// from its slice of the job's whole-matrix checkpoint (fresh units when
+/// there is none, or when the stored checkpoint no longer matches the
+/// spec — e.g. a hand-edited spool).
+fn materialize_units(
+    job: &str,
+    spec: &JobSpec,
+    checkpoint: Option<&MatrixCheckpoint>,
+) -> Vec<UnitState> {
+    let targets = spec.group_targets();
+    let fresh = || vec![None; targets.len()];
+    let parts: Vec<Option<MatrixCheckpoint>> = match (checkpoint, spec.to_matrix()) {
+        (Some(checkpoint), Ok(matrix)) => match matrix.split_checkpoint(checkpoint) {
+            Ok(parts) if parts.len() == targets.len() => parts.into_iter().map(Some).collect(),
+            Ok(_) => fresh(),
+            Err(e) => {
+                eprintln!("job {job}: discarding stale checkpoint ({e}); starting units fresh");
+                fresh()
+            }
+        },
+        _ => fresh(),
+    };
+    targets
+        .into_iter()
+        .zip(parts)
+        .map(|(target, checkpoint)| UnitState {
+            target,
+            phase: UnitPhase::Queued,
+            worker: None,
+            lease: 0,
+            checkpoint,
+        })
+        .collect()
+}
+
+/// Recompute a job's whole-matrix checkpoint as the merge of its per-unit
+/// sub-checkpoints (units that never checkpointed contribute their initial
+/// sub-checkpoint).  Keeps the job resumable as ONE record across server
+/// restarts and shard/fleet mode changes.  Called under the core lock.
+fn refresh_merged_checkpoint(job: &str, entry: &mut JobEntry) {
+    let Some(units) = entry.units.as_ref() else { return };
+    let Ok(matrix) = entry.spec.to_matrix() else { return };
+    let subs = matrix.group_matrices();
+    if subs.len() != units.len() {
+        return;
+    }
+    let parts: Vec<MatrixCheckpoint> = units
+        .iter()
+        .zip(&subs)
+        .map(|(u, sub)| u.checkpoint.clone().unwrap_or_else(|| sub.initial_checkpoint()))
+        .collect();
+    match matrix.merge_checkpoints(&parts) {
+        Ok(merged) => entry.checkpoint = Some(merged),
+        Err(e) => eprintln!("job {job}: sub-checkpoint merge failed ({e}); keeping the previous"),
     }
 }
 
@@ -1055,6 +1725,7 @@ mod tests {
                 spec: JobSpec::new(1).add_cell(1, "CT-SEQ"),
                 phase: JobPhase::Running,
                 checkpoint: None,
+                units: None,
                 result: None,
                 cancel_requested: true,
             })
@@ -1092,6 +1763,7 @@ mod tests {
                     spec: JobSpec::new(1).add_cell(1, "CT-SEQ"),
                     phase: JobPhase::Queued,
                     checkpoint: None,
+                    units: None,
                     result: None,
                     cancel_requested: false,
                 })
@@ -1116,7 +1788,7 @@ mod tests {
     #[test]
     fn multi_host_mode_pins_every_job_to_shard_zero() {
         // The wire-visible `shard` field is documented as always 0 in
-        // multi-host mode; the config normalizes shards to 1 there.
+        // fleet mode; the config normalizes shards to 1 there.
         let core = ServiceCore::new(ServiceConfig {
             shards: 8,
             worker_listen: Some("127.0.0.1:0".to_string()),
@@ -1144,5 +1816,124 @@ mod tests {
         assert_eq!(seq_of(&a, 0), 0);
         assert_eq!(seq_of(&b, 0), 1);
         assert_eq!(seq_of(&a, 1), 2);
+    }
+
+    /// The sub-checkpoint of the group unit `target` belongs to, at wave 0.
+    fn sub_checkpoint(spec: &JobSpec, target: u8) -> MatrixCheckpoint {
+        let matrix = spec.to_matrix().expect("spec resolves");
+        matrix
+            .group_matrices()
+            .into_iter()
+            .find(|m| m.cells().iter().any(|c| c.target.id == target))
+            .expect("target has a group")
+            .initial_checkpoint()
+    }
+
+    #[test]
+    fn unit_leases_fence_stale_owners() {
+        let core = ServiceCore::new(ServiceConfig {
+            worker_listen: Some("127.0.0.1:0".to_string()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let job = core
+            .submit(JobSpec::new(7).with_budget(10).add_cell(1, "CT-SEQ").add_cell(5, "CT-SEQ"))
+            .unwrap();
+
+        // The job's two target groups lease independently, nothing more.
+        let g1 = core.lease_unit("w1").expect("first unit leases");
+        let g2 = core.lease_unit("w2").expect("second unit leases");
+        assert_eq!((g1.job.as_str(), g2.job.as_str()), (job.as_str(), job.as_str()));
+        assert_ne!(g1.target, g2.target);
+        assert!(core.lease_unit("w3").is_none(), "a two-group job has exactly two units");
+
+        // A steal re-leases the unit under a fresh token...
+        core.release_unit(&job, g1.target, g1.lease);
+        let g3 = core.lease_unit("w3").expect("a released unit re-leases");
+        assert_eq!(g3.target, g1.target);
+        assert_ne!(g3.lease, g1.lease, "every lease mints a fresh fencing token");
+
+        // ...and every frame the deposed owner still sends is revoked.
+        let cp = sub_checkpoint(&g3.spec, g3.target);
+        assert_eq!(
+            core.save_unit_checkpoint(&job, g1.target, g1.lease, cp.clone()),
+            UnitDisposition::Revoked
+        );
+        assert_eq!(
+            core.complete_unit(&job, g1.target, g1.lease, cp.clone(), vec![]),
+            UnitDisposition::Revoked
+        );
+
+        // The current owner's first checkpoint lands; replaying the same
+        // wave is ignored (monotonic progress only), not revoked.
+        assert_eq!(
+            core.save_unit_checkpoint(&job, g3.target, g3.lease, cp.clone()),
+            UnitDisposition::Accepted
+        );
+        assert_eq!(
+            core.save_unit_checkpoint(&job, g3.target, g3.lease, cp),
+            UnitDisposition::Ignored
+        );
+    }
+
+    #[test]
+    fn orphaned_leases_are_reconciled_back_to_the_queue() {
+        let core = ServiceCore::new(ServiceConfig {
+            worker_listen: Some("127.0.0.1:0".to_string()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let job = core
+            .submit(JobSpec::new(7).with_budget(10).add_cell(1, "CT-SEQ").add_cell(5, "CT-SEQ"))
+            .unwrap();
+        let g1 = core.lease_unit("w1").expect("first unit leases");
+        let g2 = core.lease_unit("w2").expect("second unit leases");
+
+        // w1's connection vanished without the core ever learning: its
+        // lease is live in the core but owned by nobody.  The sweep
+        // requeues exactly that unit — w2's owned lease is untouched.
+        let live = vec![(job.clone(), g2.target, g2.lease)];
+        assert_eq!(core.reconcile_leases(&live), vec![(job.clone(), g1.target)]);
+
+        // The orphaned unit is re-leasable under a fresh fencing token.
+        let again = core.lease_unit("w3").expect("orphaned unit re-leases");
+        assert_eq!(again.target, g1.target);
+        assert_ne!(again.lease, g1.lease);
+
+        // With every lease owned, the sweep is a no-op.
+        let live =
+            vec![(job.clone(), g2.target, g2.lease), (job.clone(), again.target, again.lease)];
+        assert!(core.reconcile_leases(&live).is_empty());
+    }
+
+    #[test]
+    fn backpressure_defers_submits_at_the_watermark() {
+        let core = ServiceCore::new(ServiceConfig {
+            worker_listen: Some("127.0.0.1:0".to_string()),
+            queue_watermark: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let spec = |seed: u64| JobSpec::new(seed).add_cell(1, "CT-SEQ").add_cell(5, "CT-SEQ");
+        assert!(matches!(
+            core.try_submit(JobSpec::new(1).add_cell(42, "CT-SEQ")),
+            Err(SubmitRejection::Invalid(_))
+        ));
+
+        // First job (two units) fills the queue to the watermark; the next
+        // submission defers with a retry hint instead of queueing.
+        core.try_submit(spec(1)).expect("an empty queue accepts");
+        match core.try_submit(spec(2)) {
+            Err(SubmitRejection::Backpressure(bp)) => {
+                assert_eq!((bp.queued_units, bp.watermark), (2, 2));
+                assert!(bp.retry_after >= Duration::from_millis(250));
+            }
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+
+        // Leasing a unit drains the backlog below the watermark: submits
+        // reopen without any explicit reset.
+        core.lease_unit("w1").expect("unit leases");
+        core.try_submit(spec(3)).expect("draining below the watermark reopens submits");
     }
 }

@@ -43,6 +43,11 @@ pub(crate) fn next_line(inbuf: &mut Vec<u8>) -> Option<String> {
     None
 }
 
+/// The `op` discriminator of a protocol frame, if it carries one.
+pub(crate) fn op(frame: &Json) -> Option<&str> {
+    frame.get("op").and_then(Json::as_str)
+}
+
 /// Append one rendered frame (plus terminator) to `outbuf`.
 pub(crate) fn queue_line(outbuf: &mut Vec<u8>, doc: &Json) {
     outbuf.extend_from_slice(doc.render().as_bytes());

@@ -15,16 +15,24 @@
 //!                                      └──────── event logs ◄──────────────┘
 //! ```
 //!
-//! In **multi-host mode** ([`ServiceConfig::worker_listen`]) the shard
-//! threads are replaced by remote worker hosts (`revizor-worker`): the
-//! [`coordinator`] dispatches jobs to them, replicates every wave
-//! checkpoint (digest-validated) into the spool, reassigns the jobs of
-//! dead workers, and forwards cancellations — see [`coordinator`] and
-//! [`worker`] for the protocol, and `tests/chaos.rs` for the seeded
-//! fault-injection sweep proving verdicts survive any kill/drop/delay
+//! In **fleet mode** ([`ServiceConfig::worker_listen`]) the shard
+//! threads are replaced by an elastic fleet of worker hosts
+//! (`revizor-worker`): workers *register at runtime* over the fleet
+//! port and *lease* relocatable work units — one unit per target group
+//! of a job's matrix — so hosts can join or leave mid-job.  The
+//! [`coordinator`] replicates every wave checkpoint (digest-validated)
+//! into the spool, *steals* units back from slow or departed workers at
+//! the last replicated sub-checkpoint (lease tokens fence the old
+//! owner's stale frames), merges finished units into one job result,
+//! and forwards cancellations — see [`coordinator`] and [`worker`] for
+//! the protocol, and `tests/chaos.rs` for the seeded fault-injection
+//! sweep proving verdicts survive any kill/drop/delay/steal
 //! interleaving byte-identically.  Jobs carry submit-time priorities
 //! (higher drains first) and can be cancelled cooperatively in either
-//! mode.
+//! mode.  When the queued-unit backlog reaches
+//! [`ServiceConfig::queue_watermark`], `submit` defers with a
+//! retry-after hint instead of queueing unbounded work
+//! ([`Client::try_submit`]).
 //!
 //! Three guarantees make the service trustworthy as a *testing* service:
 //!
@@ -61,12 +69,15 @@ pub mod server;
 pub mod spool;
 pub mod worker;
 
-pub use client::{Client, WatchError};
+pub use client::{Client, SubmitError, WatchError};
 pub use coordinator::{Coordinator, CoordinatorHandle};
-pub use core::{deterministic_result, job_result_json, JobStatus, ServiceConfig, ServiceCore};
+pub use core::{
+    deterministic_result, job_result_json, Backpressure, JobStatus, ServiceConfig, ServiceCore,
+    SubmitRejection, UnitStatus,
+};
 pub use job::JobSpec;
 pub use server::{Server, ServerHandle};
-pub use spool::{JobPhase, Spool, SpoolRecord};
+pub use spool::{JobPhase, Spool, SpoolRecord, UnitPhase, UnitRecord};
 pub use worker::{FaultAction, FaultHook, Worker, WorkerConfig};
 
 use rvz_bench::json::Json;
@@ -144,7 +155,7 @@ impl ServiceHandle {
         self.server.as_ref().map(ServerHandle::local_addr)
     }
 
-    /// The worker-port address, when running in multi-host mode.
+    /// The worker-port address, when running in fleet mode.
     pub fn worker_addr(&self) -> Option<SocketAddr> {
         self.coordinator.as_ref().map(CoordinatorHandle::local_addr)
     }
@@ -155,6 +166,16 @@ impl ServiceHandle {
     /// Returns a message for invalid specs.
     pub fn submit(&self, spec: JobSpec) -> Result<String, String> {
         self.core.submit(spec)
+    }
+
+    /// Submit a job in-process, honouring the backpressure watermark.
+    ///
+    /// # Errors
+    /// [`SubmitRejection::Invalid`] for bad specs,
+    /// [`SubmitRejection::Backpressure`] (with a retry hint) when the
+    /// queued-unit backlog is at [`ServiceConfig::queue_watermark`].
+    pub fn try_submit(&self, spec: JobSpec) -> Result<String, SubmitRejection> {
+        self.core.try_submit(spec)
     }
 
     /// Block until a job finishes and return its result payload.

@@ -31,8 +31,16 @@
 //! higher priorities start first.  A `cancel` of a queued job is
 //! immediate (`"cancelled"`); a running job stops cooperatively at its
 //! next wave boundary (`"cancelling"`, then the `done` event).
+//!
+//! **Backpressure**: when the queued work-unit count is at or above
+//! [`ServiceConfig::queue_watermark`](crate::ServiceConfig::queue_watermark),
+//! `submit` defers instead of accepting unbounded work — the error
+//! response additionally carries `"retry_after_ms"`, `"queued_units"` and
+//! `"watermark"`, and the client should retry after the hint
+//! ([`Client::try_submit`](crate::Client::try_submit) surfaces this as a
+//! typed variant).
 
-use crate::core::ServiceCore;
+use crate::core::{ServiceCore, SubmitRejection};
 use crate::framing;
 use crate::job::JobSpec;
 use rvz_bench::json::{parse, Json};
@@ -184,12 +192,22 @@ fn dispatch(core: &Arc<ServiceCore>, line: &str, watches: &mut Vec<(String, usiz
                 Ok(spec) => spec,
                 Err(e) => return error(e),
             };
-            match core.submit(spec) {
+            match core.try_submit(spec) {
                 Ok(job) => {
                     let shard = core.status(&job).map(|s| s.shard).unwrap_or(0);
                     Json::obj().field("ok", true).field("job", job).field("shard", shard)
                 }
-                Err(e) => error(e),
+                Err(SubmitRejection::Invalid(e)) => error(e),
+                Err(SubmitRejection::Backpressure(bp)) => {
+                    let retry_ms = bp.retry_after.as_millis() as u64;
+                    error(format!(
+                        "backpressure: {} work units queued (watermark {}); retry in {retry_ms}ms",
+                        bp.queued_units, bp.watermark
+                    ))
+                    .field("retry_after_ms", retry_ms)
+                    .field("queued_units", bp.queued_units)
+                    .field("watermark", bp.watermark)
+                }
             }
         }
         "status" => match job_of(&request) {

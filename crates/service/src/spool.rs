@@ -59,6 +59,52 @@ impl JobPhase {
     }
 }
 
+/// Lifecycle phase of one work unit (one target group of its job's
+/// matrix, relocatable across worker hosts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitPhase {
+    /// Waiting in the global unit queue for a worker lease.
+    Queued,
+    /// Leased to a worker host; ownership is heartbeat-renewed and the
+    /// coordinator may steal the unit back if progress stalls.
+    Leased,
+    /// The unit's sub-run finished; its stored checkpoint is final.
+    Done,
+}
+
+impl UnitPhase {
+    /// Wire/spool label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnitPhase::Queued => "queued",
+            UnitPhase::Leased => "leased",
+            UnitPhase::Done => "done",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<UnitPhase> {
+        match s {
+            "queued" => Some(UnitPhase::Queued),
+            "leased" => Some(UnitPhase::Leased),
+            "done" => Some(UnitPhase::Done),
+            _ => None,
+        }
+    }
+}
+
+/// One work unit's durable record (fleet mode only): the unit's target
+/// group, its phase and its last replicated sub-run checkpoint.
+#[derive(Debug, Clone)]
+pub struct UnitRecord {
+    /// The Table 2 target id whose cell group this unit drives.
+    pub target: u8,
+    /// Phase at the time of the last save.
+    pub phase: UnitPhase,
+    /// Last replicated sub-run checkpoint (`None` before the first wave;
+    /// the final sub-run checkpoint once the unit is done).
+    pub checkpoint: Option<MatrixCheckpoint>,
+}
+
 /// One job's durable record.
 #[derive(Debug, Clone)]
 pub struct SpoolRecord {
@@ -70,7 +116,13 @@ pub struct SpoolRecord {
     pub phase: JobPhase,
     /// Latest wave checkpoint, when the job has started but not finished
     /// (kept on cancellation too, as a record of where the job stopped).
+    /// In fleet mode this is the merged full-matrix view of the per-unit
+    /// checkpoints below.
     pub checkpoint: Option<MatrixCheckpoint>,
+    /// Per-unit state, once the job's work units have materialized (fleet
+    /// mode).  `None` for shard-mode jobs and legacy records — restore
+    /// falls back to splitting `checkpoint` by target group.
+    pub units: Option<Vec<UnitRecord>>,
     /// Result payload, when the job is done (or cancelled).
     pub result: Option<Json>,
     /// A cancel arrived while the job was running but had not yet reached
@@ -118,6 +170,25 @@ impl Spool {
             .field("phase", record.phase.label())
             .field("spec", record.spec.to_json())
             .field("checkpoint", record.checkpoint.as_ref().map(matrix_checkpoint_to_json))
+            .field(
+                "units",
+                record.units.as_ref().map(|units| {
+                    Json::Arr(
+                        units
+                            .iter()
+                            .map(|u| {
+                                Json::obj()
+                                    .field("target", u.target)
+                                    .field("phase", u.phase.label())
+                                    .field(
+                                        "checkpoint",
+                                        u.checkpoint.as_ref().map(matrix_checkpoint_to_json),
+                                    )
+                            })
+                            .collect(),
+                    )
+                }),
+            )
             .field("result", record.result.clone())
             .field("cancel_requested", record.cancel_requested);
         let path = self.path_for(&record.job);
@@ -168,13 +239,43 @@ impl Spool {
             None | Some(Json::Null) => None,
             Some(cp) => Some(matrix_checkpoint_from_json(cp)?),
         };
+        let units = match doc.get("units") {
+            None | Some(Json::Null) => None,
+            Some(units) => {
+                let units = units.as_array().ok_or("`units` is not an array")?;
+                let mut records = Vec::with_capacity(units.len());
+                for (i, u) in units.iter().enumerate() {
+                    let target = u
+                        .get("target")
+                        .and_then(Json::as_u64)
+                        .and_then(|t| u8::try_from(t).ok())
+                        .ok_or_else(|| format!("units[{i}] needs a target id"))?;
+                    let phase = u
+                        .get("phase")
+                        .and_then(Json::as_str)
+                        .and_then(UnitPhase::from_label)
+                        .ok_or_else(|| format!("units[{i}] has an unknown phase"))?;
+                    // A leased unit's owner died with the server: the lease
+                    // is void, the unit goes back to the queue and resumes
+                    // from its last replicated sub-checkpoint.
+                    let phase =
+                        if phase == UnitPhase::Leased { UnitPhase::Queued } else { phase };
+                    let checkpoint = match u.get("checkpoint") {
+                        None | Some(Json::Null) => None,
+                        Some(cp) => Some(matrix_checkpoint_from_json(cp)?),
+                    };
+                    records.push(UnitRecord { target, phase, checkpoint });
+                }
+                Some(records)
+            }
+        };
         let result = match doc.get("result") {
             None | Some(Json::Null) => None,
             Some(r) => Some(r.clone()),
         };
         let cancel_requested =
             doc.get("cancel_requested").and_then(Json::as_bool).unwrap_or(false);
-        Ok(SpoolRecord { job, spec, phase, checkpoint, result, cancel_requested })
+        Ok(SpoolRecord { job, spec, phase, checkpoint, units, result, cancel_requested })
     }
 }
 
@@ -199,6 +300,7 @@ mod tests {
             spec: spec.clone(),
             phase: JobPhase::Queued,
             checkpoint: None,
+            units: None,
             result: None,
             cancel_requested: false,
         };
@@ -213,6 +315,48 @@ mod tests {
     }
 
     #[test]
+    fn unit_records_round_trip_and_leased_units_requeue() {
+        let dir = scratch_dir("units");
+        let spool = Spool::open(&dir).unwrap();
+        let spec = JobSpec::new(7)
+            .with_budget(40)
+            .add_cell(5, "CT-SEQ")
+            .add_cell(1, "CT-SEQ");
+        let sub_cp = spec.to_matrix().unwrap().group_matrices()[0].initial_checkpoint();
+        let record = SpoolRecord {
+            job: "j-test-u".to_string(),
+            spec,
+            phase: JobPhase::Running,
+            checkpoint: None,
+            units: Some(vec![
+                UnitRecord {
+                    target: 5,
+                    phase: UnitPhase::Leased,
+                    checkpoint: Some(sub_cp.clone()),
+                },
+                UnitRecord { target: 1, phase: UnitPhase::Done, checkpoint: None },
+            ]),
+            result: None,
+            cancel_requested: false,
+        };
+        spool.save(&record).unwrap();
+        let loaded = spool.load_all().remove(0);
+        let units = loaded.units.expect("units survive the round trip");
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].target, 5);
+        assert_eq!(
+            units[0].phase,
+            UnitPhase::Queued,
+            "a leased unit's owner died with the server; the lease is void"
+        );
+        assert_eq!(units[0].checkpoint.as_ref(), Some(&sub_cp));
+        assert_eq!(units[1].target, 1);
+        assert_eq!(units[1].phase, UnitPhase::Done);
+        assert!(units[1].checkpoint.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn cancelled_state_round_trips_and_stays_terminal() {
         let dir = scratch_dir("cancelled");
         let spool = Spool::open(&dir).unwrap();
@@ -221,6 +365,7 @@ mod tests {
             spec: JobSpec::new(1).with_priority(-2).add_cell(1, "CT-SEQ"),
             phase: JobPhase::Cancelled,
             checkpoint: None,
+            units: None,
             result: Some(Json::obj().field("cancelled", true)),
             cancel_requested: false,
         };
@@ -232,6 +377,7 @@ mod tests {
             spec: JobSpec::new(2).add_cell(1, "CT-SEQ"),
             phase: JobPhase::Running,
             checkpoint: None,
+            units: None,
             result: None,
             cancel_requested: true,
         };
@@ -257,6 +403,7 @@ mod tests {
             spec: JobSpec::new(1).add_cell(1, "CT-SEQ"),
             phase: JobPhase::Running,
             checkpoint: None,
+            units: None,
             result: None,
             cancel_requested: false,
         };

@@ -1,18 +1,25 @@
-//! Multi-host mode: the worker-host side of the worker protocol.
+//! Fleet mode: the worker-host side of the worker protocol.
 //!
 //! A worker (`revizor-worker`) dials the coordinator's worker port,
-//! registers, and then processes one assignment at a time: it resolves the
-//! job's [`JobSpec`] into a [`CampaignMatrix`], resumes from the shipped
-//! checkpoint (or starts fresh), and steps the resulting
+//! registers, and then pulls **work units** one at a time: it sends
+//! `lease` (heartbeating while it waits), receives a `grant` naming one
+//! target group of a job plus a lease token and an optional sub-run
+//! checkpoint, resolves the job's [`JobSpec`] into the unit's single-group
+//! [`CampaignMatrix`], and steps the resulting
 //! [`MatrixRun`](revizor::orchestrator::MatrixRun) wave by wave.  After
-//! every wave it streams the checkpoint (plus digest and progress events)
-//! to the coordinator and blocks for the `ack` — so the coordinator's
-//! spool replica is never more than one wave behind, and a worker that
-//! dies mid-job loses at most the wave it was computing.
+//! every wave it streams the sub-checkpoint (plus digest, lease token and
+//! progress events) to the coordinator and blocks for the `ack` — so the
+//! coordinator's spool replica is never more than one wave behind, and a
+//! worker that dies mid-unit loses at most the wave it was computing.
+//! When the unit's budget is exhausted it ships the final checkpoint
+//! (`unit_done`) — the coordinator reconstructs the cell reports from it —
+//! and leases again.
 //!
-//! Cancellation is cooperative: a `cancel` frame is honored at the next
-//! wave boundary, answered with a final `cancelled` frame carrying the
-//! stopping checkpoint.
+//! An `ack` with `"revoked": true` (or a standalone `revoke` frame) means
+//! the unit was stolen: the worker abandons it immediately and leases new
+//! work.  Cancellation stays cooperative: a `cancel` frame is honored at
+//! the next wave boundary, answered with a final `unit_cancelled` frame
+//! carrying the stopping checkpoint.
 //!
 //! ## Fault injection (test-only)
 //!
@@ -27,7 +34,7 @@
 //!
 //! [`CampaignMatrix`]: revizor::orchestrator::CampaignMatrix
 
-use crate::core::{job_result_json, EventCollector};
+use crate::core::EventCollector;
 use crate::framing;
 use crate::job::JobSpec;
 use rvz_bench::json::{parse, Json};
@@ -44,9 +51,9 @@ pub enum FaultAction {
     /// Sleep before proceeding (a slow host; since waves are ack-gated,
     /// this is also what a delayed checkpoint ack looks like end-to-end).
     Delay(Duration),
-    /// Drop the coordinator connection mid-job, then reconnect and
-    /// re-register.  The coordinator requeues the abandoned job from its
-    /// last replicated checkpoint.
+    /// Drop the coordinator connection mid-unit, then reconnect and
+    /// re-register.  The coordinator releases the abandoned unit to the
+    /// next idle worker at its last replicated checkpoint.
     DropConnection,
     /// Terminate the worker loop for good (a worker-host kill).
     Die,
@@ -79,10 +86,9 @@ impl WorkerConfig {
     }
 }
 
-/// How an assignment ended, steering the outer connection loop.
+/// How a unit ended, steering the outer connection loop.
 enum Flow {
-    /// Frame handled (or assignment finished): keep serving this
-    /// connection.
+    /// Unit finished / abandoned cleanly: lease again on this connection.
     Continue,
     /// The connection is unusable (or a fault dropped it): reconnect.
     Reconnect,
@@ -135,8 +141,42 @@ impl FrameConn {
         }
     }
 
+    /// Read one frame, waiting at most `wait`; `Ok(None)` on timeout (used
+    /// by the lease loop to interleave heartbeats while idle).
+    fn read_frame_for(&mut self, wait: Duration) -> io::Result<Option<Json>> {
+        if let Some(line) = framing::next_line(&mut self.buf) {
+            return parse(&line)
+                .map(Some)
+                .map_err(|e| io::Error::new(ErrorKind::InvalidData, e));
+        }
+        let deadline = Instant::now() + wait;
+        self.stream.set_read_timeout(Some(wait))?;
+        let result = loop {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break Err(io::Error::from(ErrorKind::UnexpectedEof)),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    if let Some(line) = framing::next_line(&mut self.buf) {
+                        break parse(&line)
+                            .map(Some)
+                            .map_err(|e| io::Error::new(ErrorKind::InvalidData, e));
+                    }
+                }
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => break Err(e),
+            }
+            if Instant::now() >= deadline {
+                break Ok(None);
+            }
+        };
+        self.stream.set_read_timeout(None)?;
+        result
+    }
+
     /// Read one frame if one is already available, without blocking (used
-    /// between waves to notice cancels promptly).
+    /// between waves to notice cancels and revokes promptly).
     fn try_read_frame(&mut self) -> io::Result<Option<Json>> {
         if !self.buf.contains(&b'\n') {
             // No complete line buffered: drain whatever the socket has.
@@ -156,8 +196,8 @@ impl FrameConn {
     }
 }
 
-/// A worker host: connects to a coordinator and runs assigned jobs (see
-/// the module docs).
+/// A worker host: connects to a coordinator and drives leased work units
+/// (see the module docs).
 pub struct Worker {
     config: WorkerConfig,
     hook: Option<FaultHook>,
@@ -176,14 +216,14 @@ impl Worker {
         self
     }
 
-    /// Run the worker loop: connect (with retries), register, and serve
-    /// assignments until the coordinator shuts it down, the retry window
+    /// Run the worker loop: connect (with retries), register, and pull
+    /// leased units until the coordinator shuts it down, the retry window
     /// closes with the coordinator unreachable, or a `Die` fault fires.
     ///
     /// # Errors
     /// Returns the final connect error once the retry window closes.
     pub fn run(mut self) -> io::Result<()> {
-        loop {
+        'reconnect: loop {
             let mut conn = FrameConn::connect(&self.config.coordinator, self.config.retry_for)?;
             let register = Json::obj()
                 .field("op", "register")
@@ -191,56 +231,95 @@ impl Worker {
             if conn.send(&register).is_err() {
                 continue;
             }
-            // Serve frames until the connection is lost (then reconnect).
-            while let Ok(frame) = conn.read_frame() {
-                match frame.get("op").and_then(Json::as_str) {
-                    Some("assign") => match self.run_assignment(&mut conn, &frame) {
-                        Flow::Continue => {}
-                        Flow::Reconnect => break,
-                        Flow::Exit => return Ok(()),
-                    },
-                    Some("shutdown") => return Ok(()),
-                    // `registered` acks and stale cancels (for a job this
-                    // worker no longer holds) need no action.
-                    _ => {}
+            loop {
+                // Ask for work, then wait for the grant, heartbeating so
+                // the coordinator knows this idle connection is alive.
+                if conn.send(&Json::obj().field("op", "lease")).is_err() {
+                    continue 'reconnect;
+                }
+                let grant = loop {
+                    match conn.read_frame_for(Duration::from_millis(250)) {
+                        Ok(Some(frame)) => match framing::op(&frame) {
+                            Some("grant") => break frame,
+                            Some("shutdown") => return Ok(()),
+                            // `registered` acks and stragglers for units
+                            // this worker no longer holds (stale acks,
+                            // revokes, cancels) need no action.
+                            _ => {}
+                        },
+                        Ok(None) => {
+                            if conn.send(&Json::obj().field("op", "heartbeat")).is_err() {
+                                continue 'reconnect;
+                            }
+                        }
+                        Err(_) => continue 'reconnect,
+                    }
+                };
+                match self.run_unit(&mut conn, &grant) {
+                    Flow::Continue => {}
+                    Flow::Reconnect => continue 'reconnect,
+                    Flow::Exit => return Ok(()),
                 }
             }
         }
     }
 
-    /// Drive one assigned job: step, replicate, ack-gate, honor cancels
-    /// and injected faults.
-    fn run_assignment(&mut self, conn: &mut FrameConn, frame: &Json) -> Flow {
-        let Some(job) = frame.get("job").and_then(Json::as_str).map(str::to_string) else {
+    /// Drive one granted unit: step its single-group sub-run, replicate,
+    /// ack-gate, honor cancels, revokes and injected faults.
+    fn run_unit(&mut self, conn: &mut FrameConn, grant: &Json) -> Flow {
+        let Some(job) = grant.get("job").and_then(Json::as_str).map(str::to_string) else {
             return Flow::Continue;
         };
-        let spec = match frame.get("spec") {
-            None => return self.report_bad_assignment(conn, &job, "assign carries no spec"),
+        let Some(target) =
+            grant.get("target").and_then(Json::as_u64).and_then(|t| u8::try_from(t).ok())
+        else {
+            return Flow::Continue;
+        };
+        let Some(lease) = grant.get("lease").and_then(Json::as_u64) else {
+            return Flow::Continue;
+        };
+        let fail = |conn: &mut FrameConn, error: &str| {
+            Self::report_bad_unit(conn, &job, target, lease, error)
+        };
+        let spec = match grant.get("spec") {
+            None => return fail(conn, "grant carries no spec"),
             Some(s) => match JobSpec::from_json(s) {
                 Ok(spec) => spec,
-                Err(e) => return self.report_bad_assignment(conn, &job, &e),
+                Err(e) => return fail(conn, &e),
             },
         };
-        let checkpoint = match frame.get("checkpoint") {
+        let checkpoint = match grant.get("checkpoint") {
             None | Some(Json::Null) => None,
             Some(cp) => match matrix_checkpoint_from_json(cp) {
                 Ok(cp) => Some(cp),
-                Err(e) => return self.report_bad_assignment(conn, &job, &e),
+                Err(e) => return fail(conn, &e),
             },
         };
         let matrix = match spec.to_matrix() {
             Ok(matrix) => matrix,
-            Err(e) => return self.report_bad_assignment(conn, &job, &e),
+            Err(e) => return fail(conn, &e),
+        };
+        // The unit is one target group of the job's matrix: resolve the
+        // single-group sub-matrix whose stream this worker drives.  The
+        // sub-run's seeds derive from (matrix seed, target id, index)
+        // alone, so it is byte-identical to the same group inside an
+        // in-process full-matrix run.
+        let Some(sub) = matrix
+            .group_matrices()
+            .into_iter()
+            .find(|m| m.cells().iter().any(|c| c.target.id == target))
+        else {
+            return fail(conn, &format!("spec has no cell group for target {target}"));
         };
         let mut run = match &checkpoint {
-            Some(cp) => match matrix.resume(cp) {
+            Some(cp) => match sub.resume(cp) {
                 Ok(run) => run,
                 Err(e) => {
-                    eprintln!("worker: job {job}: stale checkpoint ({e}); restarting");
-                    matrix.start()
+                    eprintln!("worker: {job} unit t{target}: stale checkpoint ({e}); restarting");
+                    sub.start()
                 }
             },
-            None => matrix.start(),
+            None => sub.start(),
         };
 
         let mut collector = EventCollector { job: job.clone(), events: Vec::new() };
@@ -252,17 +331,24 @@ impl Worker {
                 FaultAction::DropConnection => return Flow::Reconnect,
                 FaultAction::Die => return Flow::Exit,
             }
-            // Notice cancels that arrived since the last ack.
+            // Notice cancels and revokes that arrived since the last ack.
             loop {
                 match conn.try_read_frame() {
                     Ok(None) => break,
-                    Ok(Some(f)) => Self::note_cancel(&f, &job, &mut cancelled),
+                    Ok(Some(f)) => {
+                        if Self::is_revoke(&f, &job, target) {
+                            return Flow::Continue; // stolen: abandon now
+                        }
+                        Self::note_cancel(&f, &job, &mut cancelled);
+                    }
                     Err(_) => return Flow::Reconnect,
                 }
             }
             if cancelled {
                 let stop = checkpoint_transfer_to_json(&job, &run.checkpoint())
-                    .field("op", "cancelled");
+                    .field("op", "unit_cancelled")
+                    .field("target", target)
+                    .field("lease", lease);
                 return match conn.send(&stop) {
                     Ok(()) => Flow::Continue,
                     Err(_) => Flow::Reconnect,
@@ -277,6 +363,8 @@ impl Worker {
             let wave = run.wave();
             let transfer = checkpoint_transfer_to_json(&job, &run.checkpoint())
                 .field("op", "wave")
+                .field("target", target)
+                .field("lease", lease)
                 .field("events", Json::Arr(std::mem::take(&mut collector.events)));
             if conn.send(&transfer).is_err() {
                 return Flow::Reconnect;
@@ -286,33 +374,53 @@ impl Worker {
                     Ok(reply) => reply,
                     Err(_) => return Flow::Reconnect,
                 };
-                match reply.get("op").and_then(Json::as_str) {
+                match framing::op(&reply) {
                     Some("ack")
-                        if reply.get("wave").and_then(Json::as_u64)
-                            == Some(wave as u64) =>
+                        if reply.get("job").and_then(Json::as_str) == Some(job.as_str())
+                            && reply.get("target").and_then(Json::as_u64)
+                                == Some(u64::from(target))
+                            && reply.get("wave").and_then(Json::as_u64)
+                                == Some(wave as u64) =>
                     {
-                        break
+                        if reply.get("revoked").and_then(Json::as_bool) == Some(true) {
+                            return Flow::Continue; // stolen: abandon now
+                        }
+                        break;
                     }
                     Some("shutdown") => return Flow::Exit,
-                    _ => Self::note_cancel(&reply, &job, &mut cancelled),
+                    _ => {
+                        if Self::is_revoke(&reply, &job, target) {
+                            return Flow::Continue;
+                        }
+                        Self::note_cancel(&reply, &job, &mut cancelled);
+                    }
                 }
             }
         }
-        let report = run.finish(&mut collector);
-        let done = Json::obj()
-            .field("op", "done")
-            .field("job", job.as_str())
-            .field("events", Json::Arr(std::mem::take(&mut collector.events)))
-            .field("result", job_result_json(&job, &spec, &report));
+        // Budget exhausted: the final checkpoint IS the unit's result —
+        // the coordinator resumes it with zero steps to reconstruct the
+        // exact cell reports, so no report is computed (or shipped) here.
+        let done = checkpoint_transfer_to_json(&job, &run.checkpoint())
+            .field("op", "unit_done")
+            .field("target", target)
+            .field("lease", lease)
+            .field("events", Json::Arr(std::mem::take(&mut collector.events)));
         match conn.send(&done) {
             Ok(()) => Flow::Continue,
             Err(_) => Flow::Reconnect,
         }
     }
 
+    /// Is this frame a revoke for the unit this worker is driving?
+    fn is_revoke(frame: &Json, job: &str, target: u8) -> bool {
+        framing::op(frame) == Some("revoke")
+            && frame.get("job").and_then(Json::as_str) == Some(job)
+            && frame.get("target").and_then(Json::as_u64) == Some(u64::from(target))
+    }
+
     /// Record a cancel frame for the current job.
     fn note_cancel(frame: &Json, job: &str, cancelled: &mut bool) {
-        if frame.get("op").and_then(Json::as_str) == Some("cancel")
+        if framing::op(frame) == Some("cancel")
             && frame.get("job").and_then(Json::as_str) == Some(job)
         {
             *cancelled = true;
@@ -327,15 +435,23 @@ impl Worker {
         }
     }
 
-    /// An assignment this worker cannot run (undecodable spec — only a
-    /// hand-edited spool can produce one): report it as the job's result
-    /// so it fails visibly instead of bouncing between workers forever.
-    fn report_bad_assignment(&self, conn: &mut FrameConn, job: &str, error: &str) -> Flow {
-        let done = Json::obj()
-            .field("op", "done")
+    /// A unit this worker cannot run (undecodable spec or checkpoint —
+    /// only a hand-edited spool can produce one): report it so the job
+    /// fails visibly instead of bouncing between workers forever.
+    fn report_bad_unit(
+        conn: &mut FrameConn,
+        job: &str,
+        target: u8,
+        lease: u64,
+        error: &str,
+    ) -> Flow {
+        let failed = Json::obj()
+            .field("op", "unit_failed")
             .field("job", job)
-            .field("result", Json::obj().field("job", job).field("error", error));
-        match conn.send(&done) {
+            .field("target", target)
+            .field("lease", lease)
+            .field("error", error);
+        match conn.send(&failed) {
             Ok(()) => Flow::Continue,
             Err(_) => Flow::Reconnect,
         }

@@ -1,4 +1,4 @@
-//! Deterministic fault-injection harness for the multi-host campaign
+//! Deterministic fault-injection harness for the elastic-fleet campaign
 //! service.
 //!
 //! A [`FaultPlan`] is a seeded schedule of worker faults — kills,
@@ -6,17 +6,22 @@
 //! injected through the worker loop's test-only hook
 //! ([`Worker::with_fault_hook`]).  Each plan runs a coordinator plus a
 //! small worker fleet over loopback TCP and lets the scheduled faults
-//! fire: workers die mid-matrix, partitions drop replication connections,
-//! slow hosts stall between waves.  The harness then asserts the service's
-//! **one** externally visible contract: the final `result.cells` section
-//! is byte-identical to an in-process [`CampaignMatrix::run`] of the same
-//! spec, for *every* plan in the sweep.
+//! fire: workers die mid-unit, partitions drop replication connections,
+//! slow hosts stall between waves, the coordinator steals leases from
+//! stalled owners.  The harness then asserts the service's **one**
+//! externally visible contract: the final `result.cells` section is
+//! byte-identical to an in-process [`CampaignMatrix::run`] of the same
+//! spec, for *every* plan in the sweep.  Directed tests below cover the
+//! named races one by one: steal racing a kill, a stale owner double-
+//! driving a stolen lease, and a worker departing between its lease and
+//! its first checkpoint.
 //!
 //! Why this is sound to assert at all: unit seeds derive from
 //! `(matrix seed, target id, index)` alone, and the coordinator replicates
-//! a checkpoint after every wave, so any reassignment resumes the
-//! identical stream suffix from *some* replicated wave boundary — which
-//! produces identical verdicts no matter where the fault landed.
+//! a checkpoint after every wave, so any re-lease resumes the identical
+//! stream suffix from *some* replicated wave boundary — which produces
+//! identical verdicts no matter where the fault landed — and lease
+//! tokens fence every frame a deposed owner might still send.
 //!
 //! [`CampaignMatrix::run`]: revizor::orchestrator::CampaignMatrix
 
@@ -208,7 +213,7 @@ fn seeded_fault_plans_never_change_a_single_verdict_byte() {
 
     // A small fixed seed set so CI stays fast; grow it for deeper local
     // sweeps (every failure reproduces from its seed alone).
-    for plan_seed in [1u64, 2, 3, 4] {
+    for plan_seed in [1u64, 2, 3, 4, 5, 6, 7, 8] {
         let plan = FaultPlan::new(plan_seed);
         let served = serve_under_plan(&plan, &specs);
         for (job_idx, (served, baseline)) in served.iter().zip(&baselines).enumerate() {
@@ -236,6 +241,7 @@ fn silently_stalled_worker_times_out_and_the_job_moves_on() {
         listen: None,
         worker_listen: Some("127.0.0.1:0".to_string()),
         worker_timeout: Duration::from_millis(300),
+        ..ServiceConfig::default()
     })
     .expect("coordinator starts");
     let addr = handle.worker_addr().expect("worker port bound").to_string();
@@ -359,4 +365,184 @@ fn killed_worker_mid_matrix_is_reassigned_and_resumes_from_replicated_wave() {
     handle.shutdown();
     let _ = survivor.join();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawn one wave-recording worker; `hook_of(wave)` picks its fault.
+fn spawn_recording_worker(
+    addr: String,
+    name: &str,
+    waves: Arc<Mutex<Vec<usize>>>,
+    hook_of: impl Fn(usize) -> FaultAction + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    let mut config = WorkerConfig::new(addr);
+    config.name = name.to_string();
+    config.retry_for = Duration::from_secs(3);
+    std::thread::spawn(move || {
+        let hook = Box::new(move |_job: &str, wave: usize| {
+            waves.lock().unwrap().push(wave);
+            hook_of(wave)
+        });
+        let _ = Worker::new(config).with_fault_hook(hook).run();
+    })
+}
+
+/// Block until `waves` records `wave`, panicking after five seconds.
+fn await_wave(waves: &Arc<Mutex<Vec<usize>>>, wave: usize) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !waves.lock().unwrap().contains(&wave) {
+        assert!(Instant::now() < deadline, "worker never reached wave {wave}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A steal racing a kill: the unit's owner stalls far past the steal
+/// threshold, a thief steals the lease at the last replicated wave, and
+/// the deposed owner then dies outright mid-race.  The verdicts must not
+/// notice any of it.
+#[test]
+fn steal_racing_a_kill_keeps_verdicts_byte_identical() {
+    let spec = JobSpec::new(7).with_budget(40).add_cell(5, "CT-SEQ");
+    let baseline = matrix_cells_json(&spec.to_matrix().expect("spec resolves").run()).render();
+
+    let handle = ServiceHandle::start(ServiceConfig {
+        shards: 1,
+        spool: None,
+        checkpoint_every: 1,
+        listen: None,
+        worker_listen: Some("127.0.0.1:0".to_string()),
+        steal_after: Duration::from_millis(200),
+        ..ServiceConfig::default()
+    })
+    .expect("coordinator starts");
+    let addr = handle.worker_addr().expect("worker port bound").to_string();
+
+    // The victim stalls for 900ms at wave 1 (far past the 200ms steal
+    // threshold) and dies if it ever gets to compute another wave.
+    let victim_waves: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let victim =
+        spawn_recording_worker(addr.clone(), "victim", Arc::clone(&victim_waves), |wave| {
+            match wave {
+                1 => FaultAction::Delay(Duration::from_millis(900)),
+                2.. => FaultAction::Die,
+                _ => FaultAction::Continue,
+            }
+        });
+    let job = handle.submit(spec).expect("job accepted");
+    // Only once the victim owns the unit and is stalling may the thief
+    // join — otherwise it would simply lease the unit first.
+    await_wave(&victim_waves, 1);
+    let thief_waves: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let thief = spawn_recording_worker(addr, "thief", Arc::clone(&thief_waves), |_| {
+        FaultAction::Continue
+    });
+
+    let result = handle.wait(&job).expect("job completes despite the mid-steal kill");
+    assert_eq!(
+        result.get("cells").expect("result has cells").render(),
+        baseline,
+        "a steal racing a kill must not change a single verdict byte"
+    );
+    let first = *thief_waves.lock().unwrap().first().expect("the thief ran the unit");
+    assert!(first >= 1, "the thief must resume from a replicated wave, not from scratch");
+    handle.shutdown();
+    let _ = (victim.join(), thief.join());
+}
+
+/// A double-lease attempt: the deposed owner *survives* its stall and
+/// keeps driving the stolen unit with its stale lease.  Every frame it
+/// sends is fenced by the lease token (the coordinator answers `revoked`),
+/// the thief's run alone decides the verdicts, and the job finishes once.
+#[test]
+fn stale_owner_double_driving_a_stolen_lease_is_fenced() {
+    let spec = JobSpec::new(13).with_budget(40).add_cell(5, "CT-SEQ");
+    let baseline = matrix_cells_json(&spec.to_matrix().expect("spec resolves").run()).render();
+
+    let handle = ServiceHandle::start(ServiceConfig {
+        shards: 1,
+        spool: None,
+        checkpoint_every: 1,
+        listen: None,
+        worker_listen: Some("127.0.0.1:0".to_string()),
+        steal_after: Duration::from_millis(200),
+        ..ServiceConfig::default()
+    })
+    .expect("coordinator starts");
+    let addr = handle.worker_addr().expect("worker port bound").to_string();
+
+    // The deposed owner never dies: after its stall it races the thief,
+    // attempting to keep computing and shipping waves under its old lease.
+    let owner_waves: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let owner = spawn_recording_worker(addr.clone(), "owner", Arc::clone(&owner_waves), |wave| {
+        if wave == 1 {
+            FaultAction::Delay(Duration::from_millis(900))
+        } else {
+            FaultAction::Continue
+        }
+    });
+    let job = handle.submit(spec).expect("job accepted");
+    await_wave(&owner_waves, 1);
+    let thief_waves: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let thief = spawn_recording_worker(addr, "thief", Arc::clone(&thief_waves), |_| {
+        FaultAction::Continue
+    });
+
+    let result = handle.wait(&job).expect("job completes exactly once");
+    assert_eq!(
+        result.get("cells").expect("result has cells").render(),
+        baseline,
+        "a fenced double-lease must not change a single verdict byte"
+    );
+    let first = *thief_waves.lock().unwrap().first().expect("the thief ran the unit");
+    assert!(first >= 1, "the thief must resume from a replicated wave, not from scratch");
+    handle.shutdown();
+    let _ = (owner.join(), thief.join());
+}
+
+/// A worker that departs between taking a lease and shipping its first
+/// checkpoint: nothing was replicated, so the unit simply requeues with
+/// no progress and the next worker runs it from scratch.
+#[test]
+fn departure_between_lease_and_first_checkpoint_requeues_from_scratch() {
+    let spec = JobSpec::new(11).with_budget(30).add_cell(5, "CT-SEQ");
+    let baseline = matrix_cells_json(&spec.to_matrix().expect("spec resolves").run()).render();
+
+    let handle = ServiceHandle::start(ServiceConfig {
+        shards: 1,
+        spool: None,
+        checkpoint_every: 1,
+        listen: None,
+        worker_listen: Some("127.0.0.1:0".to_string()),
+        ..ServiceConfig::default()
+    })
+    .expect("coordinator starts");
+    let addr = handle.worker_addr().expect("worker port bound").to_string();
+
+    // The victim dies before computing wave 0 — it leased the unit but
+    // never shipped a single checkpoint.
+    let victim_waves: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let victim =
+        spawn_recording_worker(addr.clone(), "victim", Arc::clone(&victim_waves), |_| {
+            FaultAction::Die
+        });
+    let job = handle.submit(spec).expect("job accepted");
+    victim.join().expect("victim thread ends (Die)");
+    assert_eq!(*victim_waves.lock().unwrap(), vec![0], "the victim died holding a fresh lease");
+
+    let survivor_waves: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let survivor = spawn_recording_worker(addr, "survivor", Arc::clone(&survivor_waves), |_| {
+        FaultAction::Continue
+    });
+    let result = handle.wait(&job).expect("requeued job completes");
+    assert_eq!(
+        result.get("cells").expect("result has cells").render(),
+        baseline,
+        "a checkpoint-less departure must not change a single verdict byte"
+    );
+    assert_eq!(
+        survivor_waves.lock().unwrap().first(),
+        Some(&0),
+        "with nothing replicated, the survivor must start from scratch"
+    );
+    handle.shutdown();
+    let _ = survivor.join();
 }

@@ -7,7 +7,7 @@ use rvz_bench::json::Json;
 use rvz_bench::report::matrix_cells_json;
 use rvz_service::{
     deterministic_result, Client, JobPhase, JobSpec, ServiceConfig, ServiceHandle, Spool,
-    WatchError, Worker, WorkerConfig,
+    SubmitError, WatchError, Worker, WorkerConfig,
 };
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -604,4 +604,65 @@ fn protocol_errors_are_reported_not_fatal() {
     assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
 
     handle.shutdown();
+}
+
+#[test]
+fn backpressured_submits_retry_and_status_reports_unit_placement() {
+    // Fleet mode with a one-unit watermark and no workers: the first job
+    // parks two units in the queue, so the next submission must defer.
+    let handle = ServiceHandle::start(ServiceConfig {
+        shards: 1,
+        spool: None,
+        checkpoint_every: 1,
+        listen: Some("127.0.0.1:0".to_string()),
+        worker_listen: Some("127.0.0.1:0".to_string()),
+        queue_watermark: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("coordinator starts");
+    let addr = handle.local_addr().expect("TCP front-end attached");
+    let fleet = handle.worker_addr().expect("fleet port bound").to_string();
+
+    let spec = JobSpec::new(7).with_budget(40).add_cell(1, "CT-SEQ").add_cell(5, "CT-SEQ");
+    let mut client = Client::connect(addr).expect("client connects");
+    let job = client.try_submit(&spec).expect("an empty queue accepts");
+    match client.try_submit(&spec) {
+        Err(SubmitError::Backpressure { retry_after }) => {
+            assert!(retry_after >= Duration::from_millis(250), "hint is a usable wait");
+        }
+        other => panic!("expected a backpressure rejection, got {other:?}"),
+    }
+
+    // A worker registering at runtime drains both units...
+    let worker = {
+        let mut config = WorkerConfig::new(fleet);
+        config.name = "drain".to_string();
+        config.retry_for = Duration::from_secs(3);
+        std::thread::spawn(move || {
+            let _ = Worker::new(config).run();
+        })
+    };
+    let result = handle.wait(&job).expect("job completes once a worker joins");
+    let baseline = spec.to_matrix().expect("spec resolves").run();
+    assert_eq!(
+        result.get("cells").expect("result has cells").render(),
+        matrix_cells_json(&baseline).render(),
+    );
+
+    // ...status reports where each relocatable unit ended up...
+    let status = client.status(&job).expect("status");
+    let units = status.get("units").and_then(Json::as_array).expect("status lists units");
+    let mut targets: Vec<u64> =
+        units.iter().filter_map(|u| u.get("target").and_then(Json::as_u64)).collect();
+    targets.sort_unstable();
+    assert_eq!(targets, vec![1, 5], "one relocatable unit per target group");
+    assert!(
+        units.iter().all(|u| u.get("state").and_then(Json::as_str) == Some("done")),
+        "both units ran to completion"
+    );
+
+    // ...and the drained queue reopens submissions without any reset.
+    client.try_submit(&spec).expect("a drained queue accepts again");
+    handle.shutdown();
+    let _ = worker.join();
 }
