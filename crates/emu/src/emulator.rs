@@ -1,10 +1,12 @@
 //! Instruction-level architectural emulation.
 
 use crate::fault::Fault;
+use crate::sink::TraceSink;
 use crate::state::ArchState;
+use rvz_isa::reg::FlagSet;
 use rvz_isa::{
-    AluOp, Cond, Flag, Input, Instr, MemOperand, Operand, Reg, SandboxLayout, ShiftOp, UnaryOp,
-    Width,
+    AluOp, Cond, DecodedOp, DstOp, Flag, Input, Instr, MemOperand, Operand, Reg, SandboxLayout,
+    ShiftOp, SrcOp, UnaryOp, Width,
 };
 use serde::{Deserialize, Serialize};
 
@@ -40,25 +42,46 @@ pub struct InstrEffects {
     pub mem_events: Vec<MemEvent>,
 }
 
+/// A delta checkpoint taken by [`Emulator::begin_speculation`].
+///
+/// Registers and flags are snapshot eagerly (128 bytes + 1); memory is
+/// rolled back lazily through the write journal, so restore cost is
+/// proportional to what the speculative window actually wrote instead of
+/// the whole sandbox.
+#[derive(Debug, Clone)]
+pub struct SpecCheckpoint {
+    regs: [u64; 16],
+    flags: FlagSet,
+    journal_mark: usize,
+}
+
 /// The architectural emulator: executes instructions against an
 /// [`ArchState`].
 ///
-/// Checkpoints are plain clones of the state; the contract model keeps a
-/// stack of them to support nested speculation (§5.4).
+/// Two checkpoint mechanisms exist: [`Emulator::checkpoint`] clones the whole
+/// state (used by the reference walks), and
+/// [`Emulator::begin_speculation`]/[`Emulator::rollback`] take delta
+/// checkpoints whose restore cost is proportional to the speculative
+/// footprint (used by the decoded fast paths, §5.4).
 #[derive(Debug, Clone)]
 pub struct Emulator {
     state: ArchState,
+    /// Undo log of speculative memory writes: `(addr, width, old value)`.
+    journal: Vec<(u64, Width, u64)>,
+    /// Nesting depth of open speculative windows; journaling is active only
+    /// while this is non-zero, so non-speculative execution pays nothing.
+    spec_depth: u32,
 }
 
 impl Emulator {
     /// Create an emulator with the initial state for `input`.
     pub fn new(sandbox: SandboxLayout, input: &Input) -> Emulator {
-        Emulator { state: ArchState::from_input(sandbox, input) }
+        Emulator { state: ArchState::from_input(sandbox, input), journal: Vec::new(), spec_depth: 0 }
     }
 
     /// Create an emulator from an existing state (e.g. a checkpoint).
     pub fn from_state(state: ArchState) -> Emulator {
-        Emulator { state }
+        Emulator { state, journal: Vec::new(), spec_depth: 0 }
     }
 
     /// Current architectural state.
@@ -76,9 +99,59 @@ impl Emulator {
         self.state.clone()
     }
 
+    /// Consume the emulator, yielding the architectural state without the
+    /// clone a [`Emulator::checkpoint`] would pay.
+    pub fn into_state(self) -> ArchState {
+        self.state
+    }
+
     /// Restore a previously taken checkpoint.
     pub fn restore(&mut self, checkpoint: ArchState) {
         self.state = checkpoint;
+    }
+
+    /// Open a speculative window: snapshot registers and flags, mark the
+    /// write journal.  Must be balanced by [`Emulator::rollback`].  Windows
+    /// nest.
+    pub fn begin_speculation(&mut self) -> SpecCheckpoint {
+        self.spec_depth += 1;
+        SpecCheckpoint {
+            regs: self.state.regs_snapshot(),
+            flags: self.state.flags(),
+            journal_mark: self.journal.len(),
+        }
+    }
+
+    /// Close a speculative window: undo every journaled memory write past
+    /// the checkpoint's mark (newest first, so overlapping writes unwind
+    /// correctly), then restore registers and flags.
+    pub fn rollback(&mut self, cp: SpecCheckpoint) {
+        while self.journal.len() > cp.journal_mark {
+            let (addr, width, old) = self.journal.pop().expect("journal entry past mark");
+            self.state.write_mem(addr, width, old).expect("journaled address stays in sandbox");
+        }
+        self.state.restore_regs(cp.regs);
+        self.state.set_flags(cp.flags);
+        self.spec_depth -= 1;
+    }
+
+    /// Write memory, journaling the old value while a speculative window is
+    /// open so [`Emulator::rollback`] can undo it.
+    ///
+    /// # Errors
+    /// Returns [`Fault::OutOfSandbox`] if the access leaves the sandbox; no
+    /// journal entry is recorded for a faulting write.
+    pub fn write_mem(&mut self, addr: u64, width: Width, value: u64) -> Result<(), Fault> {
+        if self.spec_depth > 0 {
+            // The read performs the same range check as the write, so a
+            // faulting access is rejected before any state changes.
+            let old = self.state.read_mem(addr, width)?;
+            self.state.write_mem(addr, width, value)?;
+            self.journal.push((addr, width, old));
+            Ok(())
+        } else {
+            self.state.write_mem(addr, width, value)
+        }
     }
 
     /// Compute the effective address of a memory operand.
@@ -384,6 +457,287 @@ impl Emulator {
         Ok(effects)
     }
 
+    /// Read a decoded source operand at the given use width, reporting the
+    /// memory event to the sink.
+    #[inline]
+    fn read_src<S: TraceSink>(
+        &mut self,
+        op: &SrcOp,
+        width: Width,
+        sink: &mut S,
+    ) -> Result<u64, Fault> {
+        match op {
+            SrcOp::Reg(r, w) => Ok(width.truncate(self.state.reg_w(*r, *w))),
+            SrcOp::Imm(v) => Ok(width.truncate(*v)),
+            SrcOp::Mem(m, w) => {
+                let addr = self.effective_addr(m);
+                let value = self.state.read_mem(addr, *w)?;
+                sink.mem_event(MemEvent { addr, width: *w, kind: MemEventKind::Read, value });
+                Ok(width.truncate(value))
+            }
+        }
+    }
+
+    /// Read a decoded destination operand (for read-modify-write ops).
+    #[inline]
+    fn read_dst<S: TraceSink>(
+        &mut self,
+        op: &DstOp,
+        width: Width,
+        sink: &mut S,
+    ) -> Result<u64, Fault> {
+        match op {
+            DstOp::Reg(r, w) => Ok(width.truncate(self.state.reg_w(*r, *w))),
+            DstOp::Mem(m, w) => {
+                let addr = self.effective_addr(m);
+                let value = self.state.read_mem(addr, *w)?;
+                sink.mem_event(MemEvent { addr, width: *w, kind: MemEventKind::Read, value });
+                Ok(width.truncate(value))
+            }
+        }
+    }
+
+    /// Write a decoded destination operand, reporting the memory event.
+    #[inline]
+    fn write_dst<S: TraceSink>(
+        &mut self,
+        op: &DstOp,
+        value: u64,
+        sink: &mut S,
+    ) -> Result<(), Fault> {
+        match op {
+            DstOp::Reg(r, w) => {
+                self.state.set_reg_w(*r, *w, value);
+                Ok(())
+            }
+            DstOp::Mem(m, w) => {
+                let addr = self.effective_addr(m);
+                let value = w.truncate(value);
+                self.write_mem(addr, *w, value)?;
+                sink.mem_event(MemEvent { addr, width: *w, kind: MemEventKind::Write, value });
+                Ok(())
+            }
+        }
+    }
+
+    fn exec_alu_decoded<S: TraceSink>(
+        &mut self,
+        op: AluOp,
+        width: Width,
+        dest: &DstOp,
+        src: &SrcOp,
+        sink: &mut S,
+    ) -> Result<(), Fault> {
+        let a = self.read_dst(dest, width, sink)?;
+        let b = self.read_src(src, width, sink)?;
+        let carry_in = if op.reads_carry() && self.state.flag(Flag::Cf) { 1u64 } else { 0 };
+        let mask = width.mask();
+        let sign = width.sign_bit();
+        let (result, cf, of) = match op {
+            AluOp::Add | AluOp::Adc => {
+                let full = (a as u128) + (b as u128) + (carry_in as u128);
+                let r = (full as u64) & mask;
+                let cf = full > mask as u128;
+                let of = ((a ^ r) & (b ^ r) & sign) != 0;
+                (r, cf, of)
+            }
+            AluOp::Sub | AluOp::Sbb => {
+                let rhs = (b as u128) + (carry_in as u128);
+                let cf = (a as u128) < rhs;
+                let r = (a.wrapping_sub(b).wrapping_sub(carry_in)) & mask;
+                let of = ((a ^ b) & (a ^ r) & sign) != 0;
+                (r, cf, of)
+            }
+            AluOp::And => ((a & b) & mask, false, false),
+            AluOp::Or => ((a | b) & mask, false, false),
+            AluOp::Xor => ((a ^ b) & mask, false, false),
+        };
+        self.write_dst(dest, result, sink)?;
+        self.set_result_flags(result, width);
+        self.state.set_flag(Flag::Cf, cf);
+        self.state.set_flag(Flag::Of, of);
+        Ok(())
+    }
+
+    fn exec_shift_decoded<S: TraceSink>(
+        &mut self,
+        op: ShiftOp,
+        width: Width,
+        dest: &DstOp,
+        amount: &SrcOp,
+        sink: &mut S,
+    ) -> Result<(), Fault> {
+        let a = self.read_dst(dest, width, sink)?;
+        let amt_raw = self.read_src(amount, Width::Byte, sink)?;
+        let bits = width.bits() as u64;
+        let amt = amt_raw % bits.max(1);
+        let mask = width.mask();
+        let (result, cf) = if amt == 0 {
+            (a, self.state.flag(Flag::Cf))
+        } else {
+            match op {
+                ShiftOp::Shl => {
+                    let r = (a << amt) & mask;
+                    let cf = (a >> (bits - amt)) & 1 == 1;
+                    (r, cf)
+                }
+                ShiftOp::Shr => {
+                    let r = (a & mask) >> amt;
+                    let cf = (a >> (amt - 1)) & 1 == 1;
+                    (r, cf)
+                }
+                ShiftOp::Sar => {
+                    let signed = ((a & mask) as i64) << (64 - bits) >> (64 - bits);
+                    let r = ((signed >> amt) as u64) & mask;
+                    let cf = (a >> (amt - 1)) & 1 == 1;
+                    (r, cf)
+                }
+                ShiftOp::Rol => {
+                    let r = ((a << amt) | ((a & mask) >> (bits - amt))) & mask;
+                    (r, r & 1 == 1)
+                }
+                ShiftOp::Ror => {
+                    let r = (((a & mask) >> amt) | (a << (bits - amt))) & mask;
+                    (r, r & width.sign_bit() != 0)
+                }
+            }
+        };
+        self.write_dst(dest, result, sink)?;
+        if amt != 0 {
+            self.set_result_flags(result, width);
+            self.state.set_flag(Flag::Cf, cf);
+            self.state.set_flag(Flag::Of, false);
+        }
+        Ok(())
+    }
+
+    /// Execute a single decoded instruction, reporting memory events to the
+    /// sink.
+    ///
+    /// Observably byte-identical to [`Emulator::exec_instr`] on the
+    /// corresponding AST instruction (enforced by the differential property
+    /// tests), but with operand widths pre-resolved and no per-instruction
+    /// heap allocation.  Memory writes are journaled while a speculative
+    /// window is open.
+    ///
+    /// # Errors
+    /// Returns a [`Fault`] exactly as [`Emulator::exec_instr`] would; events
+    /// already reported to the sink before the fault must be discarded by
+    /// the caller (clear the buffer per instruction, consume on success).
+    pub fn exec_decoded<S: TraceSink>(
+        &mut self,
+        op: &DecodedOp,
+        sink: &mut S,
+    ) -> Result<(), Fault> {
+        match op {
+            DecodedOp::Alu { op, width, dest, src } => {
+                self.exec_alu_decoded(*op, *width, dest, src, sink)?
+            }
+            DecodedOp::Mov { width, dest, src } => {
+                let v = self.read_src(src, *width, sink)?;
+                self.write_dst(dest, v, sink)?;
+            }
+            DecodedOp::Cmov { cond, dest, width, src } => {
+                // x86 CMOV always performs the source read (and can fault on
+                // it) even when the condition is false.
+                let v = self.read_src(src, *width, sink)?;
+                if self.eval_cond(*cond) {
+                    self.state.set_reg_w(*dest, *width, v);
+                }
+            }
+            DecodedOp::Setcc { cond, dest } => {
+                let v = if self.eval_cond(*cond) { 1 } else { 0 };
+                self.state.set_reg_w(*dest, Width::Byte, v);
+            }
+            DecodedOp::Cmp { width, a, b } => {
+                let x = self.read_src(a, *width, sink)?;
+                let y = self.read_src(b, *width, sink)?;
+                let mask = width.mask();
+                let sign = width.sign_bit();
+                let r = x.wrapping_sub(y) & mask;
+                self.set_result_flags(r, *width);
+                self.state.set_flag(Flag::Cf, x < y);
+                self.state.set_flag(Flag::Of, ((x ^ y) & (x ^ r) & sign) != 0);
+            }
+            DecodedOp::Test { width, a, b } => {
+                let x = self.read_src(a, *width, sink)?;
+                let y = self.read_src(b, *width, sink)?;
+                let r = (x & y) & width.mask();
+                self.set_result_flags(r, *width);
+                self.state.set_flag(Flag::Cf, false);
+                self.state.set_flag(Flag::Of, false);
+            }
+            DecodedOp::Shift { op, width, dest, amount } => {
+                self.exec_shift_decoded(*op, *width, dest, amount, sink)?
+            }
+            DecodedOp::Unary { op, width, dest } => {
+                let a = self.read_dst(dest, *width, sink)?;
+                let mask = width.mask();
+                let result = match op {
+                    UnaryOp::Not => !a & mask,
+                    UnaryOp::Neg => a.wrapping_neg() & mask,
+                    UnaryOp::Inc => a.wrapping_add(1) & mask,
+                    UnaryOp::Dec => a.wrapping_sub(1) & mask,
+                };
+                self.write_dst(dest, result, sink)?;
+                if op.writes_flags() {
+                    self.set_result_flags(result, *width);
+                    match op {
+                        UnaryOp::Neg => self.state.set_flag(Flag::Cf, a != 0),
+                        UnaryOp::Inc | UnaryOp::Dec => self.state.set_flag(
+                            Flag::Of,
+                            result & width.sign_bit() != a & width.sign_bit(),
+                        ),
+                        UnaryOp::Not => {}
+                    }
+                }
+            }
+            DecodedOp::Div { width, src } => {
+                let divisor = self.read_src(src, *width, sink)?;
+                if divisor == 0 {
+                    return Err(Fault::DivideError);
+                }
+                let dividend = ((self.state.reg_w(Reg::Rdx, *width) as u128) << width.bits())
+                    | self.state.reg_w(Reg::Rax, *width) as u128;
+                let q = dividend / divisor as u128;
+                let rem = dividend % divisor as u128;
+                if q > width.mask() as u128 {
+                    return Err(Fault::DivideError);
+                }
+                self.state.set_reg_w(Reg::Rax, *width, q as u64);
+                self.state.set_reg_w(Reg::Rdx, *width, rem as u64);
+            }
+            DecodedOp::Imul { dest, src } => {
+                let width = Width::Qword;
+                let a = self.state.reg(*dest) as i64;
+                let b = self.read_src(src, width, sink)? as i64;
+                let full = (a as i128) * (b as i128);
+                let r = full as i64 as u64;
+                self.state.set_reg(*dest, r);
+                let overflow = full != (r as i64) as i128;
+                self.set_result_flags(r, width);
+                self.state.set_flag(Flag::Cf, overflow);
+                self.state.set_flag(Flag::Of, overflow);
+            }
+            DecodedOp::Lea { dest, addr } => {
+                let a = self.effective_addr(addr);
+                self.state.set_reg(*dest, a);
+            }
+            DecodedOp::Bswap { dest } => {
+                let v = self.state.reg(*dest);
+                self.state.set_reg(*dest, v.swap_bytes());
+            }
+            DecodedOp::Xchg { dest, width, src } => {
+                let a = self.state.reg_w(*dest, *width);
+                let b = self.read_dst(src, *width, sink)?;
+                self.state.set_reg_w(*dest, *width, b);
+                self.write_dst(src, a, sink)?;
+            }
+            DecodedOp::Fence | DecodedOp::Nop => {}
+        }
+        Ok(())
+    }
+
     /// Push a return value for `CALL` onto the in-sandbox stack.
     ///
     /// # Errors
@@ -394,7 +748,7 @@ impl Emulator {
             return Err(Fault::StackFault { rsp });
         }
         self.state.set_reg(Reg::Rsp, rsp);
-        self.state.write_mem(rsp, Width::Qword, value)?;
+        self.write_mem(rsp, Width::Qword, value)?;
         Ok(MemEvent { addr: rsp, width: Width::Qword, kind: MemEventKind::Write, value })
     }
 
@@ -720,6 +1074,115 @@ mod tests {
             }
         }
         assert!(matches!(result, Err(Fault::StackFault { .. })));
+    }
+
+    #[test]
+    fn delta_checkpoint_rolls_back_memory_and_registers() {
+        let mut e = emu_with(|i| i.write_mem_u64(0, 0x11));
+        let base = e.state().sandbox().base;
+        let before = e.state().clone();
+        let cp = e.begin_speculation();
+        e.write_mem(base, Width::Qword, 0xdead).unwrap();
+        e.write_mem(base + 4, Width::Byte, 0xff).unwrap();
+        e.state_mut().set_reg(Reg::Rax, 99);
+        e.state_mut().set_flag(Flag::Cf, true);
+        assert_ne!(e.state().digest(), before.digest());
+        e.rollback(cp);
+        assert_eq!(e.state(), &before);
+    }
+
+    #[test]
+    fn delta_checkpoints_nest() {
+        let mut e = emu();
+        let base = e.state().sandbox().base;
+        let d0 = e.state().digest();
+        let outer = e.begin_speculation();
+        e.write_mem(base, Width::Qword, 1).unwrap();
+        let mid = e.state().clone();
+        let inner = e.begin_speculation();
+        // Overlapping write inside the nested window.
+        e.write_mem(base + 4, Width::Qword, 2).unwrap();
+        e.push_ret(7).unwrap();
+        e.rollback(inner);
+        assert_eq!(e.state(), &mid, "inner rollback keeps outer writes");
+        e.rollback(outer);
+        assert_eq!(e.state().digest(), d0);
+    }
+
+    #[test]
+    fn non_speculative_writes_are_not_journaled() {
+        let mut e = emu();
+        let base = e.state().sandbox().base;
+        e.write_mem(base, Width::Qword, 5).unwrap();
+        let cp = e.begin_speculation();
+        e.rollback(cp);
+        assert_eq!(e.state().read_mem(base, Width::Qword).unwrap(), 5);
+    }
+
+    #[test]
+    fn speculative_faulting_write_leaves_no_journal_entry() {
+        let mut e = emu();
+        let cp = e.begin_speculation();
+        assert!(e.write_mem(0x10, Width::Qword, 1).is_err());
+        e.rollback(cp);
+    }
+
+    #[test]
+    fn exec_decoded_matches_exec_instr_per_instruction() {
+        use crate::sink::EventBuf;
+        use rvz_isa::{BasicBlock, BlockId, DecodedProgram, TestCase};
+
+        let instrs = vec![
+            Instr::Alu {
+                op: AluOp::Sub,
+                dest: Operand::mem_w(MemOperand::base(Reg::R14), Width::Byte),
+                src: Operand::imm(3),
+                lock: true,
+            },
+            Instr::Mov {
+                dest: Operand::reg(Reg::Rbx),
+                src: Operand::mem(MemOperand::base_disp(Reg::R14, 64)),
+            },
+            Instr::Shift {
+                op: ShiftOp::Rol,
+                dest: Operand::reg_w(Reg::Rax, Width::Word),
+                amount: Operand::imm(3),
+            },
+            Instr::Div { src: Operand::reg(Reg::Rcx) },
+            Instr::Xchg {
+                dest: Reg::Rdx,
+                src: Operand::mem_w(MemOperand::base_disp(Reg::R14, 8), Width::Dword),
+            },
+            Instr::Imul { dest: Reg::Rbx, src: Operand::imm(-3) },
+            Instr::Setcc { cond: Cond::Be, dest: Reg::Rsi },
+            Instr::Unary { op: UnaryOp::Neg, dest: Operand::reg(Reg::Rdi) },
+            Instr::Lfence,
+        ];
+        let mut block = BasicBlock::new(BlockId(0));
+        block.instrs = instrs.clone();
+        let tc = TestCase::new(vec![block], SandboxLayout::one_page());
+        let prog = DecodedProgram::decode(&tc).unwrap();
+
+        let mk = || {
+            emu_with(|i| {
+                i.set_reg(Reg::Rax, 0x1234_5678_9abc_def0);
+                i.set_reg(Reg::Rcx, 7);
+                i.set_reg(Reg::Rdx, 0);
+                i.set_reg(Reg::Rdi, 5);
+                i.write_mem_u64(0, 0x42);
+                i.write_mem_u64(64, 0x55);
+            })
+        };
+        let mut reference = mk();
+        let mut decoded = mk();
+        let mut buf = EventBuf::new();
+        for (i, instr) in instrs.iter().enumerate() {
+            let fx = reference.exec_instr(instr).unwrap();
+            buf.clear();
+            decoded.exec_decoded(&prog.body(BlockId(0))[i].op, &mut buf).unwrap();
+            assert_eq!(buf.events(), &fx.mem_events[..], "events differ at instr {i}");
+            assert_eq!(decoded.state(), reference.state(), "state differs after instr {i}");
+        }
     }
 
     #[test]

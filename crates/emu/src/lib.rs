@@ -39,9 +39,11 @@
 pub mod emulator;
 pub mod fault;
 pub mod runner;
+pub mod sink;
 pub mod state;
 
-pub use emulator::{Emulator, InstrEffects, MemEvent, MemEventKind};
+pub use emulator::{Emulator, InstrEffects, MemEvent, MemEventKind, SpecCheckpoint};
 pub use fault::Fault;
 pub use runner::{ExecStep, ExecTrace, Runner};
+pub use sink::{EventBuf, NoTrace, TraceSink};
 pub use state::ArchState;

@@ -2,8 +2,9 @@
 
 use crate::emulator::{Emulator, MemEvent};
 use crate::fault::Fault;
+use crate::sink::{EventBuf, NoTrace};
 use crate::state::ArchState;
-use rvz_isa::{BlockId, Input, Terminator, TestCase};
+use rvz_isa::{BlockId, DecodedProgram, DecodedTerm, Input, Terminator, TestCase};
 
 /// One executed program point.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,12 +110,163 @@ impl<'a> Runner<'a> {
         Ok(next)
     }
 
+    /// Resolve the next block after a decoded terminator executes
+    /// architecturally.
+    ///
+    /// Returns `Ok(None)` when the test case exits.  Semantics are identical
+    /// to [`Runner::next_block`]; decode already validated the targets and
+    /// rejected empty jump tables.
+    ///
+    /// # Errors
+    /// Propagates stack faults from `CALL`/`RET`.
+    pub fn next_block_decoded(
+        emu: &mut Emulator,
+        prog: &DecodedProgram,
+        current: BlockId,
+        events: &mut Vec<MemEvent>,
+    ) -> Result<Option<BlockId>, Fault> {
+        let next = match &prog.terminator(current).term {
+            DecodedTerm::Exit => None,
+            DecodedTerm::Jmp { target } => Some(*target),
+            DecodedTerm::CondJmp { cond, taken, not_taken } => {
+                if emu.eval_cond(*cond) {
+                    Some(*taken)
+                } else {
+                    Some(*not_taken)
+                }
+            }
+            DecodedTerm::IndirectJmp { src, table } => {
+                let v = emu.state().reg(*src) as usize;
+                Some(table[v % table.len()])
+            }
+            DecodedTerm::Call { target, return_to } => {
+                let ev = emu.push_ret(return_to.index() as u64)?;
+                events.push(ev);
+                Some(*target)
+            }
+            DecodedTerm::Ret => {
+                let (v, ev) = emu.pop_ret()?;
+                events.push(ev);
+                let n = prog.num_blocks() as u64;
+                Some(BlockId((v % n) as usize))
+            }
+        };
+        Ok(next)
+    }
+
+    /// Execute a pre-decoded program with the given input.
+    ///
+    /// # Errors
+    /// Propagates any architectural [`Fault`].
+    pub fn run_decoded(
+        prog: &DecodedProgram,
+        input: &Input,
+        max_steps: usize,
+    ) -> Result<ExecTrace, Fault> {
+        let mut emu = Emulator::new(prog.sandbox(), input);
+        let mut steps = Vec::new();
+        let mut block_order = Vec::new();
+        let mut current = Some(BlockId::ENTRY);
+        let mut executed = 0usize;
+        let mut buf = EventBuf::new();
+        while let Some(bid) = current {
+            block_order.push(bid);
+            for d in prog.body(bid) {
+                if executed >= max_steps {
+                    return Err(Fault::StepLimitExceeded);
+                }
+                buf.clear();
+                emu.exec_decoded(&d.op, &mut buf)?;
+                steps.push(ExecStep {
+                    block: bid,
+                    index: Some(d.index as usize),
+                    events: buf.events().to_vec(),
+                });
+                executed += 1;
+            }
+            if executed >= max_steps {
+                return Err(Fault::StepLimitExceeded);
+            }
+            let mut events = Vec::new();
+            let next = Self::next_block_decoded(&mut emu, prog, bid, &mut events)?;
+            steps.push(ExecStep { block: bid, index: None, events });
+            executed += 1;
+            current = next;
+        }
+        Ok(ExecTrace { steps, final_state: emu.into_state(), block_order })
+    }
+
+    /// Execute a pre-decoded program and return only the final architectural
+    /// state: the zero-cost-tracer configuration of the step loop.
+    ///
+    /// The emulator's step function is generic over [`TraceSink`]
+    /// (monomorphized, no dynamic dispatch), so with [`NoTrace`] every piece
+    /// of memory-event bookkeeping compiles away and no per-step trace is
+    /// built.  This is the right entry point for callers that only need the
+    /// fault outcome or the final state — e.g. the generator's
+    /// "instrumented programs never fault" check — where
+    /// [`Runner::run_decoded`]'s `ExecTrace` would be allocated only to be
+    /// dropped.
+    ///
+    /// [`NoTrace`]: crate::NoTrace
+    /// [`TraceSink`]: crate::TraceSink
+    ///
+    /// # Errors
+    /// Propagates any architectural [`Fault`].
+    pub fn run_final_decoded(
+        prog: &DecodedProgram,
+        input: &Input,
+        max_steps: usize,
+    ) -> Result<ArchState, Fault> {
+        let mut emu = Emulator::new(prog.sandbox(), input);
+        let mut sink = NoTrace;
+        let mut current = Some(BlockId::ENTRY);
+        let mut executed = 0usize;
+        // Terminator events (CALL/RET stack traffic) are discarded; the
+        // buffer is hoisted so at most one allocation happens per run.
+        let mut events = Vec::new();
+        while let Some(bid) = current {
+            for d in prog.body(bid) {
+                if executed >= max_steps {
+                    return Err(Fault::StepLimitExceeded);
+                }
+                emu.exec_decoded(&d.op, &mut sink)?;
+                executed += 1;
+            }
+            if executed >= max_steps {
+                return Err(Fault::StepLimitExceeded);
+            }
+            events.clear();
+            current = Self::next_block_decoded(&mut emu, prog, bid, &mut events)?;
+            executed += 1;
+        }
+        Ok(emu.into_state())
+    }
+
     /// Execute the test case with the given input.
+    ///
+    /// Decodes the test case once, then steps the decoded form.  Callers
+    /// that execute the same test case with many inputs should decode once
+    /// themselves and use [`Runner::run_decoded`].
     ///
     /// # Errors
     /// Propagates any architectural [`Fault`]; well-formed generated test
     /// cases never fault thanks to the generator's instrumentation.
+    ///
+    /// # Panics
+    /// Panics if the test case fails decode-time validation.
     pub fn run(&self, input: &Input) -> Result<ExecTrace, Fault> {
+        let prog = DecodedProgram::decode(self.tc)
+            .unwrap_or_else(|e| panic!("malformed test case: {e}"));
+        Self::run_decoded(&prog, input, self.max_steps)
+    }
+
+    /// Execute the test case by walking the instruction AST per step (the
+    /// pre-decode reference path, kept for the differential tests).
+    ///
+    /// # Errors
+    /// Propagates any architectural [`Fault`].
+    pub fn run_reference(&self, input: &Input) -> Result<ExecTrace, Fault> {
         let mut emu = Emulator::new(self.tc.sandbox(), input);
         let mut steps = Vec::new();
         let mut block_order = Vec::new();
@@ -140,7 +292,7 @@ impl<'a> Runner<'a> {
             executed += 1;
             current = next;
         }
-        Ok(ExecTrace { steps, final_state: emu.checkpoint(), block_order })
+        Ok(ExecTrace { steps, final_state: emu.into_state(), block_order })
     }
 }
 
@@ -268,6 +420,93 @@ mod tests {
             })
             .build();
         let r = Runner::new(&tc).with_max_steps(5).run(&input_for(&tc));
+        assert_eq!(r.unwrap_err(), Fault::StepLimitExceeded);
+    }
+
+    #[test]
+    fn decoded_walk_matches_reference_walk() {
+        let tcs = vec![
+            TestCaseBuilder::new()
+                .block("entry", |b| b.call("callee", "after"))
+                .block("callee", |b| {
+                    b.mov_imm(Reg::Rax, 42);
+                    b.ret();
+                })
+                .block("after", |b| {
+                    b.add_imm(Reg::Rax, 1);
+                    b.exit();
+                })
+                .build(),
+            TestCaseBuilder::new()
+                .sandbox(SandboxLayout::two_pages())
+                .block("entry", |b| {
+                    b.and_imm(Reg::Rax, 0b111111000000);
+                    b.load(Reg::Rbx, Reg::R14, Reg::Rax);
+                    b.cmp_imm(Reg::Rcx, 10);
+                    b.jcc(Cond::B, "low", "end");
+                })
+                .block("low", |b| {
+                    b.store_disp(Reg::R14, 4096, Reg::Rbx);
+                    b.jmp("end");
+                })
+                .block("end", |b| b.exit())
+                .build(),
+        ];
+        for tc in &tcs {
+            for seed in 0..4u64 {
+                let mut input = input_for(tc);
+                input.set_reg(Reg::Rax, seed * 0x241);
+                input.set_reg(Reg::Rcx, seed);
+                input.write_mem_u64(0x200, seed * 7);
+                let d = Runner::new(tc).run(&input).unwrap();
+                let r = Runner::new(tc).run_reference(&input).unwrap();
+                assert_eq!(d.steps, r.steps);
+                assert_eq!(d.block_order, r.block_order);
+                assert_eq!(d.final_state, r.final_state);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_free_run_reaches_the_same_final_state() {
+        let tc = TestCaseBuilder::new()
+            .sandbox(SandboxLayout::two_pages())
+            .block("entry", |b| {
+                b.and_imm(Reg::Rax, 0b111111000000);
+                b.load(Reg::Rbx, Reg::R14, Reg::Rax);
+                b.cmp_imm(Reg::Rcx, 10);
+                b.jcc(Cond::B, "low", "end");
+            })
+            .block("low", |b| {
+                b.store_disp(Reg::R14, 4096, Reg::Rbx);
+                b.jmp("end");
+            })
+            .block("end", |b| b.exit())
+            .build();
+        let prog = rvz_isa::DecodedProgram::decode(&tc).unwrap();
+        for seed in 0..4u64 {
+            let mut input = input_for(&tc);
+            input.set_reg(Reg::Rax, seed * 0x241);
+            input.set_reg(Reg::Rcx, seed);
+            input.write_mem_u64(0x200, seed * 7);
+            let traced = Runner::new(&tc).run_reference(&input).unwrap();
+            let quiet = Runner::run_final_decoded(&prog, &input, 4096).unwrap();
+            assert_eq!(quiet, traced.final_state);
+        }
+    }
+
+    #[test]
+    fn trace_free_run_enforces_step_limit() {
+        let tc = TestCaseBuilder::new()
+            .block("entry", |b| {
+                for _ in 0..10 {
+                    b.nop();
+                }
+                b.exit();
+            })
+            .build();
+        let prog = rvz_isa::DecodedProgram::decode(&tc).unwrap();
+        let r = Runner::run_final_decoded(&prog, &input_for(&tc), 5);
         assert_eq!(r.unwrap_err(), Fault::StepLimitExceeded);
     }
 

@@ -1,0 +1,114 @@
+//! Zero-cost trace hooks for the decoded step loop.
+//!
+//! The decoded execution path ([`Emulator::exec_decoded`]) is generic over a
+//! [`TraceSink`] that receives every memory event.  Passes that need the
+//! events (the contract model, the uarch simulator) pass an [`EventBuf`];
+//! passes that do not pass [`NoTrace`], whose empty body monomorphizes the
+//! whole loop down to no bookkeeping at all — no dynamic dispatch and no
+//! per-step "is tracing on" branch.
+//!
+//! [`Emulator::exec_decoded`]: crate::Emulator::exec_decoded
+
+use crate::emulator::{MemEvent, MemEventKind};
+use rvz_isa::Width;
+
+/// Receiver for the memory events of the decoded step loop.
+pub trait TraceSink {
+    /// Called for every memory access, in program order within the
+    /// instruction.
+    fn mem_event(&mut self, ev: MemEvent);
+}
+
+/// A sink that discards everything; compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTrace;
+
+impl TraceSink for NoTrace {
+    #[inline(always)]
+    fn mem_event(&mut self, _ev: MemEvent) {}
+}
+
+/// An inline fixed-capacity event buffer.
+///
+/// One instruction produces at most three memory events (a read-modify-write
+/// ALU op with a memory source: read dest, read src, write dest), so the
+/// buffer never spills to the heap.  Callers clear it before each
+/// instruction and consume it only on success, matching the old
+/// `InstrEffects`-dropped-on-fault behaviour.
+#[derive(Debug, Clone)]
+pub struct EventBuf {
+    events: [MemEvent; 4],
+    len: usize,
+}
+
+const EMPTY_EVENT: MemEvent =
+    MemEvent { addr: 0, width: Width::Byte, kind: MemEventKind::Read, value: 0 };
+
+impl EventBuf {
+    /// An empty buffer.
+    pub fn new() -> EventBuf {
+        EventBuf { events: [EMPTY_EVENT; 4], len: 0 }
+    }
+
+    /// Drop all buffered events.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The buffered events in program order.
+    #[inline]
+    pub fn events(&self) -> &[MemEvent] {
+        &self.events[..self.len]
+    }
+
+    /// Whether no events were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of buffered events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl Default for EventBuf {
+    fn default() -> Self {
+        EventBuf::new()
+    }
+}
+
+impl TraceSink for EventBuf {
+    #[inline]
+    fn mem_event(&mut self, ev: MemEvent) {
+        self.events[self.len] = ev;
+        self.len += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_buf_roundtrip() {
+        let mut b = EventBuf::new();
+        assert!(b.is_empty());
+        let ev = MemEvent { addr: 7, width: Width::Qword, kind: MemEventKind::Write, value: 3 };
+        b.mem_event(ev);
+        b.mem_event(ev);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.events(), &[ev, ev]);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn no_trace_discards() {
+        let mut s = NoTrace;
+        s.mem_event(EMPTY_EVENT);
+    }
+}

@@ -85,6 +85,18 @@ impl ArchState {
         self.flags
     }
 
+    /// Snapshot of the whole register file (used by delta checkpoints).
+    #[inline]
+    pub(crate) fn regs_snapshot(&self) -> [u64; 16] {
+        self.regs
+    }
+
+    /// Restore the whole register file from a snapshot.
+    #[inline]
+    pub(crate) fn restore_regs(&mut self, regs: [u64; 16]) {
+        self.regs = regs;
+    }
+
     /// Replace the whole flag set.
     #[inline]
     pub fn set_flags(&mut self, flags: FlagSet) {
@@ -138,20 +150,34 @@ impl ArchState {
     /// A compact digest of the architectural state, useful for equivalence
     /// assertions in tests (e.g. "nested speculation rolls back completely").
     pub fn digest(&self) -> u64 {
-        // FNV-1a over registers, flags and memory.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |b: u8| {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        };
+        // FNV-1a-style mixing over 64-bit words instead of bytes, with the
+        // sandbox memory split across four independent lanes.  The digest is
+        // only ever compared against digests computed by the same build, so
+        // the exact value is free to change; what matters is that any
+        // register, flag or memory difference flips it, and that computing
+        // it is cheap enough to run once per CPU-under-test execution
+        // (byte-serial FNV over the whole sandbox was a multi-microsecond
+        // dependency chain that dominated short runs).
+        const PRIME: u64 = 0x1000_0000_01b3;
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h = OFFSET;
         for r in self.regs {
-            for b in r.to_le_bytes() {
-                mix(b);
+            h = (h ^ r).wrapping_mul(PRIME);
+        }
+        h = (h ^ self.flags.bits() as u64).wrapping_mul(PRIME);
+        let mut lanes = [OFFSET ^ 1, OFFSET ^ 2, OFFSET ^ 3, OFFSET ^ 4];
+        let mut chunks = self.mem.chunks_exact(32);
+        for c in &mut chunks {
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                let w = u64::from_le_bytes(c[i * 8..i * 8 + 8].try_into().expect("8-byte word"));
+                *lane = (*lane ^ w).wrapping_mul(PRIME);
             }
         }
-        mix(self.flags.bits());
-        for &b in &self.mem {
-            mix(b);
+        for &b in chunks.remainder() {
+            lanes[0] = (lanes[0] ^ b as u64).wrapping_mul(PRIME);
+        }
+        for lane in lanes {
+            h = (h ^ lane).wrapping_mul(PRIME);
         }
         h
     }

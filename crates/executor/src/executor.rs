@@ -6,7 +6,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rvz_cache::{EvictReload, FlushReload, PrimeProbe, SetVector, SideChannel};
 use rvz_emu::Fault;
-use rvz_isa::{Input, TestCase};
+use rvz_isa::{DecodedProgram, Input, TestCase};
 use rvz_uarch::{CpuUnderTest, RunOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -234,12 +234,12 @@ impl<C: CpuUnderTest> Executor<C> {
     fn measure_once(
         &mut self,
         channel: &mut dyn SideChannel,
-        tc: &TestCase,
+        prog: &DecodedProgram,
         input: &Input,
     ) -> Result<Option<SetVector>, Fault> {
         channel.prepare(self.cpu.cache_mut());
         let opts = self.run_options();
-        self.cpu.run(tc, input, &opts)?;
+        self.cpu.run_decoded(prog, input, &opts)?;
         let mut sets = channel.measure(self.cpu.cache_mut());
 
         if self.config.noise.is_enabled() {
@@ -264,14 +264,37 @@ impl<C: CpuUnderTest> Executor<C> {
     ///
     /// # Errors
     /// Propagates architectural faults from the CPU under test.
+    ///
+    /// # Panics
+    /// Panics if the test case fails decode-time validation.
     pub fn collect_htraces(&mut self, tc: &TestCase, inputs: &[Input]) -> Result<Vec<HTrace>, Fault> {
+        let prog =
+            DecodedProgram::decode(tc).unwrap_or_else(|e| panic!("malformed test case: {e}"));
+        self.collect_htraces_decoded(&prog, inputs)
+    }
+
+    /// [`Executor::collect_htraces`] over a pre-decoded program.
+    ///
+    /// The decode cost is paid once and amortized over the whole warm-up +
+    /// repetition schedule (`(warmup + repetitions) × inputs` runs); callers
+    /// that re-measure the same test case — the priming-swap artifact check,
+    /// the campaign's nesting re-check — reuse the program across
+    /// collections too.
+    ///
+    /// # Errors
+    /// Propagates architectural faults from the CPU under test.
+    pub fn collect_htraces_decoded(
+        &mut self,
+        prog: &DecodedProgram,
+        inputs: &[Input],
+    ) -> Result<Vec<HTrace>, Fault> {
         self.collections += 1;
         if self.config.reset_between_test_cases {
             self.cpu.reset_uarch();
         }
-        let mut session = self.session_for(tc);
+        let mut session = self.session_for(prog.source());
         session.begin_collection(inputs.len());
-        let result = self.collect_into_session(&mut session, tc, inputs);
+        let result = self.collect_into_session(&mut session, prog, inputs);
         let traces = result.map(|()| {
             session.samples.iter().map(|s| self.merge_samples(s)).collect()
         });
@@ -286,17 +309,17 @@ impl<C: CpuUnderTest> Executor<C> {
     fn collect_into_session(
         &mut self,
         session: &mut MeasurementSession,
-        tc: &TestCase,
+        prog: &DecodedProgram,
         inputs: &[Input],
     ) -> Result<(), Fault> {
         for _ in 0..self.config.warmup_rounds {
             for input in inputs {
-                let _ = self.measure_once(session.channel.as_mut(), tc, input)?;
+                let _ = self.measure_once(session.channel.as_mut(), prog, input)?;
             }
         }
         for _ in 0..self.config.repetitions.max(1) {
             for (i, input) in inputs.iter().enumerate() {
-                if let Some(sets) = self.measure_once(session.channel.as_mut(), tc, input)? {
+                if let Some(sets) = self.measure_once(session.channel.as_mut(), prog, input)? {
                     session.samples[i].push(sets);
                 }
             }
@@ -394,18 +417,38 @@ impl<C: CpuUnderTest> Executor<C> {
         i: usize,
         j: usize,
     ) -> Result<bool, Fault> {
+        let prog =
+            DecodedProgram::decode(tc).unwrap_or_else(|e| panic!("malformed test case: {e}"));
+        self.is_measurement_artifact_decoded(&prog, inputs, baseline, i, j)
+    }
+
+    /// [`Executor::is_measurement_artifact`] over a pre-decoded program.
+    ///
+    /// # Panics
+    /// If `i`/`j` are out of range or `baseline` does not cover `inputs`.
+    ///
+    /// # Errors
+    /// Propagates architectural faults from the CPU under test.
+    pub fn is_measurement_artifact_decoded(
+        &mut self,
+        prog: &DecodedProgram,
+        inputs: &[Input],
+        baseline: &[HTrace],
+        i: usize,
+        j: usize,
+    ) -> Result<bool, Fault> {
         assert!(i < inputs.len() && j < inputs.len(), "input indices out of range");
         assert_eq!(baseline.len(), inputs.len(), "baseline must cover every input");
 
         // Data_j measured in Ctx_i.
         let mut seq_i = inputs.to_vec();
         seq_i[i] = inputs[j].clone();
-        let swapped_i = self.collect_htraces(tc, &seq_i)?;
+        let swapped_i = self.collect_htraces_decoded(prog, &seq_i)?;
 
         // Data_i measured in Ctx_j.
         let mut seq_j = inputs.to_vec();
         seq_j[j] = inputs[i].clone();
-        let swapped_j = self.collect_htraces(tc, &seq_j)?;
+        let swapped_j = self.collect_htraces_decoded(prog, &seq_j)?;
 
         let same_in_ctx_i = swapped_i[i].equivalent(&baseline[i]);
         let same_in_ctx_j = swapped_j[j].equivalent(&baseline[j]);

@@ -59,6 +59,7 @@
 pub mod block;
 pub mod builder;
 pub mod catalog;
+pub mod decoded;
 pub mod input;
 pub mod inst;
 pub mod operand;
@@ -69,9 +70,13 @@ pub mod testcase;
 pub use block::{BasicBlock, BlockId, Terminator};
 pub use builder::TestCaseBuilder;
 pub use catalog::{InstrClass, InstrSpec, IsaSubset};
+pub use decoded::{
+    DecodeError, DecodedInstr, DecodedOp, DecodedProgram, DecodedTerm, DecodedTerminator, DstOp,
+    SrcOp,
+};
 pub use input::Input;
 pub use inst::{AluOp, Cond, Instr, ShiftOp, UnaryOp};
 pub use operand::{MemOperand, Operand};
-pub use reg::{Flag, FlagSet, Reg, Width};
+pub use reg::{Flag, FlagSet, Reg, RegSet, Width};
 pub use sandbox::SandboxLayout;
 pub use testcase::TestCase;

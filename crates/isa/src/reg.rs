@@ -123,6 +123,77 @@ impl Reg {
     }
 }
 
+/// A set of general-purpose registers as a 16-bit mask, one bit per
+/// [`Reg::index`].
+///
+/// This is the allocation-free form of a `Vec<Reg>` read/write set: building
+/// it, testing membership and intersecting two sets are single-word
+/// operations, which is what lets per-instruction execution records stay
+/// `Copy` on the measurement hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RegSet {
+    bits: u16,
+}
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet { bits: 0 };
+
+    /// Set containing exactly the given registers.
+    pub fn of(regs: &[Reg]) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for &r in regs {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Add a register to the set.
+    #[inline]
+    pub fn insert(&mut self, r: Reg) {
+        self.bits |= 1 << r.index();
+    }
+
+    /// Whether the register is in the set.
+    #[inline]
+    pub fn contains(self, r: Reg) -> bool {
+        self.bits & (1 << r.index()) != 0
+    }
+
+    /// Whether the two sets share any register.
+    #[inline]
+    pub fn intersects(self, other: RegSet) -> bool {
+        self.bits & other.bits != 0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of registers in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// The registers in the set, in [`Reg::index`] order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        Reg::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
 impl fmt::Display for Reg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -2,8 +2,11 @@
 
 use crate::contract::Contract;
 use crate::ctrace::{CTrace, Observation};
-use rvz_emu::{Emulator, Fault, MemEvent, MemEventKind, Runner};
-use rvz_isa::{BlockId, Input, Instr, Reg, Terminator, TestCase};
+use rvz_emu::{Emulator, EventBuf, Fault, MemEvent, MemEventKind, Runner};
+use rvz_isa::{
+    BlockId, DecodedInstr, DecodedOp, DecodedProgram, DecodedTerm, DecodedTerminator, Input, Instr,
+    RegSet, Terminator, TestCase,
+};
 use serde::{Deserialize, Serialize};
 
 /// Base virtual address of the (synthetic) code layout used for program-
@@ -39,8 +42,68 @@ pub enum InstrKind {
     Other,
 }
 
+/// Addresses of the memory accesses one instruction performed, stored
+/// inline: an instruction produces at most three memory events (read +
+/// write for read-modify-write ops, plus the stack access of `CALL`/`RET`
+/// terminators is a single event), so the record stays `Copy` and the
+/// collection loop never heap-allocates per instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemAddrs {
+    addrs: [u64; 3],
+    len: u8,
+}
+
+impl MemAddrs {
+    /// Addresses from a batch of memory events.
+    ///
+    /// # Panics
+    /// Panics if more than three events are passed — the emulator never
+    /// produces that many for one instruction.
+    pub fn from_events(events: &[MemEvent]) -> MemAddrs {
+        let mut m = MemAddrs::default();
+        for ev in events {
+            m.addrs[m.len as usize] = ev.addr;
+            m.len += 1;
+        }
+        m
+    }
+
+    /// Build from a plain list of addresses (test helper).
+    ///
+    /// # Panics
+    /// Panics if more than three addresses are passed.
+    pub fn of(addrs: &[u64]) -> MemAddrs {
+        let mut m = MemAddrs::default();
+        for &a in addrs {
+            m.addrs[m.len as usize] = a;
+            m.len += 1;
+        }
+        m
+    }
+
+    /// The recorded addresses.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.addrs[..self.len as usize]
+    }
+
+    /// Whether no accesses were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether any address is shared with another record.
+    pub fn intersects(&self, other: &MemAddrs) -> bool {
+        self.as_slice().iter().any(|a| other.as_slice().contains(a))
+    }
+}
+
 /// Record of one architecturally executed instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Deliberately `Copy`: one record is produced per executed instruction on
+/// the measurement hot path (and cloned per contract by
+/// [`ContractModel::collect_many`]), so the register sets are bitmasks and
+/// the access addresses are stored inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecutedInstr {
     /// Block containing the instruction.
     pub block: BlockId,
@@ -49,15 +112,15 @@ pub struct ExecutedInstr {
     /// Kind of instruction.
     pub kind: InstrKind,
     /// Registers read.
-    pub reads_regs: Vec<Reg>,
+    pub reads_regs: RegSet,
     /// Registers written.
-    pub writes_regs: Vec<Reg>,
+    pub writes_regs: RegSet,
     /// Whether the flags are read.
     pub reads_flags: bool,
     /// Whether the flags are written.
     pub writes_flags: bool,
     /// Addresses of memory accesses performed.
-    pub mem_addrs: Vec<u64>,
+    pub mem_addrs: MemAddrs,
 }
 
 /// Execution metadata collected alongside the contract trace; input to the
@@ -113,10 +176,124 @@ impl ContractModel {
 
     /// Collect the contract trace for one input.
     ///
+    /// Decodes the test case first; prefer [`ContractModel::collect_decoded`]
+    /// when the same program runs for many inputs.
+    ///
     /// # Errors
     /// Propagates architectural faults of the sequential execution; faults
     /// on explored speculative paths are suppressed, matching hardware.
+    ///
+    /// # Panics
+    /// Panics if the test case fails decode-time validation.
     pub fn collect(&self, tc: &TestCase, input: &Input) -> Result<ModelOutput, Fault> {
+        let prog =
+            DecodedProgram::decode(tc).unwrap_or_else(|e| panic!("malformed test case: {e}"));
+        self.collect_decoded(&prog, input)
+    }
+
+    /// Collect the contract trace for one input of a pre-decoded program.
+    ///
+    /// This is the hot path: the program representation is dense, operand
+    /// and metadata resolution happened once at decode time, and speculative
+    /// exploration uses delta checkpoints instead of full-state clones.
+    ///
+    /// # Errors
+    /// Propagates architectural faults of the sequential execution; faults
+    /// on explored speculative paths are suppressed, matching hardware.
+    pub fn collect_decoded(
+        &self,
+        prog: &DecodedProgram,
+        input: &Input,
+    ) -> Result<ModelOutput, Fault> {
+        let mut emu = Emulator::new(prog.sandbox(), input);
+        let mut obs = Vec::new();
+        let mut info = ExecutionInfo::default();
+        let mut pos = Pos { block: BlockId::ENTRY, idx: 0 };
+        let mut steps = 0usize;
+        let mut buf = EventBuf::new();
+        let mut events = Vec::new();
+
+        loop {
+            if steps >= MAX_ARCH_STEPS {
+                return Err(Fault::StepLimitExceeded);
+            }
+            steps += 1;
+            let body = prog.body(pos.block);
+            if pos.idx < body.len() {
+                let d = &body[pos.idx];
+
+                // BPAS execution clause: before committing a store, expose
+                // the observations of the path on which it is skipped.
+                if self.contract.execution.permits_bpas() && d.writes_mem {
+                    explore_decoded(
+                        &self.contract,
+                        &mut emu,
+                        prog,
+                        pos,
+                        true,
+                        &mut obs,
+                        &mut info,
+                        0,
+                    );
+                }
+
+                if self.contract.observation.exposes_pc() {
+                    obs.push(Observation::Pc(instr_pc(pos.block, pos.idx)));
+                }
+                buf.clear();
+                emu.exec_decoded(&d.op, &mut buf)?;
+                record_mem_events(&self.contract, buf.events(), true, &mut obs);
+                info.executed.push(Self::record_decoded_instr(pos, d, buf.events()));
+                pos.idx += 1;
+            } else {
+                if self.contract.observation.exposes_pc() {
+                    obs.push(Observation::Pc(instr_pc(pos.block, body.len())));
+                }
+
+                // COND execution clause: expose the observations of the
+                // mispredicted direction before following the correct one.
+                let term = prog.terminator(pos.block);
+                if self.contract.execution.permits_cond() {
+                    if let DecodedTerm::CondJmp { cond, taken, not_taken } = &term.term {
+                        let actual = emu.eval_cond(*cond);
+                        let wrong = if actual { *not_taken } else { *taken };
+                        explore_decoded(
+                            &self.contract,
+                            &mut emu,
+                            prog,
+                            Pos { block: wrong, idx: 0 },
+                            false,
+                            &mut obs,
+                            &mut info,
+                            0,
+                        );
+                    }
+                }
+
+                events.clear();
+                let next = Runner::next_block_decoded(&mut emu, prog, pos.block, &mut events)?;
+                record_mem_events(&self.contract, &events, true, &mut obs);
+                info.executed.push(Self::record_decoded_terminator(pos, term, &events));
+                match next {
+                    Some(b) => pos = Pos { block: b, idx: 0 },
+                    None => break,
+                }
+            }
+        }
+
+        Ok(ModelOutput { trace: CTrace::new(obs), info })
+    }
+
+    /// Reference implementation of [`ContractModel::collect`] that re-walks
+    /// the test-case AST per step and checkpoints by full-state clone.
+    ///
+    /// Retained as the differential-testing oracle for the pre-decoded path;
+    /// decoding is a pure representation change, never a semantic one, and
+    /// this function is the executable statement of that invariant.
+    ///
+    /// # Errors
+    /// Same as [`ContractModel::collect`].
+    pub fn collect_reference(&self, tc: &TestCase, input: &Input) -> Result<ModelOutput, Fault> {
         let mut emu = Emulator::new(tc.sandbox(), input);
         let mut obs = Vec::new();
         let mut info = ExecutionInfo::default();
@@ -135,7 +312,7 @@ impl ContractModel {
                 // BPAS execution clause: before committing a store, expose
                 // the observations of the path on which it is skipped.
                 if self.contract.execution.permits_bpas() && instr.writes_mem() {
-                    explore(&self.contract, &mut emu, tc, pos, true, &mut obs, &mut info, 0);
+                    explore_reference(&self.contract, &mut emu, tc, pos, true, &mut obs, &mut info, 0);
                 }
 
                 if self.contract.observation.exposes_pc() {
@@ -156,7 +333,7 @@ impl ContractModel {
                     if let Terminator::CondJmp { cond, taken, not_taken } = &block.terminator {
                         let actual = emu.eval_cond(*cond);
                         let wrong = if actual { *not_taken } else { *taken };
-                        explore(
+                        explore_reference(
                             &self.contract,
                             &mut emu,
                             tc,
@@ -202,57 +379,80 @@ impl ContractModel {
     /// architectural pass is contract-independent, so every contract of the
     /// slate would fault identically); faults on explored speculative paths
     /// are suppressed, matching hardware.
+    ///
+    /// # Panics
+    /// Panics if the test case fails decode-time validation.
     pub fn collect_many(
         contracts: &[Contract],
         tc: &TestCase,
         input: &Input,
     ) -> Result<Vec<ModelOutput>, Fault> {
-        let mut emu = Emulator::new(tc.sandbox(), input);
+        let prog =
+            DecodedProgram::decode(tc).unwrap_or_else(|e| panic!("malformed test case: {e}"));
+        Self::collect_many_decoded(contracts, &prog, input)
+    }
+
+    /// [`ContractModel::collect_many`] over a pre-decoded program: the
+    /// campaign orchestrator decodes once per test case and reuses the
+    /// program across every input and every contract of the slate.
+    ///
+    /// # Errors
+    /// Same as [`ContractModel::collect_many`].
+    pub fn collect_many_decoded(
+        contracts: &[Contract],
+        prog: &DecodedProgram,
+        input: &Input,
+    ) -> Result<Vec<ModelOutput>, Fault> {
+        let mut emu = Emulator::new(prog.sandbox(), input);
         let mut obs: Vec<Vec<Observation>> = (0..contracts.len()).map(|_| Vec::new()).collect();
         let mut infos: Vec<ExecutionInfo> = vec![ExecutionInfo::default(); contracts.len()];
         let mut pos = Pos { block: BlockId::ENTRY, idx: 0 };
         let mut steps = 0usize;
+        let mut buf = EventBuf::new();
+        let mut events = Vec::new();
 
         loop {
             if steps >= MAX_ARCH_STEPS {
                 return Err(Fault::StepLimitExceeded);
             }
             steps += 1;
-            let block = tc.block(pos.block).expect("valid block id");
-            if pos.idx < block.instrs.len() {
-                let instr = &block.instrs[pos.idx];
+            let body = prog.body(pos.block);
+            if pos.idx < body.len() {
+                let d = &body[pos.idx];
                 // Per-contract prelude, in each contract's own observation
                 // order: speculative store-bypass exploration first, then
                 // the program-counter observation (exactly as in `collect`).
                 for (k, c) in contracts.iter().enumerate() {
-                    if c.execution.permits_bpas() && instr.writes_mem() {
-                        explore(c, &mut emu, tc, pos, true, &mut obs[k], &mut infos[k], 0);
+                    if c.execution.permits_bpas() && d.writes_mem {
+                        explore_decoded(c, &mut emu, prog, pos, true, &mut obs[k], &mut infos[k], 0);
                     }
                     if c.observation.exposes_pc() {
                         obs[k].push(Observation::Pc(instr_pc(pos.block, pos.idx)));
                     }
                 }
                 // The architectural step itself runs once for all contracts.
-                let fx = emu.exec_instr(instr)?;
-                let record = Self::record_instr(pos, instr, &fx.mem_events);
+                buf.clear();
+                emu.exec_decoded(&d.op, &mut buf)?;
+                let record = Self::record_decoded_instr(pos, d, buf.events());
                 for (k, c) in contracts.iter().enumerate() {
-                    record_mem_events(c, &fx.mem_events, true, &mut obs[k]);
-                    infos[k].executed.push(record.clone());
+                    record_mem_events(c, buf.events(), true, &mut obs[k]);
+                    infos[k].executed.push(record);
                 }
                 pos.idx += 1;
             } else {
+                let term = prog.terminator(pos.block);
                 for (k, c) in contracts.iter().enumerate() {
                     if c.observation.exposes_pc() {
-                        obs[k].push(Observation::Pc(instr_pc(pos.block, block.instrs.len())));
+                        obs[k].push(Observation::Pc(instr_pc(pos.block, body.len())));
                     }
                     if c.execution.permits_cond() {
-                        if let Terminator::CondJmp { cond, taken, not_taken } = &block.terminator {
+                        if let DecodedTerm::CondJmp { cond, taken, not_taken } = &term.term {
                             let actual = emu.eval_cond(*cond);
                             let wrong = if actual { *not_taken } else { *taken };
-                            explore(
+                            explore_decoded(
                                 c,
                                 &mut emu,
-                                tc,
+                                prog,
                                 Pos { block: wrong, idx: 0 },
                                 false,
                                 &mut obs[k],
@@ -262,12 +462,12 @@ impl ContractModel {
                         }
                     }
                 }
-                let mut events = Vec::new();
-                let next = Runner::next_block(&mut emu, tc, pos.block, &mut events)?;
-                let record = Self::record_terminator(pos, &block.terminator, &events);
+                events.clear();
+                let next = Runner::next_block_decoded(&mut emu, prog, pos.block, &mut events)?;
+                let record = Self::record_decoded_terminator(pos, term, &events);
                 for (k, c) in contracts.iter().enumerate() {
                     record_mem_events(c, &events, true, &mut obs[k]);
-                    infos[k].executed.push(record.clone());
+                    infos[k].executed.push(record);
                 }
                 match next {
                     Some(b) => pos = Pos { block: b, idx: 0 },
@@ -305,11 +505,11 @@ impl ContractModel {
             block: pos.block,
             index: Some(pos.idx),
             kind,
-            reads_regs: instr.reads_regs(),
-            writes_regs: instr.writes_regs(),
+            reads_regs: RegSet::of(&instr.reads_regs()),
+            writes_regs: RegSet::of(&instr.writes_regs()),
             reads_flags: instr.reads_flags(),
             writes_flags: instr.writes_flags(),
-            mem_addrs: events.iter().map(|e| e.addr).collect(),
+            mem_addrs: MemAddrs::from_events(events),
         }
     }
 
@@ -326,11 +526,64 @@ impl ContractModel {
             block: pos.block,
             index: None,
             kind,
-            reads_regs: term.reads_regs(),
-            writes_regs: Vec::new(),
+            reads_regs: RegSet::of(&term.reads_regs()),
+            writes_regs: RegSet::EMPTY,
             reads_flags: term.reads_flags(),
             writes_flags: false,
-            mem_addrs: events.iter().map(|e| e.addr).collect(),
+            mem_addrs: MemAddrs::from_events(events),
+        }
+    }
+
+    fn record_decoded_instr(pos: Pos, d: &DecodedInstr, events: &[MemEvent]) -> ExecutedInstr {
+        let kind = if d.is_var_latency {
+            InstrKind::VarLatency
+        } else if d.is_fence {
+            InstrKind::Fence
+        } else if matches!(d.op, DecodedOp::Nop) {
+            InstrKind::Other
+        } else if d.reads_mem && d.writes_mem {
+            InstrKind::LoadStore
+        } else if d.reads_mem {
+            InstrKind::Load
+        } else if d.writes_mem {
+            InstrKind::Store
+        } else {
+            InstrKind::Alu
+        };
+        ExecutedInstr {
+            block: pos.block,
+            index: Some(pos.idx),
+            kind,
+            reads_regs: d.reads_set,
+            writes_regs: d.writes_set,
+            reads_flags: d.reads_flags,
+            writes_flags: d.writes_flags,
+            mem_addrs: MemAddrs::from_events(events),
+        }
+    }
+
+    fn record_decoded_terminator(
+        pos: Pos,
+        t: &DecodedTerminator,
+        events: &[MemEvent],
+    ) -> ExecutedInstr {
+        let kind = match &t.term {
+            DecodedTerm::CondJmp { .. } => InstrKind::CondBranch,
+            DecodedTerm::Jmp { .. } => InstrKind::Jump,
+            DecodedTerm::IndirectJmp { .. } | DecodedTerm::Call { .. } | DecodedTerm::Ret => {
+                InstrKind::IndirectBranch
+            }
+            DecodedTerm::Exit => InstrKind::Other,
+        };
+        ExecutedInstr {
+            block: pos.block,
+            index: None,
+            kind,
+            reads_regs: t.reads_set,
+            writes_regs: RegSet::EMPTY,
+            reads_flags: t.reads_flags,
+            writes_flags: false,
+            mem_addrs: MemAddrs::from_events(events),
         }
     }
 }
@@ -361,12 +614,111 @@ fn record_mem_events(
 }
 
 /// Explore a mis-speculated path starting at `start` under `contract`'s
-/// execution clause, checkpointing and rolling back the architectural state.
+/// execution clause over a pre-decoded program, using delta checkpoints
+/// (register snapshot + memory-write undo journal) to roll back.
 /// With `skip_first_store` the first store at `start` is speculatively
 /// bypassed (the BPAS clause); otherwise the path is followed as a branch
 /// misprediction (the COND clause).
 #[allow(clippy::too_many_arguments)]
-fn explore(
+fn explore_decoded(
+    contract: &Contract,
+    emu: &mut Emulator,
+    prog: &DecodedProgram,
+    start: Pos,
+    skip_first_store: bool,
+    obs: &mut Vec<Observation>,
+    info: &mut ExecutionInfo,
+    depth: usize,
+) {
+    if contract.speculation_window == 0 {
+        return;
+    }
+    let max_depth = if contract.nested_speculation { 4 } else { 0 };
+    if depth > max_depth {
+        return;
+    }
+    info.speculative_paths += 1;
+    let checkpoint = emu.begin_speculation();
+    let obs_before = obs.len();
+
+    let mut buf = EventBuf::new();
+    let mut pos = start;
+    let mut fuel = contract.speculation_window;
+    let mut first = true;
+    'path: while fuel > 0 {
+        let body = prog.body(pos.block);
+        if pos.idx < body.len() {
+            let d = &body[pos.idx];
+            let skip = first && skip_first_store && d.writes_mem;
+            first = false;
+            if d.is_fence {
+                break 'path;
+            }
+            fuel -= 1;
+            if skip {
+                pos.idx += 1;
+                continue;
+            }
+            // Nested BPAS inside an explored path.
+            if depth < max_depth && contract.execution.permits_bpas() && d.writes_mem {
+                explore_decoded(contract, emu, prog, pos, true, obs, info, depth + 1);
+            }
+            if contract.observation.exposes_pc() {
+                obs.push(Observation::Pc(instr_pc(pos.block, pos.idx)));
+            }
+            buf.clear();
+            match emu.exec_decoded(&d.op, &mut buf) {
+                Ok(()) => record_mem_events(contract, buf.events(), false, obs),
+                Err(_) => break 'path, // transient faults are suppressed
+            }
+            pos.idx += 1;
+        } else {
+            first = false;
+            fuel -= 1;
+            if contract.observation.exposes_pc() {
+                obs.push(Observation::Pc(instr_pc(pos.block, body.len())));
+            }
+            // Nested COND inside an explored path.
+            if depth < max_depth && contract.execution.permits_cond() {
+                if let DecodedTerm::CondJmp { cond, taken, not_taken } =
+                    &prog.terminator(pos.block).term
+                {
+                    let actual = emu.eval_cond(*cond);
+                    let wrong = if actual { *not_taken } else { *taken };
+                    explore_decoded(
+                        contract,
+                        emu,
+                        prog,
+                        Pos { block: wrong, idx: 0 },
+                        false,
+                        obs,
+                        info,
+                        depth + 1,
+                    );
+                }
+            }
+            let mut events = Vec::new();
+            match Runner::next_block_decoded(emu, prog, pos.block, &mut events) {
+                Ok(Some(b)) => {
+                    record_mem_events(contract, &events, false, obs);
+                    pos = Pos { block: b, idx: 0 };
+                }
+                Ok(None) | Err(_) => {
+                    record_mem_events(contract, &events, false, obs);
+                    break 'path;
+                }
+            }
+        }
+    }
+
+    info.speculative_observations += obs.len() - obs_before;
+    emu.rollback(checkpoint);
+}
+
+/// Reference-path twin of [`explore_decoded`]: walks the AST and checkpoints
+/// by full-state clone.  Used only by [`ContractModel::collect_reference`].
+#[allow(clippy::too_many_arguments)]
+fn explore_reference(
     contract: &Contract,
     emu: &mut Emulator,
     tc: &TestCase,
@@ -409,7 +761,7 @@ fn explore(
             }
             // Nested BPAS inside an explored path.
             if depth < max_depth && contract.execution.permits_bpas() && instr.writes_mem() {
-                explore(contract, emu, tc, pos, true, obs, info, depth + 1);
+                explore_reference(contract, emu, tc, pos, true, obs, info, depth + 1);
             }
             if contract.observation.exposes_pc() {
                 obs.push(Observation::Pc(instr_pc(pos.block, pos.idx)));
@@ -430,7 +782,16 @@ fn explore(
                 if let Terminator::CondJmp { cond, taken, not_taken } = &block.terminator {
                     let actual = emu.eval_cond(*cond);
                     let wrong = if actual { *not_taken } else { *taken };
-                    explore(contract, emu, tc, Pos { block: wrong, idx: 0 }, false, obs, info, depth + 1);
+                    explore_reference(
+                        contract,
+                        emu,
+                        tc,
+                        Pos { block: wrong, idx: 0 },
+                        false,
+                        obs,
+                        info,
+                        depth + 1,
+                    );
                 }
             }
             let mut events = Vec::new();
@@ -456,7 +817,7 @@ mod tests {
     use super::*;
     use crate::contract::Contract;
     use rvz_isa::builder::TestCaseBuilder;
-    use rvz_isa::Cond;
+    use rvz_isa::{Cond, Reg};
 
     /// Figure 1 of the paper, adapted to the sandbox:
     /// `z = array1[x]; if (y < 10) z = array2[y]`.
@@ -753,6 +1114,30 @@ mod tests {
                     let solo = ContractModel::new(c.clone()).collect(&tc, &input).unwrap();
                     assert_eq!(out.trace, solo.trace, "{} trace differs", c.name());
                     assert_eq!(out.info, solo.info, "{} info differs", c.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_collection_matches_reference() {
+        let contracts = [
+            Contract::ct_seq(),
+            Contract::ct_bpas(),
+            Contract::ct_cond_bpas(),
+            Contract::arch_seq(),
+            Contract::mem_cond().with_nesting(true),
+            Contract::ct_cond_no_spec_store(),
+        ];
+        for tc in [figure1(), bpas_gadget()] {
+            for (x, y) in [(0x100, 20), (0x100, 5), (0x40, 0x80)] {
+                let input = input_xy(&tc, x, y);
+                for c in &contracts {
+                    let m = ContractModel::new(c.clone());
+                    let dec = m.collect(&tc, &input).unwrap();
+                    let reference = m.collect_reference(&tc, &input).unwrap();
+                    assert_eq!(dec.trace, reference.trace, "{} trace differs", c.name());
+                    assert_eq!(dec.info, reference.info, "{} info differs", c.name());
                 }
             }
         }

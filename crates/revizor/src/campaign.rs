@@ -34,7 +34,7 @@ use rvz_analyzer::{AnalysisResult, Analyzer, Violation};
 use rvz_emu::Fault;
 use rvz_executor::{Executor, ExecutorConfig};
 use rvz_gen::{GeneratorConfig, InputGenerator, ProgramGenerator};
-use rvz_isa::{Input, TestCase};
+use rvz_isa::{DecodedProgram, Input, TestCase};
 use rvz_model::{CTrace, Contract, ContractModel, ExecutionInfo};
 use rvz_uarch::CpuUnderTest;
 use std::time::Duration;
@@ -108,6 +108,11 @@ pub fn evaluate_slate<C: CpuUnderTest>(
     tc: &TestCase,
     inputs: &[Input],
 ) -> Result<Vec<ContractOutcome>, Fault> {
+    // Decode once; the program is reused by every model pass, the baseline
+    // hardware collection and both false-positive filters below.
+    let prog =
+        DecodedProgram::decode(tc).unwrap_or_else(|e| panic!("malformed test case: {e}"));
+
     // Contract traces: one architectural pass per input, forking only the
     // per-contract speculative exploration.
     let mut ctraces: Vec<Vec<CTrace>> =
@@ -115,14 +120,16 @@ pub fn evaluate_slate<C: CpuUnderTest>(
     let mut infos: Vec<Vec<ExecutionInfo>> =
         (0..contracts.len()).map(|_| Vec::with_capacity(inputs.len())).collect();
     for input in inputs {
-        for (k, out) in ContractModel::collect_many(contracts, tc, input)?.into_iter().enumerate() {
+        for (k, out) in
+            ContractModel::collect_many_decoded(contracts, &prog, input)?.into_iter().enumerate()
+        {
             ctraces[k].push(out.trace);
             infos[k].push(out.info);
         }
     }
 
     // Hardware traces: collected once for the whole slate.
-    let htraces = executor.collect_htraces(tc, inputs)?;
+    let htraces = executor.collect_htraces_decoded(&prog, inputs)?;
     // Every contract's filter pass replays the noise stream from the
     // position right after the baseline collection.
     let noise_mark = executor.noise_checkpoint();
@@ -149,15 +156,16 @@ pub fn evaluate_slate<C: CpuUnderTest>(
                 // The unswapped baseline was already collected above; the
                 // swap check re-measures only the two swapped sequences
                 // (§5.3).
-                && executor.is_measurement_artifact(tc, inputs, &htraces, v.input_a, v.input_b)?
+                && executor
+                    .is_measurement_artifact_decoded(&prog, inputs, &htraces, v.input_a, v.input_b)?
             {
                 discarded_as_artifact += 1;
                 continue;
             }
             if checks.verify_with_nesting && contract.speculation_window > 0 {
                 let nested = ContractModel::new(contract.clone().with_nesting(true));
-                let a = nested.collect_trace(tc, &inputs[v.input_a])?;
-                let b = nested.collect_trace(tc, &inputs[v.input_b])?;
+                let a = nested.collect_decoded(&prog, &inputs[v.input_a])?.trace;
+                let b = nested.collect_decoded(&prog, &inputs[v.input_b])?.trace;
                 if a != b {
                     // Under the true (nested) contract the inputs are in
                     // different classes; the reported violation was an

@@ -97,7 +97,7 @@ pub fn patterns_of(info: &ExecutionInfo) -> BTreeSet<Pattern> {
         let (a, b) = (&pair[0], &pair[1]);
 
         // Memory dependencies: consecutive accesses to a shared address.
-        let shared_addr = a.mem_addrs.iter().any(|x| b.mem_addrs.contains(x));
+        let shared_addr = a.mem_addrs.intersects(&b.mem_addrs);
         if shared_addr {
             let a_store = matches!(a.kind, InstrKind::Store | InstrKind::LoadStore);
             let b_store = matches!(b.kind, InstrKind::Store | InstrKind::LoadStore);
@@ -118,7 +118,7 @@ pub fn patterns_of(info: &ExecutionInfo) -> BTreeSet<Pattern> {
         }
 
         // Register and flags dependencies.
-        if a.writes_regs.iter().any(|r| b.reads_regs.contains(r)) {
+        if a.writes_regs.intersects(b.reads_regs) {
             out.insert(Pattern::RegisterDependency);
         }
         if a.writes_flags && b.reads_flags {
@@ -244,19 +244,19 @@ impl fmt::Display for PatternCoverage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rvz_isa::{BlockId, Reg};
-    use rvz_model::ExecutedInstr;
+    use rvz_isa::{BlockId, Reg, RegSet};
+    use rvz_model::{ExecutedInstr, MemAddrs};
 
     fn instr(kind: InstrKind) -> ExecutedInstr {
         ExecutedInstr {
             block: BlockId(0),
             index: Some(0),
             kind,
-            reads_regs: vec![],
-            writes_regs: vec![],
+            reads_regs: RegSet::EMPTY,
+            writes_regs: RegSet::EMPTY,
             reads_flags: false,
             writes_flags: false,
-            mem_addrs: vec![],
+            mem_addrs: MemAddrs::default(),
         }
     }
 
@@ -267,14 +267,14 @@ mod tests {
     #[test]
     fn memory_dependency_patterns_detected() {
         let mut store = instr(InstrKind::Store);
-        store.mem_addrs = vec![0x100];
+        store.mem_addrs = MemAddrs::of(&[0x100]);
         let mut load = instr(InstrKind::Load);
-        load.mem_addrs = vec![0x100];
-        let ps = patterns_of(&info(vec![store.clone(), load.clone()]));
+        load.mem_addrs = MemAddrs::of(&[0x100]);
+        let ps = patterns_of(&info(vec![store, load]));
         assert!(ps.contains(&Pattern::LoadAfterStore));
-        let ps = patterns_of(&info(vec![load.clone(), load.clone()]));
+        let ps = patterns_of(&info(vec![load, load]));
         assert!(ps.contains(&Pattern::LoadAfterLoad));
-        let ps = patterns_of(&info(vec![store.clone(), store.clone()]));
+        let ps = patterns_of(&info(vec![store, store]));
         assert!(ps.contains(&Pattern::StoreAfterStore));
         let ps = patterns_of(&info(vec![load, store]));
         assert!(ps.contains(&Pattern::StoreAfterLoad));
@@ -283,20 +283,20 @@ mod tests {
     #[test]
     fn no_memory_pattern_for_disjoint_addresses() {
         let mut a = instr(InstrKind::Store);
-        a.mem_addrs = vec![0x100];
+        a.mem_addrs = MemAddrs::of(&[0x100]);
         let mut b = instr(InstrKind::Load);
-        b.mem_addrs = vec![0x200];
+        b.mem_addrs = MemAddrs::of(&[0x200]);
         assert!(patterns_of(&info(vec![a, b])).is_empty());
     }
 
     #[test]
     fn register_and_flags_dependencies_detected() {
         let mut a = instr(InstrKind::Alu);
-        a.writes_regs = vec![Reg::Rax];
+        a.writes_regs = RegSet::of(&[Reg::Rax]);
         a.writes_flags = true;
         let mut b = instr(InstrKind::Alu);
-        b.reads_regs = vec![Reg::Rax];
-        let ps = patterns_of(&info(vec![a.clone(), b]));
+        b.reads_regs = RegSet::of(&[Reg::Rax]);
+        let ps = patterns_of(&info(vec![a, b]));
         assert!(ps.contains(&Pattern::RegisterDependency));
         assert!(!ps.contains(&Pattern::FlagsDependency));
         let mut c = instr(InstrKind::Alu);
@@ -316,9 +316,9 @@ mod tests {
     #[test]
     fn coverage_requires_two_inputs_in_a_class() {
         let mut a = instr(InstrKind::Alu);
-        a.writes_regs = vec![Reg::Rbx];
+        a.writes_regs = RegSet::of(&[Reg::Rbx]);
         let mut b = instr(InstrKind::Alu);
-        b.reads_regs = vec![Reg::Rbx];
+        b.reads_regs = RegSet::of(&[Reg::Rbx]);
         let i = info(vec![a, b]);
 
         let mut cov = PatternCoverage::new();
@@ -347,10 +347,10 @@ mod tests {
     fn all_single_covered_check() {
         let mut cov = PatternCoverage::new();
         let mut a = instr(InstrKind::Alu);
-        a.writes_regs = vec![Reg::Rax];
+        a.writes_regs = RegSet::of(&[Reg::Rax]);
         a.writes_flags = true;
         let mut b = instr(InstrKind::Alu);
-        b.reads_regs = vec![Reg::Rax];
+        b.reads_regs = RegSet::of(&[Reg::Rax]);
         b.reads_flags = true;
         let i = info(vec![a, b, instr(InstrKind::Jump), instr(InstrKind::Alu)]);
         cov.update(&[vec![&i, &i]]);

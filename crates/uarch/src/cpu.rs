@@ -6,8 +6,11 @@ use crate::store_buffer::{StoreBuffer, StoreBufferEntry};
 use crate::timing::Timing;
 use crate::CpuUnderTest;
 use rvz_cache::{Cache, CacheConfig};
-use rvz_emu::{Emulator, Fault, MemEventKind};
-use rvz_isa::{BlockId, Input, Instr, Reg, Terminator, TestCase, Width};
+use rvz_emu::{Emulator, EventBuf, Fault, MemEventKind};
+use rvz_isa::{
+    BlockId, DecodedInstr, DecodedOp, DecodedProgram, DecodedTerm, Input, Instr, Reg, SrcOp,
+    Terminator, TestCase, Width,
+};
 use serde::{Deserialize, Serialize};
 
 /// Per-run options chosen by the executor.
@@ -154,6 +157,31 @@ impl SpecCpu {
             }
             Instr::Imul { .. } => 3,
             Instr::Lfence | Instr::Mfence => 2,
+            _ => self.config.alu_latency,
+        }
+    }
+
+    /// [`SpecCpu::op_latency`] over a decoded instruction.
+    fn op_latency_decoded(&self, op: &DecodedOp, emu: &Emulator) -> u64 {
+        match op {
+            DecodedOp::Div { src, .. } => {
+                let divisor = match src {
+                    SrcOp::Reg(r, w) => w.truncate(emu.state().reg(*r)),
+                    SrcOp::Imm(v) => *v,
+                    SrcOp::Mem(m, w) => {
+                        let addr = emu.effective_addr(m);
+                        emu.state().read_mem(addr, *w).unwrap_or(1)
+                    }
+                }
+                .max(1);
+                self.config.div_latency(
+                    emu.state().reg(Reg::Rax),
+                    emu.state().reg(Reg::Rdx),
+                    divisor,
+                )
+            }
+            DecodedOp::Imul { .. } => 3,
+            DecodedOp::Fence => 2,
             _ => self.config.alu_latency,
         }
     }
@@ -545,20 +573,420 @@ impl SpecCpu {
         };
         Ok(next)
     }
-}
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TriggerKind {
-    Bypass,
-    Assist,
-}
+    // --- decoded fast path --------------------------------------------------
 
-impl CpuUnderTest for SpecCpu {
-    fn name(&self) -> String {
-        self.config.name.clone()
+    /// [`SpecCpu::speculate`] over a pre-decoded program, rolling back with a
+    /// delta checkpoint (register snapshot + memory undo journal) instead of
+    /// a full architectural-state clone.
+    #[allow(clippy::too_many_arguments)]
+    fn speculate_decoded(
+        &mut self,
+        emu: &mut Emulator,
+        timing: &mut Timing,
+        ctx: &mut RunCtx,
+        prog: &DecodedProgram,
+        start: Pos,
+        injection: Option<Injection>,
+        squash_cycle: u64,
+        depth: usize,
+    ) {
+        if self.config.speculation_window == 0 || depth > self.config.max_nesting {
+            return;
+        }
+        ctx.outcome.speculation_episodes += 1;
+        let emu_cp = emu.begin_speculation();
+        let timing_cp = timing.clone();
+        let sb_cp = ctx.store_buffer.clone();
+
+        // Apply the transient value injection through the journaled write so
+        // the rollback undoes it.
+        if let Some(inj) = injection {
+            let _ = emu.write_mem(inj.addr, inj.width, inj.value);
+        }
+
+        let mut buf = EventBuf::new();
+        let mut fuel = self.config.speculation_window;
+        let mut pos = start;
+        'path: while fuel > 0 {
+            let body = prog.body(pos.block);
+            if pos.idx < body.len() {
+                let d = &body[pos.idx];
+                if d.is_fence {
+                    // A serializing instruction on the wrong path stalls it
+                    // until the squash arrives.
+                    break 'path;
+                }
+                let issue = timing.issue_cycle(&d.reads_regs, d.reads_flags);
+                if issue > squash_cycle {
+                    break 'path;
+                }
+                // Nested triggers (assists / store bypass) inside the window.
+                if depth < self.config.max_nesting {
+                    self.maybe_nested_speculation_decoded(emu, timing, ctx, prog, pos, d, issue, depth);
+                }
+                let op_latency = self.op_latency_decoded(&d.op, emu);
+                let mut load_hit = None;
+                buf.clear();
+                if emu.exec_decoded(&d.op, &mut buf).is_err() {
+                    // Transient faults are suppressed: the wrong path simply
+                    // stops making progress.
+                    break 'path;
+                }
+                for ev in buf.events() {
+                    match ev.kind {
+                        MemEventKind::Read => {
+                            let hit = self.touch_cache(ev.addr);
+                            if load_hit.is_none() {
+                                load_hit = Some(hit);
+                            }
+                        }
+                        MemEventKind::Write => {
+                            if self.config.spec_store_touches_cache {
+                                self.touch_cache(ev.addr);
+                            }
+                        }
+                    }
+                }
+                let latency = op_latency + self.mem_latency(load_hit);
+                timing.retire(issue, latency, &d.writes_regs, d.writes_flags);
+                ctx.outcome.transient_instructions += 1;
+                fuel -= 1;
+                pos.idx += 1;
+            } else {
+                // Speculative control flow follows the predictors.
+                let term = prog.terminator(pos.block);
+                let issue = timing.issue_cycle(&term.reads_regs, term.reads_flags);
+                if issue > squash_cycle {
+                    break 'path;
+                }
+                timing.retire(issue, 1, &[], false);
+                ctx.outcome.transient_instructions += 1;
+                fuel -= 1;
+                let next = match &term.term {
+                    DecodedTerm::Exit => None,
+                    DecodedTerm::Jmp { target } => Some(*target),
+                    DecodedTerm::CondJmp { cond, taken, not_taken } => {
+                        // Inside the window the front end follows the
+                        // predictor; if it has no strong opinion we follow
+                        // the speculatively computed flags.
+                        let dir = if self.branch_predictor.predict(pos.block.index()) {
+                            true
+                        } else {
+                            emu.eval_cond(*cond)
+                        };
+                        Some(if dir { *taken } else { *not_taken })
+                    }
+                    DecodedTerm::IndirectJmp { src, table } => {
+                        let predicted = self.btb.predict(pos.block.index());
+                        predicted.or_else(|| {
+                            let v = emu.state().reg(*src) as usize;
+                            Some(table[v % table.len()])
+                        })
+                    }
+                    DecodedTerm::Call { target, return_to } => {
+                        let _ = emu.push_ret(return_to.index() as u64);
+                        Some(*target)
+                    }
+                    DecodedTerm::Ret => match emu.pop_ret() {
+                        Ok((v, _)) => Some(BlockId((v as usize) % prog.num_blocks())),
+                        Err(_) => None,
+                    },
+                };
+                match next {
+                    Some(b) => pos = Pos { block: b, idx: 0 },
+                    None => break 'path,
+                }
+            }
+        }
+
+        emu.rollback(emu_cp);
+        *timing = timing_cp;
+        ctx.store_buffer = sb_cp;
     }
 
-    fn run(&mut self, tc: &TestCase, input: &Input, opts: &RunOptions) -> Result<RunOutcome, Fault> {
+    /// [`SpecCpu::maybe_nested_speculation`] over a pre-decoded program.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_nested_speculation_decoded(
+        &mut self,
+        emu: &mut Emulator,
+        timing: &mut Timing,
+        ctx: &mut RunCtx,
+        prog: &DecodedProgram,
+        pos: Pos,
+        d: &DecodedInstr,
+        issue: u64,
+        depth: usize,
+    ) {
+        if let Some((inj, squash, kind)) = self.injection_trigger_decoded(emu, prog, ctx, d, issue)
+        {
+            match kind {
+                TriggerKind::Bypass => ctx.outcome.store_bypasses += 1,
+                TriggerKind::Assist => {
+                    ctx.outcome.assists += 1;
+                    ctx.assist_armed = None;
+                }
+            }
+            self.speculate_decoded(emu, timing, ctx, prog, pos, Some(inj), squash, depth + 1);
+        }
+    }
+
+    /// [`SpecCpu::injection_trigger`] over a decoded instruction, using its
+    /// pre-resolved memory-operand list.
+    fn injection_trigger_decoded(
+        &self,
+        emu: &Emulator,
+        prog: &DecodedProgram,
+        ctx: &RunCtx,
+        d: &DecodedInstr,
+        issue: u64,
+    ) -> Option<(Injection, u64, TriggerKind)> {
+        let (mem, width, _) = d.mem_ops.iter().find(|(_, _, w)| !w)?;
+        let addr = emu.effective_addr(mem);
+
+        // Microcode assist on the armed page takes precedence: the load
+        // cannot complete at all until the assist finishes.
+        if let Some(page) = ctx.assist_armed {
+            if prog.sandbox().page_of(addr) == Some(page) {
+                let value = if self.config.mds_vulnerable {
+                    self.fill_buffer
+                } else if self.config.lvi_null_injection {
+                    0
+                } else {
+                    // Patched against both: the assist only delays the load.
+                    emu.state().read_mem(addr, *width).unwrap_or(0)
+                };
+                let squash = issue + self.config.assist_latency;
+                return Some((
+                    Injection { addr, width: *width, value },
+                    squash,
+                    TriggerKind::Assist,
+                ));
+            }
+        }
+
+        // Speculative store bypass (Spectre V4).
+        if self.config.bypass_active() {
+            if let Some(entry) = ctx.store_buffer.bypass_candidate(addr, width.bytes(), issue) {
+                let squash = entry.addr_ready_cycle + self.config.misprediction_penalty;
+                return Some((
+                    Injection { addr, width: *width, value: width.truncate(entry.stale_value) },
+                    squash,
+                    TriggerKind::Bypass,
+                ));
+            }
+        }
+        None
+    }
+
+    /// [`SpecCpu::exec_arch_instr`] over a decoded instruction: no AST walk,
+    /// no per-step metadata allocation, events in a fixed inline buffer.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_arch_instr_decoded(
+        &mut self,
+        emu: &mut Emulator,
+        timing: &mut Timing,
+        ctx: &mut RunCtx,
+        prog: &DecodedProgram,
+        pos: Pos,
+        d: &DecodedInstr,
+        buf: &mut EventBuf,
+    ) -> Result<(), Fault> {
+        if d.is_fence {
+            timing.barrier();
+            ctx.store_buffer.drain();
+            ctx.outcome.executed_instructions += 1;
+            return Ok(());
+        }
+        let issue = timing.issue_cycle(&d.reads_regs, d.reads_flags);
+
+        // Value-injection speculation (V4 / MDS / LVI) triggered by loads.
+        if let Some((inj, squash, kind)) = self.injection_trigger_decoded(emu, prog, ctx, d, issue)
+        {
+            match kind {
+                TriggerKind::Bypass => ctx.outcome.store_bypasses += 1,
+                TriggerKind::Assist => {
+                    ctx.outcome.assists += 1;
+                    ctx.assist_armed = None;
+                }
+            }
+            self.speculate_decoded(emu, timing, ctx, prog, pos, Some(inj), squash, 1);
+            // After an assist the load re-issues once the assist completes.
+            if kind == TriggerKind::Assist {
+                timing.advance_to(issue + self.config.assist_latency);
+            }
+        }
+
+        // Record stale values for stores before they overwrite memory, so
+        // younger loads see this store as a bypass candidate.
+        for (mem, width, is_write) in d.mem_ops.iter() {
+            if *is_write {
+                let addr = emu.effective_addr(mem);
+                let stale = emu.state().read_mem(addr, *width).unwrap_or(0);
+                let addr_ready = mem
+                    .address_regs()
+                    .iter()
+                    .map(|r| timing.reg_ready(*r))
+                    .max()
+                    .unwrap_or(0)
+                    .max(issue)
+                    + self.config.store_address_delay;
+                ctx.store_buffer.push(StoreBufferEntry {
+                    addr,
+                    len: width.bytes(),
+                    stale_value: stale,
+                    new_value: 0,
+                    addr_ready_cycle: addr_ready,
+                    issue_cycle: issue,
+                });
+            }
+        }
+
+        let op_latency = self.op_latency_decoded(&d.op, emu);
+        buf.clear();
+        emu.exec_decoded(&d.op, buf)?;
+        let mut load_hit = None;
+        for ev in buf.events() {
+            let hit = self.touch_cache(ev.addr);
+            if ev.kind == MemEventKind::Read && load_hit.is_none() {
+                load_hit = Some(hit);
+            }
+            // Every committed transfer refreshes the fill buffer contents.
+            self.fill_buffer = ev.value;
+            // A committed access to the armed page sets the accessed bit
+            // even if it was a store (no injection, but no later assist).
+            if let Some(page) = ctx.assist_armed {
+                if prog.sandbox().page_of(ev.addr) == Some(page)
+                    && ev.kind == MemEventKind::Write
+                {
+                    ctx.assist_armed = None;
+                }
+            }
+        }
+
+        let latency = op_latency + self.mem_latency(load_hit);
+        timing.retire(issue, latency, &d.writes_regs, d.writes_flags);
+        ctx.outcome.executed_instructions += 1;
+        Ok(())
+    }
+
+    /// [`SpecCpu::exec_arch_terminator`] over a pre-decoded program.
+    fn exec_arch_terminator_decoded(
+        &mut self,
+        emu: &mut Emulator,
+        timing: &mut Timing,
+        ctx: &mut RunCtx,
+        prog: &DecodedProgram,
+        pos: Pos,
+    ) -> Result<Option<BlockId>, Fault> {
+        let term = prog.terminator(pos.block);
+        let site = pos.block.index();
+        let issue = timing.issue_cycle(&term.reads_regs, term.reads_flags);
+        ctx.outcome.executed_instructions += 1;
+
+        let next = match &term.term {
+            DecodedTerm::Exit => None,
+            DecodedTerm::Jmp { target } => {
+                timing.retire(issue, 1, &[], false);
+                Some(*target)
+            }
+            DecodedTerm::CondJmp { cond, taken, not_taken } => {
+                let actual = emu.eval_cond(*cond);
+                let predicted = self.branch_predictor.predict(site);
+                self.branch_predictor.update(site, actual);
+                if predicted != actual {
+                    ctx.outcome.mispredictions += 1;
+                    let wrong = if predicted { *taken } else { *not_taken };
+                    let squash = issue + self.config.misprediction_penalty;
+                    self.speculate_decoded(
+                        emu,
+                        timing,
+                        ctx,
+                        prog,
+                        Pos { block: wrong, idx: 0 },
+                        None,
+                        squash,
+                        1,
+                    );
+                }
+                timing.retire(issue, 1, &[], false);
+                Some(if actual { *taken } else { *not_taken })
+            }
+            DecodedTerm::IndirectJmp { src, table } => {
+                let v = emu.state().reg(*src) as usize;
+                let actual = table[v % table.len()];
+                let predicted = self.btb.predict(site);
+                self.btb.update(site, actual);
+                if let Some(p) = predicted {
+                    if p != actual {
+                        ctx.outcome.mispredictions += 1;
+                        let squash = issue + self.config.misprediction_penalty;
+                        self.speculate_decoded(
+                            emu,
+                            timing,
+                            ctx,
+                            prog,
+                            Pos { block: p, idx: 0 },
+                            None,
+                            squash,
+                            1,
+                        );
+                    }
+                }
+                timing.retire(issue, 1, &[], false);
+                Some(actual)
+            }
+            DecodedTerm::Call { target, return_to } => {
+                let ev = emu.push_ret(return_to.index() as u64)?;
+                self.touch_cache(ev.addr);
+                self.fill_buffer = ev.value;
+                self.rsb.push(*return_to);
+                timing.retire(issue, 1, &[], false);
+                Some(*target)
+            }
+            DecodedTerm::Ret => {
+                let predicted = self.rsb.pop_predict();
+                let (v, ev) = emu.pop_ret()?;
+                self.touch_cache(ev.addr);
+                let actual = BlockId((v as usize) % prog.num_blocks());
+                if let Some(p) = predicted {
+                    if p != actual {
+                        ctx.outcome.mispredictions += 1;
+                        let squash = issue + self.config.misprediction_penalty;
+                        self.speculate_decoded(
+                            emu,
+                            timing,
+                            ctx,
+                            prog,
+                            Pos { block: p, idx: 0 },
+                            None,
+                            squash,
+                            1,
+                        );
+                    }
+                }
+                timing.retire(issue, 1, &[], false);
+                Some(actual)
+            }
+        };
+        Ok(next)
+    }
+
+    /// Reference implementation of the run loop that re-walks the test-case
+    /// AST per step and checkpoints speculation by full-state clone.
+    ///
+    /// Retained as the differential-testing oracle for
+    /// [`CpuUnderTest::run_decoded`]: both paths must produce identical
+    /// outcomes and identical cache/predictor state.
+    ///
+    /// # Errors
+    /// Same as [`CpuUnderTest::run`].
+    pub fn run_reference(
+        &mut self,
+        tc: &TestCase,
+        input: &Input,
+        opts: &RunOptions,
+    ) -> Result<RunOutcome, Fault> {
         let mut emu = Emulator::new(tc.sandbox(), input);
         let mut timing = Timing::new();
         let assist_armed = if opts.enable_assists {
@@ -584,6 +1012,65 @@ impl CpuUnderTest for SpecCpu {
                 pos.idx += 1;
             } else {
                 match self.exec_arch_terminator(&mut emu, &mut timing, &mut ctx, tc, pos)? {
+                    Some(next) => pos = Pos { block: next, idx: 0 },
+                    None => break,
+                }
+            }
+        }
+        ctx.outcome.final_state_digest = emu.state().digest();
+        Ok(ctx.outcome)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TriggerKind {
+    Bypass,
+    Assist,
+}
+
+impl CpuUnderTest for SpecCpu {
+    fn name(&self) -> String {
+        self.config.name.clone()
+    }
+
+    fn run(&mut self, tc: &TestCase, input: &Input, opts: &RunOptions) -> Result<RunOutcome, Fault> {
+        let prog =
+            DecodedProgram::decode(tc).unwrap_or_else(|e| panic!("malformed test case: {e}"));
+        self.run_decoded(&prog, input, opts)
+    }
+
+    fn run_decoded(
+        &mut self,
+        prog: &DecodedProgram,
+        input: &Input,
+        opts: &RunOptions,
+    ) -> Result<RunOutcome, Fault> {
+        let mut emu = Emulator::new(prog.sandbox(), input);
+        let mut timing = Timing::new();
+        let assist_armed = if opts.enable_assists {
+            Some(prog.sandbox().assist_page.unwrap_or(0))
+        } else {
+            None
+        };
+        let mut ctx = RunCtx {
+            store_buffer: StoreBuffer::new(),
+            outcome: RunOutcome::default(),
+            assist_armed,
+        };
+
+        let mut buf = EventBuf::new();
+        let mut pos = Pos { block: BlockId::ENTRY, idx: 0 };
+        loop {
+            if ctx.outcome.executed_instructions >= MAX_ARCH_STEPS {
+                return Err(Fault::StepLimitExceeded);
+            }
+            let body = prog.body(pos.block);
+            if pos.idx < body.len() {
+                let d = &body[pos.idx];
+                self.exec_arch_instr_decoded(&mut emu, &mut timing, &mut ctx, prog, pos, d, &mut buf)?;
+                pos.idx += 1;
+            } else {
+                match self.exec_arch_terminator_decoded(&mut emu, &mut timing, &mut ctx, prog, pos)? {
                     Some(next) => pos = Pos { block: next, idx: 0 },
                     None => break,
                 }
@@ -669,6 +1156,50 @@ mod tests {
         let o2 = run_cpu(&mut cpu2, &tc, &input);
         assert_eq!(o1, o2);
         assert_eq!(cpu1.cache(), cpu2.cache());
+    }
+
+    #[test]
+    fn decoded_run_matches_reference_run() {
+        // Same training sequence, same victim, two CPUs: one steps the
+        // decoded program, the other re-walks the AST.  Outcomes, cache
+        // state and predictor state must be identical at every point.
+        for (tc, assists) in [
+            (v1_gadget(), false),
+            (v4_gadget(), false),
+            (assist_gadget(), true),
+            (spec_store_gadget(), false),
+            (v1_var_gadget(), false),
+        ] {
+            for config in [
+                UarchConfig::skylake(),
+                UarchConfig::skylake_patched(),
+                UarchConfig::coffee_lake(),
+                UarchConfig::in_order(),
+            ] {
+                let opts =
+                    if assists { RunOptions::with_assists() } else { RunOptions::default() };
+                let mut dec = SpecCpu::new(config.clone());
+                let mut reference = SpecCpu::new(config.clone());
+                for i in 0..8u64 {
+                    let mut input = Input::zeroed(tc.sandbox());
+                    input.set_reg(Reg::Rax, if i < 6 { 1 } else { 100 });
+                    input.set_reg(Reg::Rbx, 0x40 * i);
+                    input.set_reg(Reg::Rdx, 0x100);
+                    input.write_mem_u64(0, 0x680);
+                    input.write_mem_u64(0x100, 0xd40);
+                    let od = dec.run(&tc, &input, &opts).unwrap();
+                    let or = reference.run_reference(&tc, &input, &opts).unwrap();
+                    assert_eq!(od, or, "{} outcome differs (iter {i})", config.name);
+                    assert_eq!(dec.cache(), reference.cache(), "{} cache differs", config.name);
+                    assert_eq!(
+                        dec.predictor_stats(),
+                        reference.predictor_stats(),
+                        "{} predictor differs",
+                        config.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use timing::Timing;
 
 use rvz_cache::Cache;
 use rvz_emu::Fault;
-use rvz_isa::{Input, TestCase};
+use rvz_isa::{DecodedProgram, Input, TestCase};
 
 /// The black-box interface of a CPU under test, as seen by the executor.
 ///
@@ -82,6 +82,23 @@ pub trait CpuUnderTest {
     /// Returns a [`Fault`] if the program faults architecturally; generated
     /// test cases never do.
     fn run(&mut self, tc: &TestCase, input: &Input, opts: &RunOptions) -> Result<RunOutcome, Fault>;
+
+    /// Execute a pre-decoded program in the current microarchitectural
+    /// context.  The executor decodes each test case once and reuses the
+    /// program across warm-up, repetitions and inputs; implementations that
+    /// step the decoded representation directly (like [`SpecCpu`]) override
+    /// this to skip the per-run AST walk.
+    ///
+    /// # Errors
+    /// Same as [`CpuUnderTest::run`].
+    fn run_decoded(
+        &mut self,
+        prog: &DecodedProgram,
+        input: &Input,
+        opts: &RunOptions,
+    ) -> Result<RunOutcome, Fault> {
+        self.run(prog.source(), input, opts)
+    }
 
     /// The L1D cache, which the executor's side channel primes and probes.
     fn cache_mut(&mut self) -> &mut Cache;
