@@ -24,6 +24,7 @@
 //! cell / samples per row) so that quick smoke runs and longer, more
 //! paper-like runs use the same code.
 
+pub mod binfmt;
 pub mod json;
 pub mod report;
 

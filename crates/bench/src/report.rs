@@ -38,6 +38,16 @@ use std::time::Duration;
 /// Decoding errors are human-readable path + message strings.
 pub type DecodeError = String;
 
+// The compact binary forms of the same structures (length-prefixed frames
+// with a format-version byte; see `crate::binfmt` for the layout).  JSON
+// stays the debug/interop form — these are the hot-path codecs the
+// campaign service's worker wire and spool use.
+pub use crate::binfmt::{
+    checkpoint_transfer_from_binary, checkpoint_transfer_to_binary, matrix_checkpoint_from_binary,
+    matrix_checkpoint_to_binary, violation_report_from_binary, violation_report_to_binary,
+    BinaryTransfer, FORMAT_VERSION as BINARY_FORMAT_VERSION,
+};
+
 // ---------------------------------------------------------------------------
 // Small shared accessors.
 

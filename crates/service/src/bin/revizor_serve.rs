@@ -10,6 +10,17 @@
 //!   bound address is printed on startup).
 //! * `--spool` — durable job state; a restarted server resumes every
 //!   unfinished job from here with byte-identical verdicts.
+//! * `--spool-retain` — keep at most N finished/cancelled job records in
+//!   the spool, pruning the oldest (default: keep all).
+//! * `--store` — indexed violation store: every finished job's violation
+//!   cells are appended here, deduplicated by minimized-gadget
+//!   equivalence; query with `revizor-query --store=DIR`.
+//! * `--token-file` — require a `token` field on every client request
+//!   (except `ping`), resolved against this file: one
+//!   `<token> <tenant>` pair per line (`#` comments and blank lines
+//!   ignored).  Jobs are stamped with the submitting tenant, and
+//!   `list`/`status`/`result`/`watch`/`cancel` only see the caller's
+//!   own jobs.  Without the flag the server is open (no auth).
 //! * `--shards` — long-lived worker threads, all draining one shared
 //!   queue (highest priority first, FIFO within a priority).
 //! * `--checkpoint-every` — waves between spool checkpoints (default 1).
@@ -51,6 +62,13 @@ usage: revizor-serve [options]
 
   --addr=HOST:PORT        client listen address (default 127.0.0.1:15790)
   --spool=DIR             durable job state; restarts resume unfinished jobs
+  --spool-retain=N        keep at most N terminal job records, pruning the
+                          oldest (default: keep all)
+  --store=DIR             indexed violation store, queryable with
+                          revizor-query (default: no indexing)
+  --token-file=FILE       require per-client tokens: one `<token> <tenant>`
+                          per line; clients pass --token and only see their
+                          tenant's jobs (default: open, no auth)
   --shards=N              local shard threads (default 2; ignored in fleet mode)
   --checkpoint-every=N    waves between spool checkpoints (default 1)
   --coordinator           fleet mode on the default fleet address
@@ -92,6 +110,9 @@ fn main() {
     let mut config = ServiceConfig {
         shards,
         spool: spool.clone(),
+        spool_retain: flag_value_from_args::<usize>("--spool-retain"),
+        store: flag_value_from_args::<String>("--store").map(PathBuf::from),
+        token_file: flag_value_from_args::<String>("--token-file").map(PathBuf::from),
         checkpoint_every,
         listen: Some(addr),
         worker_listen,

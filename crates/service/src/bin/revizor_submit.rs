@@ -18,8 +18,10 @@
 //! (default `CT-SEQ`), `--seed`, `--budget`, `--round-size`,
 //! `--parallelism`, `--priority` (higher starts first on a saturated
 //! service), `--inputs` (inputs per test case), `--reps` (measurement
-//! repetitions), `--escalation`, `--table3`.  With `--wait` the job's
-//! events stream to stderr and the result JSON is printed to stdout.
+//! repetitions), `--escalation`, `--table3`, `--token=TOK` (client
+//! token, required by servers running with `--token-file`).  With
+//! `--wait` the job's events stream to stderr and the result JSON is
+//! printed to stdout.
 //!
 //! If the server dies mid-`--wait`, the exit code is 3 and the job id is
 //! printed: the job is spooled server-side and resumes on the next server
@@ -41,6 +43,9 @@ fn main() {
         Ok(client) => client,
         Err(e) => fail(&format!("cannot connect to {addr}: {e}")),
     };
+    if let Some(token) = flag_value_from_args::<String>("--token") {
+        client = client.with_token(&token);
+    }
 
     // Query modes.
     if let Some(job) = flag_value_from_args::<String>("--status") {

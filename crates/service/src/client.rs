@@ -66,6 +66,7 @@ impl fmt::Display for WatchError {
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    token: Option<String>,
 }
 
 /// Why a response line could not be read (internal; callers fold this
@@ -93,7 +94,23 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { writer, reader })
+        Ok(Client { writer, reader, token: None })
+    }
+
+    /// Builder: authenticate every request with `token` (required by
+    /// servers running with `--token-file`; harmless on open servers).
+    pub fn with_token(mut self, token: &str) -> Client {
+        self.token = Some(token.to_string());
+        self
+    }
+
+    /// A request skeleton for `op`, carrying the client token when set.
+    fn op(&self, op: &str) -> Json {
+        let request = Json::obj().field("op", op);
+        match &self.token {
+            Some(token) => request.field("token", token.as_str()),
+            None => request,
+        }
     }
 
     fn read_line(&mut self) -> Result<Json, ReadError> {
@@ -145,8 +162,7 @@ impl Client {
     /// # Errors
     /// Propagates transport/validation errors.
     pub fn submit(&mut self, spec: &JobSpec) -> Result<String, String> {
-        let response =
-            self.request(&Json::obj().field("op", "submit").field("spec", spec.to_json()))?;
+        let response = self.request(&self.op("submit").field("spec", spec.to_json()))?;
         response
             .get("job")
             .and_then(Json::as_str)
@@ -163,7 +179,7 @@ impl Client {
     /// [`SubmitError::Backpressure`] with the server's retry hint, or
     /// [`SubmitError::Rejected`] for anything else.
     pub fn try_submit(&mut self, spec: &JobSpec) -> Result<String, SubmitError> {
-        let request = Json::obj().field("op", "submit").field("spec", spec.to_json());
+        let request = self.op("submit").field("spec", spec.to_json());
         let response = self.request_raw(&request).map_err(SubmitError::Rejected)?;
         if response.get("ok").and_then(Json::as_bool) == Some(false) {
             if let Some(retry_ms) = response.get("retry_after_ms").and_then(Json::as_u64) {
@@ -189,7 +205,7 @@ impl Client {
     /// # Errors
     /// Propagates transport errors and unknown-job errors.
     pub fn status(&mut self, job: &str) -> Result<Json, String> {
-        let response = self.request(&Json::obj().field("op", "status").field("job", job))?;
+        let response = self.request(&self.op("status").field("job", job))?;
         response.get("status").cloned().ok_or("status response carried no status".to_string())
     }
 
@@ -198,7 +214,7 @@ impl Client {
     /// # Errors
     /// Propagates transport errors and unknown-job errors.
     pub fn result(&mut self, job: &str) -> Result<Option<Json>, String> {
-        let response = self.request(&Json::obj().field("op", "result").field("job", job))?;
+        let response = self.request(&self.op("result").field("job", job))?;
         match response.get("done").and_then(Json::as_bool) {
             Some(true) => Ok(response.get("result").cloned()),
             _ => Ok(None),
@@ -214,7 +230,7 @@ impl Client {
     /// Propagates transport errors, unknown-job and already-finished
     /// errors.
     pub fn cancel(&mut self, job: &str) -> Result<String, String> {
-        let response = self.request(&Json::obj().field("op", "cancel").field("job", job))?;
+        let response = self.request(&self.op("cancel").field("job", job))?;
         response
             .get("state")
             .and_then(Json::as_str)
@@ -235,7 +251,7 @@ impl Client {
         job: &str,
         mut on_event: impl FnMut(&Json),
     ) -> Result<Json, WatchError> {
-        self.request(&Json::obj().field("op", "watch").field("job", job))
+        self.request(&self.op("watch").field("job", job))
             .map_err(WatchError::Other)?;
         loop {
             // Once the subscription is live, a dead connection means the

@@ -58,8 +58,11 @@
 
 use crate::core::{ServiceCore, UnitDisposition, UnitGrant};
 use crate::framing;
+use rvz_bench::binfmt;
 use rvz_bench::json::{parse, Json};
-use rvz_bench::report::checkpoint_transfer_from_json;
+use rvz_bench::report::{
+    checkpoint_transfer_from_binary, checkpoint_transfer_from_json, CheckpointTransfer,
+};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -74,6 +77,11 @@ struct WorkerConn {
     /// The name the worker registered under (empty until `register`).
     name: String,
     registered: bool,
+    /// Did the worker advertise binary-frame support (`"binary": true` in
+    /// its `register` frame)?  Grants to it go out as binary frames and
+    /// it answers with binary wave transfers; JSON-only workers coexist
+    /// on the same port.
+    binary: bool,
     /// Has the worker asked for work (`lease`) it has not been granted yet?
     wants_work: bool,
     /// When the connection last produced bytes, for the silent-partition
@@ -139,6 +147,7 @@ impl Coordinator {
                             outbuf: Vec::new(),
                             name: String::new(),
                             registered: false,
+                            binary: false,
                             wants_work: false,
                             last_heard: Instant::now(),
                             unit: None,
@@ -218,16 +227,34 @@ impl Coordinator {
         progress
     }
 
-    /// Read and handle every complete frame of one connection.
+    /// Read and handle every complete frame (JSON line or binary) of one
+    /// connection.
     fn service_conn(core: &Arc<ServiceCore>, conn: &mut WorkerConn) -> bool {
         let (mut progress, closed) = framing::read_available(&mut conn.stream, &mut conn.inbuf);
         conn.closed |= closed;
         if progress {
             conn.last_heard = Instant::now();
         }
-        while let Some(line) = framing::next_line(&mut conn.inbuf) {
-            Self::handle_frame(core, conn, &line);
-            progress = true;
+        while !conn.closed {
+            match framing::next_frame(&mut conn.inbuf) {
+                Ok(None) => break,
+                Ok(Some(framing::WireFrame::Json(line))) => {
+                    Self::handle_frame(core, conn, &line);
+                    progress = true;
+                }
+                Ok(Some(framing::WireFrame::Binary(bytes))) => {
+                    Self::handle_binary_frame(core, conn, &bytes);
+                    progress = true;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "coordinator: corrupt worker stream ({e}); dropping `{}`",
+                        conn.name
+                    );
+                    conn.closed = true;
+                    progress = true;
+                }
+            }
         }
         progress
     }
@@ -253,6 +280,7 @@ impl Coordinator {
                     .unwrap_or("anonymous")
                     .to_string();
                 conn.registered = true;
+                conn.binary = frame.get("binary").and_then(Json::as_bool) == Some(true);
                 conn.queue_line(&Json::obj().field("op", "registered"));
             }
             Some("lease") => conn.wants_work = true,
@@ -263,17 +291,8 @@ impl Coordinator {
             Some("unit_done") => Self::handle_unit_done(core, conn, &frame),
             Some("unit_cancelled") => {
                 let Some((job, target, lease)) = unit_fields(&frame) else { return };
-                // The worker's stopping point rides along as a normal
-                // checkpoint transfer; keep it only if it validates.
-                let checkpoint = checkpoint_transfer_from_json(&frame)
-                    .ok()
-                    .filter(|t| t.validates() && t.job == job)
-                    .map(|t| t.checkpoint);
-                core.cancel_unit(&job, target, lease, checkpoint);
-                if conn.unit.as_ref().is_some_and(|(j, t, _)| *j == job && *t == target) {
-                    conn.unit = None;
-                    conn.cancel_sent = false;
-                }
+                let transfer = checkpoint_transfer_from_json(&frame).ok();
+                Self::apply_unit_cancelled(core, conn, &job, target, lease, transfer);
             }
             Some("unit_failed") => {
                 let Some((job, target, lease)) = unit_fields(&frame) else { return };
@@ -288,6 +307,54 @@ impl Coordinator {
                 }
             }
             _ => {}
+        }
+    }
+
+    /// Handle one binary worker frame — a `wave` / `unit_done` /
+    /// `unit_cancelled` checkpoint transfer whose routing fields ride in
+    /// the frame's meta section.  Control frames stay JSON in both
+    /// directions, so any other binary frame is a protocol violation.
+    fn handle_binary_frame(core: &Arc<ServiceCore>, conn: &mut WorkerConn, bytes: &[u8]) {
+        let decoded = match checkpoint_transfer_from_binary(bytes) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!(
+                    "coordinator: undecodable binary transfer ({e}); dropping `{}`",
+                    conn.name
+                );
+                conn.closed = true;
+                return;
+            }
+        };
+        let meta = decoded.meta;
+        let (Some(target), Some(lease)) = (
+            meta.get("target").and_then(Json::as_u64).and_then(|t| u8::try_from(t).ok()),
+            meta.get("lease").and_then(Json::as_u64),
+        ) else {
+            conn.closed = true;
+            return;
+        };
+        let job = decoded.transfer.job.clone();
+        let events = meta
+            .get("events")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        match framing::op(&meta) {
+            Some("wave") => Self::apply_wave(core, conn, &job, target, lease, decoded.transfer, events),
+            Some("unit_done") => {
+                Self::apply_unit_done(core, conn, &job, target, lease, decoded.transfer, events);
+            }
+            Some("unit_cancelled") => {
+                Self::apply_unit_cancelled(core, conn, &job, target, lease, Some(decoded.transfer));
+            }
+            op => {
+                eprintln!(
+                    "coordinator: unexpected binary op {op:?}; dropping `{}`",
+                    conn.name
+                );
+                conn.closed = true;
+            }
         }
     }
 
@@ -306,6 +373,25 @@ impl Coordinator {
                 return;
             }
         };
+        let events = frame
+            .get("events")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        Self::apply_wave(core, conn, &job, target, lease, transfer, events);
+    }
+
+    /// Format-independent core of wave replication: validate the digest,
+    /// spool the snapshot, publish events, answer the (always-JSON) ack.
+    fn apply_wave(
+        core: &Arc<ServiceCore>,
+        conn: &mut WorkerConn,
+        job: &str,
+        target: u8,
+        lease: u64,
+        transfer: CheckpointTransfer,
+        events: Vec<Json>,
+    ) {
         let wave = transfer.checkpoint.wave;
         let mut accepted = false;
         let mut revoked = false;
@@ -318,14 +404,9 @@ impl Coordinator {
                  (rejected)"
             );
         } else {
-            match core.save_unit_checkpoint(&job, target, lease, transfer.checkpoint) {
+            match core.save_unit_checkpoint(job, target, lease, transfer.checkpoint) {
                 UnitDisposition::Accepted => {
-                    let events = frame
-                        .get("events")
-                        .and_then(Json::as_array)
-                        .map(<[Json]>::to_vec)
-                        .unwrap_or_default();
-                    core.publish(&job, events);
+                    core.publish(job, events);
                     conn.last_progress = Instant::now();
                     accepted = true;
                 }
@@ -333,14 +414,14 @@ impl Coordinator {
                 UnitDisposition::Ignored => {}
             }
         }
-        if revoked && conn.unit.as_ref().is_some_and(|(j, t, _)| *j == job && *t == target) {
+        if revoked && conn.unit.as_ref().is_some_and(|(j, t, _)| j == job && *t == target) {
             conn.unit = None;
             conn.cancel_sent = false;
         }
         conn.queue_line(
             &Json::obj()
                 .field("op", "ack")
-                .field("job", job.as_str())
+                .field("job", job)
                 .field("target", target)
                 .field("wave", wave)
                 .field("accepted", accepted)
@@ -364,6 +445,24 @@ impl Coordinator {
                 return;
             }
         };
+        let events = frame
+            .get("events")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        Self::apply_unit_done(core, conn, &job, target, lease, transfer, events);
+    }
+
+    /// Format-independent core of unit completion.
+    fn apply_unit_done(
+        core: &Arc<ServiceCore>,
+        conn: &mut WorkerConn,
+        job: &str,
+        target: u8,
+        lease: u64,
+        transfer: CheckpointTransfer,
+        events: Vec<Json>,
+    ) {
         if !transfer.validates() || transfer.job != job {
             // A final snapshot that lost state in transit cannot be
             // accepted, and there is nothing older to fall back to for a
@@ -378,13 +477,28 @@ impl Coordinator {
             conn.closed = true;
             return;
         }
-        let events = frame
-            .get("events")
-            .and_then(Json::as_array)
-            .map(<[Json]>::to_vec)
-            .unwrap_or_default();
-        core.complete_unit(&job, target, lease, transfer.checkpoint, events);
-        if conn.unit.as_ref().is_some_and(|(j, t, _)| *j == job && *t == target) {
+        core.complete_unit(job, target, lease, transfer.checkpoint, events);
+        if conn.unit.as_ref().is_some_and(|(j, t, _)| j == job && *t == target) {
+            conn.unit = None;
+            conn.cancel_sent = false;
+        }
+    }
+
+    /// Format-independent core of cooperative cancellation: the worker's
+    /// stopping point rides along as a normal checkpoint transfer; keep it
+    /// only if it validates.
+    fn apply_unit_cancelled(
+        core: &Arc<ServiceCore>,
+        conn: &mut WorkerConn,
+        job: &str,
+        target: u8,
+        lease: u64,
+        transfer: Option<CheckpointTransfer>,
+    ) {
+        let checkpoint =
+            transfer.filter(|t| t.validates() && t.job == job).map(|t| t.checkpoint);
+        core.cancel_unit(job, target, lease, checkpoint);
+        if conn.unit.as_ref().is_some_and(|(j, t, _)| j == job && *t == target) {
             conn.unit = None;
             conn.cancel_sent = false;
         }
@@ -433,7 +547,11 @@ impl Coordinator {
                 }
             );
             let conn = &mut self.conns[i];
-            conn.queue_line(&grant_frame(&grant));
+            if conn.binary {
+                framing::queue_binary(&mut conn.outbuf, &binary_grant_frame(&grant));
+            } else {
+                conn.queue_line(&grant_frame(&grant));
+            }
             conn.unit = Some((grant.job, grant.target, grant.lease));
             conn.wants_work = false;
             conn.cancel_sent = false;
@@ -518,7 +636,7 @@ fn unit_fields(frame: &Json) -> Option<(String, u8, u64)> {
     Some((job, target, lease))
 }
 
-/// The wire form of a lease grant.
+/// The JSON wire form of a lease grant.
 fn grant_frame(grant: &UnitGrant) -> Json {
     Json::obj()
         .field("op", "grant")
@@ -530,6 +648,24 @@ fn grant_frame(grant: &UnitGrant) -> Json {
             "checkpoint",
             grant.checkpoint.as_ref().map(rvz_bench::report::matrix_checkpoint_to_json),
         )
+}
+
+/// The binary wire form of a lease grant (for workers that advertised
+/// binary support): routing fields as a meta section, the resume
+/// checkpoint — the bulky part — as a typed section.
+fn binary_grant_frame(grant: &UnitGrant) -> Vec<u8> {
+    let meta = Json::obj()
+        .field("op", "grant")
+        .field("job", grant.job.as_str())
+        .field("target", grant.target)
+        .field("lease", grant.lease)
+        .field("spec", grant.spec.to_json());
+    let mut frame =
+        binfmt::FrameBuilder::new(binfmt::KIND_GRANT).json_section(binfmt::TAG_META, &meta);
+    if let Some(cp) = &grant.checkpoint {
+        frame = frame.checkpoint_section(binfmt::TAG_CHECKPOINT, cp);
+    }
+    frame.build()
 }
 
 /// A running coordinator: the reactor thread plus its bound worker

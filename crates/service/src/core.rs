@@ -35,6 +35,11 @@ pub struct ServiceConfig {
     /// Spool directory for durable job state; `None` keeps everything in
     /// memory (jobs are lost when the process exits).
     pub spool: Option<PathBuf>,
+    /// Keep at most this many terminal (done / cancelled) job records in
+    /// the spool; `None` keeps all of them.  A long-lived server otherwise
+    /// accretes one record per finished job forever (see
+    /// [`crate::spool::Spool::with_retain`]).
+    pub spool_retain: Option<usize>,
     /// Waves between spool checkpoints (1 = checkpoint after every wave).
     /// In-process mode only: multi-host replication always persists every
     /// ack'd wave — the "spool replica is at most one wave behind" failover
@@ -69,6 +74,19 @@ pub struct ServiceConfig {
     /// (with a retry-after hint) while the queued work-unit count is at or
     /// above this.  Leased units do not count — they are being worked.
     pub queue_watermark: usize,
+    /// Indexed violation store directory (see [`rvz_store::Store`]): every
+    /// finished job's violation cells are appended to it, deduplicated by
+    /// minimized-gadget equivalence and queryable with `revizor-query`.
+    /// `None` disables indexing.  Store writes happen *after* the result is
+    /// computed and never touch it, so indexing can never perturb verdicts.
+    pub store: Option<PathBuf>,
+    /// Token-auth file for the client front-end: one `<token> <tenant>`
+    /// pair per line (`#` comments and blank lines ignored).  When set,
+    /// every client op except `ping` requires a valid token, submitted
+    /// jobs are stamped with the token's tenant, and `list`/`status`
+    /// (and every other job-addressed op) are scoped to that tenant.
+    /// `None` runs the front-end open, exactly as before.
+    pub token_file: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -76,12 +94,15 @@ impl Default for ServiceConfig {
         ServiceConfig {
             shards: 2,
             spool: None,
+            spool_retain: None,
             checkpoint_every: 1,
             listen: None,
             worker_listen: None,
             worker_timeout: Duration::from_secs(120),
             steal_after: Duration::from_secs(30),
             queue_watermark: 1024,
+            store: None,
+            token_file: None,
         }
     }
 }
@@ -180,14 +201,22 @@ pub struct JobStatus {
     /// Per-unit placement, once the job's work units have materialized
     /// (fleet mode); empty on the shard path.
     pub units: Vec<UnitStatus>,
+    /// Owning tenant (token-auth mode; see [`crate::job::JobSpec::tenant`]).
+    /// `None` for tenantless jobs, which every client may see.
+    pub tenant: Option<String>,
 }
 
 impl JobStatus {
-    /// The wire form of the summary.
+    /// The wire form of the summary.  The tenant field is emitted only
+    /// when set, keeping open-mode responses in their pre-auth shape.
     pub fn to_json(&self) -> Json {
         let mut doc = Json::obj()
             .field("job", self.job.as_str())
-            .field("state", self.phase.label())
+            .field("state", self.phase.label());
+        if let Some(tenant) = &self.tenant {
+            doc = doc.field("tenant", tenant.as_str());
+        }
+        let mut doc = doc
             .field("shard", self.shard)
             .field("priority", rvz_bench::report::i64_to_json(self.priority))
             .field("worker", self.worker.as_deref())
@@ -264,6 +293,12 @@ pub(crate) enum UnitDisposition {
 pub struct ServiceCore {
     config: ServiceConfig,
     spool: Option<Spool>,
+    /// Indexed violation store ([`ServiceConfig::store`]); written after a
+    /// job's result is computed, off the verdict path.
+    store: Option<rvz_store::Store>,
+    /// Parsed [`ServiceConfig::token_file`]: token → tenant.  `None` runs
+    /// the client front-end open (no auth).
+    auth: Option<BTreeMap<String, String>>,
     state: Mutex<CoreState>,
     /// Notified on every state change: submissions (wakes workers), events
     /// and completions (wakes watchers / waiters).
@@ -301,7 +336,15 @@ impl ServiceCore {
             config.shards = 1;
         }
         let spool = match &config.spool {
-            Some(dir) => Some(Spool::open(dir)?),
+            Some(dir) => Some(Spool::open(dir)?.with_retain(config.spool_retain)),
+            None => None,
+        };
+        let store = match &config.store {
+            Some(dir) => Some(rvz_store::Store::open(dir)?),
+            None => None,
+        };
+        let auth = match &config.token_file {
+            Some(path) => Some(load_tokens(path)?),
             None => None,
         };
         let mut state = CoreState { jobs: BTreeMap::new(), order: Vec::new(), queued: 0 };
@@ -376,6 +419,8 @@ impl ServiceCore {
         let core = Arc::new(ServiceCore {
             config,
             spool,
+            store,
+            auth,
             state: Mutex::new(state),
             changed: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -1088,7 +1133,7 @@ impl ServiceCore {
         };
         let (spec, checkpoints) = snapshot;
         let mut collector = EventCollector { job: job.to_string(), events: Vec::new() };
-        let outcome: Result<Json, String> = (|| {
+        let outcome: Result<MatrixReport, String> = (|| {
             let matrix = spec.to_matrix()?;
             let subs = matrix.group_matrices();
             if subs.len() != checkpoints.len() {
@@ -1107,13 +1152,13 @@ impl ServiceCore {
                     .map_err(|e| format!("final sub-checkpoint rejected: {e}"))?;
                 reports.push(run.finish(&mut collector));
             }
-            let report = matrix.merge_reports(reports)?;
-            Ok(job_result_json(job, &spec, &report))
+            matrix.merge_reports(reports)
         })();
         match outcome {
-            Ok(result) => {
+            Ok(report) => {
                 self.publish(job, std::mem::take(&mut collector.events));
-                self.complete(job, result);
+                self.index_result(job, &report);
+                self.complete(job, job_result_json(job, &spec, &report));
             }
             Err(e) => {
                 // Only a hand-edited spool (or a codec bug) gets here.
@@ -1373,8 +1418,53 @@ impl ServiceCore {
         }
         let report = run.finish(&mut collector);
         self.publish(job, std::mem::take(&mut collector.events));
+        self.index_result(job, &report);
         self.complete(job, job_result_json(job, spec, &report));
     }
+
+    /// Append a finished job's violation cells to the indexed store (a
+    /// no-op without [`ServiceConfig::store`]).  Indexing failures are
+    /// logged, never propagated: the index is a derived view and must not
+    /// affect job results.
+    fn index_result(&self, job: &str, report: &MatrixReport) {
+        let Some(store) = &self.store else { return };
+        if let Err(e) = store.index_report(job, report) {
+            eprintln!("store: failed to index job {job}: {e}");
+        }
+    }
+
+    /// The parsed token table ([`ServiceConfig::token_file`]): token →
+    /// tenant.  `None` means the client front-end runs open (no auth).
+    pub fn auth(&self) -> Option<&BTreeMap<String, String>> {
+        self.auth.as_ref()
+    }
+}
+
+/// Parse a token file: one `<token> <tenant>` pair per line; blank lines
+/// and `#` comments are ignored.
+fn load_tokens(path: &std::path::Path) -> io::Result<BTreeMap<String, String>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut tokens = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(token), Some(tenant), None) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}:{}: expected `<token> <tenant>`, got `{line}`",
+                    path.display(),
+                    i + 1
+                ),
+            ));
+        };
+        tokens.insert(token.to_string(), tenant.to_string());
+    }
+    Ok(tokens)
 }
 
 fn summarize(job: &str, e: &JobEntry) -> JobStatus {
@@ -1385,6 +1475,7 @@ fn summarize(job: &str, e: &JobEntry) -> JobStatus {
         shard: e.shard,
         priority: e.spec.priority,
         worker: e.worker.clone(),
+        tenant: e.spec.tenant.clone(),
         cells,
         cells_finished: match e.phase {
             JobPhase::Done => cells,
@@ -1645,6 +1736,36 @@ mod tests {
             .collect();
         assert_eq!(drained, vec![high, low_first, low_second, negative]);
         assert!(core.claim(None).is_none(), "queue fully drained");
+    }
+
+    /// Two finished jobs that hit the same gadget produce one deduplicated
+    /// store entry with an occurrence count of 2 — the indexed-store
+    /// contract end to end through the core's completion path.
+    #[test]
+    fn finished_jobs_index_their_violations_into_the_store() {
+        let dir = std::env::temp_dir()
+            .join(format!("rvz-core-test-{}-store-index", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServiceConfig {
+            shards: 1,
+            store: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let core = ServiceCore::new(config).unwrap();
+        let spec = || JobSpec::new(7).with_budget(60).add_cell(5, "CT-SEQ");
+        for _ in 0..2 {
+            let job = core.submit(spec()).unwrap();
+            let (claimed, spec, checkpoint) = core.claim(None).unwrap();
+            assert_eq!(claimed, job);
+            core.drive(&job, &spec, checkpoint);
+            assert_eq!(core.status(&job).unwrap().phase, JobPhase::Done);
+        }
+        let merged = rvz_store::Store::open(&dir).unwrap().merged().unwrap();
+        assert_eq!(merged.len(), 1, "identical gadgets dedup into one entry");
+        assert_eq!(merged[0].count, 2);
+        assert_eq!(merged[0].jobs.len(), 2);
+        assert_eq!(merged[0].entry.target, 5);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

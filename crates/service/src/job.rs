@@ -40,6 +40,12 @@ pub struct JobSpec {
     /// Scheduling priority: among queued jobs, higher drains first (FIFO
     /// within a priority).  Does not preempt a job that already runs.
     pub priority: i64,
+    /// Owning tenant, stamped by the server from the authenticated token
+    /// (never trusted from the submitted document — the front-end
+    /// overwrites it).  `None` on open-mode servers; tenantless jobs are
+    /// visible to every authenticated client.  Carried in the spec so
+    /// ownership survives spool restarts; it never affects verdicts.
+    pub tenant: Option<String>,
     /// The matrix cells: `(Table 2 target id, canonical contract name)`.
     pub cells: Vec<(u8, String)>,
 }
@@ -59,6 +65,7 @@ impl JobSpec {
             branch_then_load_bias: true,
             escalation: false,
             priority: 0,
+            tenant: None,
             cells: Vec::new(),
         }
     }
@@ -95,6 +102,12 @@ impl JobSpec {
     /// Builder: set the scheduling priority (higher drains first).
     pub fn with_priority(mut self, priority: i64) -> JobSpec {
         self.priority = priority;
+        self
+    }
+
+    /// Builder: set the owning tenant (see [`JobSpec::tenant`]).
+    pub fn with_tenant(mut self, tenant: &str) -> JobSpec {
+        self.tenant = Some(tenant.to_string());
         self
     }
 
@@ -139,15 +152,20 @@ impl JobSpec {
         Ok(matrix)
     }
 
-    /// Serialize the spec (the `spec` field of a `submit` request).
+    /// Serialize the spec (the `spec` field of a `submit` request).  The
+    /// tenant field is emitted only when set, so tenantless spool records
+    /// and submissions keep their pre-auth shape byte-for-byte.
     pub fn to_json(&self) -> Json {
         let cells: Vec<Json> = self
             .cells
             .iter()
             .map(|(t, c)| Json::obj().field("target", *t).field("contract", c.as_str()))
             .collect();
-        Json::obj()
-            .field("seed", self.seed)
+        let mut doc = Json::obj();
+        if let Some(tenant) = &self.tenant {
+            doc = doc.field("tenant", tenant.as_str());
+        }
+        doc.field("seed", self.seed)
             .field("budget", self.budget)
             .field("round_size", self.round_size)
             .field("parallelism", self.parallelism)
@@ -205,6 +223,14 @@ impl JobSpec {
             None => 0,
             Some(p) => i64_from_json(p).map_err(|e| format!("spec field `priority`: {e}"))?,
         };
+        spec.tenant = match v.get("tenant") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(
+                t.as_str()
+                    .map(str::to_string)
+                    .ok_or("spec field `tenant` is not a string")?,
+            ),
+        };
         let cells = v
             .get("cells")
             .and_then(Json::as_array)
@@ -244,6 +270,9 @@ mod tests {
                 .add_cell(1, "ARCH-SEQ");
             let doc = spec.to_json().render();
             assert_eq!(JobSpec::from_json(&parse(&doc).unwrap()).unwrap(), spec);
+            let owned = spec.with_tenant("acme");
+            let doc = owned.to_json().render();
+            assert_eq!(JobSpec::from_json(&parse(&doc).unwrap()).unwrap(), owned);
         }
     }
 

@@ -23,6 +23,17 @@
 //! | `{"op":"watch","job":"…"}` | `{"ok":true,"watching":"…"}`, then streamed events |
 //! | `{"op":"cancel","job":"…"}` | `{"ok":true,"job":"…","state":"cancelled"\|"cancelling"}` |
 //!
+//! **Auth**: when the server runs with a token file
+//! ([`ServiceConfig::token_file`](crate::ServiceConfig::token_file)),
+//! every request except `ping` must carry a `"token"` field naming a
+//! known token; unauthenticated (or unknown-token) requests are rejected
+//! with an `unauthorized: …` error.  Submitted jobs are stamped with the
+//! token's *tenant*, `list` returns only the caller's (and tenantless)
+//! jobs, and every job-addressed op (`status`, `result`, `watch`,
+//! `cancel`) answers `unknown job` for jobs owned by other tenants —
+//! existence is not leaked across tenants.  Without a token file the
+//! protocol is exactly as before (tokens are ignored).
+//!
 //! Errors come back as `{"ok":false,"error":"…"}`.  A `watch` subscription
 //! streams the job's event log from the beginning (`{"event":"round"\|"cell"}`
 //! lines) and ends with the `{"event":"done","result":{…}}` line (for a
@@ -171,6 +182,50 @@ impl Server {
     }
 }
 
+/// The caller's resolved identity: `Open` on servers without a token
+/// file, `Tenant` after a successful token lookup.
+enum Identity {
+    /// No auth configured; every job is visible.
+    Open,
+    /// Authenticated as this tenant; sees own and tenantless jobs.
+    Tenant(String),
+}
+
+impl Identity {
+    /// Whether a job owned by `owner` is visible to this caller.
+    fn sees(&self, owner: Option<&str>) -> bool {
+        match (self, owner) {
+            (Identity::Open, _) | (_, None) => true,
+            (Identity::Tenant(tenant), Some(owner)) => tenant == owner,
+        }
+    }
+
+    /// The tenant to stamp on submitted jobs.
+    fn tenant(&self) -> Option<&str> {
+        match self {
+            Identity::Open => None,
+            Identity::Tenant(tenant) => Some(tenant),
+        }
+    }
+}
+
+/// Resolve the request's identity against the core's token table.
+/// `Err` carries the ready-to-send unauthorized response.
+fn authenticate(core: &ServiceCore, request: &Json, op: &str) -> Result<Identity, Json> {
+    let Some(tokens) = core.auth() else { return Ok(Identity::Open) };
+    match request.get("token").and_then(Json::as_str) {
+        Some(token) => match tokens.get(token) {
+            Some(tenant) => Ok(Identity::Tenant(tenant.clone())),
+            None => Err(error("unauthorized: unknown token".to_string())),
+        },
+        None if op == "ping" => Ok(Identity::Open),
+        None => Err(error(format!(
+            "unauthorized: `{op}` requires a `token` field on this server \
+             (it runs with --token-file; pass --token to revizor-submit)"
+        ))),
+    }
+}
+
 /// Handle one request line; returns the response document (and may register
 /// a watch subscription).
 fn dispatch(core: &Arc<ServiceCore>, line: &str, watches: &mut Vec<(String, usize)>) -> Json {
@@ -182,16 +237,31 @@ fn dispatch(core: &Arc<ServiceCore>, line: &str, watches: &mut Vec<(String, usiz
         Some(op) => op,
         None => return error("request needs a string `op` field".to_string()),
     };
+    let identity = match authenticate(core, &request, op) {
+        Ok(identity) => identity,
+        Err(response) => return response,
+    };
+    // A job-addressed op on another tenant's job answers exactly like a
+    // nonexistent job, so job ids never leak across tenants.
+    let visible = |job: &str| -> Result<(), Json> {
+        match core.status(job) {
+            Some(status) if identity.sees(status.tenant.as_deref()) => Ok(()),
+            _ => Err(error(format!("unknown job `{job}`"))),
+        }
+    };
     match op {
         "ping" => Json::obj().field("ok", true).field("pong", true),
         "submit" => {
             let Some(spec) = request.get("spec") else {
                 return error("submit needs a `spec` object".to_string());
             };
-            let spec = match JobSpec::from_json(spec) {
+            let mut spec = match JobSpec::from_json(spec) {
                 Ok(spec) => spec,
                 Err(e) => return error(e),
             };
+            // Ownership comes from the authenticated token, never from
+            // the submitted document.
+            spec.tenant = identity.tenant().map(str::to_string);
             match core.try_submit(spec) {
                 Ok(job) => {
                     let shard = core.status(&job).map(|s| s.shard).unwrap_or(0);
@@ -212,30 +282,47 @@ fn dispatch(core: &Arc<ServiceCore>, line: &str, watches: &mut Vec<(String, usiz
         }
         "status" => match job_of(&request) {
             Err(e) => error(e),
-            Ok(job) => match core.status(job) {
-                Some(status) => Json::obj().field("ok", true).field("status", status.to_json()),
-                None => error(format!("unknown job `{job}`")),
+            Ok(job) => match visible(job) {
+                Err(response) => response,
+                Ok(()) => match core.status(job) {
+                    Some(status) => {
+                        Json::obj().field("ok", true).field("status", status.to_json())
+                    }
+                    None => error(format!("unknown job `{job}`")),
+                },
             },
         },
         "list" => Json::obj().field("ok", true).field(
             "jobs",
-            Json::Arr(core.list().iter().map(|s| s.to_json()).collect()),
+            Json::Arr(
+                core.list()
+                    .iter()
+                    .filter(|s| identity.sees(s.tenant.as_deref()))
+                    .map(|s| s.to_json())
+                    .collect(),
+            ),
         ),
         "result" => match job_of(&request) {
             Err(e) => error(e),
-            Ok(job) => match core.result(job) {
-                None => error(format!("unknown job `{job}`")),
-                Some(None) => Json::obj().field("ok", true).field("done", false).field("result", Json::Null),
-                Some(Some(result)) => {
-                    Json::obj().field("ok", true).field("done", true).field("result", result)
-                }
+            Ok(job) => match visible(job) {
+                Err(response) => response,
+                Ok(()) => match core.result(job) {
+                    None => error(format!("unknown job `{job}`")),
+                    Some(None) => Json::obj()
+                        .field("ok", true)
+                        .field("done", false)
+                        .field("result", Json::Null),
+                    Some(Some(result)) => {
+                        Json::obj().field("ok", true).field("done", true).field("result", result)
+                    }
+                },
             },
         },
         "watch" => match job_of(&request) {
             Err(e) => error(e),
             Ok(job) => {
-                if core.status(job).is_none() {
-                    return error(format!("unknown job `{job}`"));
+                if let Err(response) = visible(job) {
+                    return response;
                 }
                 watches.push((job.to_string(), 0));
                 Json::obj().field("ok", true).field("watching", job)
@@ -243,18 +330,21 @@ fn dispatch(core: &Arc<ServiceCore>, line: &str, watches: &mut Vec<(String, usiz
         },
         "cancel" => match job_of(&request) {
             Err(e) => error(e),
-            Ok(job) => match core.cancel(job) {
+            Ok(job) => match visible(job) {
+                Err(response) => response,
                 // A queued job is already terminally cancelled; a running
                 // one stops cooperatively at its next wave boundary.
-                Ok(phase) => Json::obj().field("ok", true).field("job", job).field(
-                    "state",
-                    if phase == crate::spool::JobPhase::Cancelled {
-                        "cancelled"
-                    } else {
-                        "cancelling"
-                    },
-                ),
-                Err(e) => error(e),
+                Ok(()) => match core.cancel(job) {
+                    Ok(phase) => Json::obj().field("ok", true).field("job", job).field(
+                        "state",
+                        if phase == crate::spool::JobPhase::Cancelled {
+                            "cancelled"
+                        } else {
+                            "cancelling"
+                        },
+                    ),
+                    Err(e) => error(e),
+                },
             },
         },
         op => error(format!("unknown op `{op}`")),

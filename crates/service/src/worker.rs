@@ -37,8 +37,12 @@
 use crate::core::EventCollector;
 use crate::framing;
 use crate::job::JobSpec;
+use revizor::orchestrator::MatrixCheckpoint;
+use rvz_bench::binfmt;
 use rvz_bench::json::{parse, Json};
-use rvz_bench::report::{checkpoint_transfer_to_json, matrix_checkpoint_from_json};
+use rvz_bench::report::{
+    checkpoint_transfer_to_binary, checkpoint_transfer_to_json, matrix_checkpoint_from_json,
+};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -73,6 +77,12 @@ pub struct WorkerConfig {
     /// reconnect) before giving up.  Lets workers start before the
     /// coordinator and survive coordinator restarts.
     pub retry_for: Duration,
+    /// Do not advertise binary-frame support at registration
+    /// (`revizor-worker --wire-format=json`): the coordinator then sends
+    /// JSON grants and this worker replies with JSON wave transfers.
+    /// Verdicts are format-independent, so mixed fleets stay
+    /// byte-identical — the chaos harness checks exactly that.
+    pub force_json: bool,
 }
 
 impl WorkerConfig {
@@ -82,6 +92,7 @@ impl WorkerConfig {
             coordinator: coordinator.into(),
             name: format!("worker-{}", std::process::id()),
             retry_for: Duration::from_secs(10),
+            force_json: false,
         }
     }
 }
@@ -96,7 +107,17 @@ enum Flow {
     Exit,
 }
 
-/// A line-framed JSON connection to the coordinator.
+/// One message read off the coordinator connection.
+enum Msg {
+    /// A JSON protocol frame (grants, acks, revokes, cancels, shutdown).
+    Json(Json),
+    /// A parsed binary frame (a grant, when the coordinator speaks
+    /// binary — control frames stay JSON in both directions).
+    Binary(binfmt::Frame),
+}
+
+/// A mixed-format (JSON lines + binary frames) connection to the
+/// coordinator.
 struct FrameConn {
     stream: TcpStream,
     buf: Vec<u8>,
@@ -115,19 +136,39 @@ impl FrameConn {
         }
     }
 
-    /// Send one frame.
+    /// Send one JSON frame.
     fn send(&mut self, doc: &Json) -> io::Result<()> {
         let mut line = doc.render();
         line.push('\n');
         self.stream.write_all(line.as_bytes())
     }
 
-    /// Read one frame, blocking until a full line arrives.
-    fn read_frame(&mut self) -> io::Result<Json> {
+    /// Send one pre-encoded frame (a `\n`-terminated JSON line or a
+    /// self-delimiting binary frame).
+    fn send_raw(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.stream.write_all(frame)
+    }
+
+    /// Pop the next complete message already buffered, if any.
+    fn pop(&mut self) -> io::Result<Option<Msg>> {
+        let popped =
+            framing::next_frame(&mut self.buf).map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?;
+        match popped {
+            None => Ok(None),
+            Some(framing::WireFrame::Json(line)) => parse(&line)
+                .map(|doc| Some(Msg::Json(doc)))
+                .map_err(|e| io::Error::new(ErrorKind::InvalidData, e)),
+            Some(framing::WireFrame::Binary(bytes)) => binfmt::parse_frame(&bytes)
+                .map(|frame| Some(Msg::Binary(frame)))
+                .map_err(|e| io::Error::new(ErrorKind::InvalidData, e)),
+        }
+    }
+
+    /// Read one message, blocking until a full frame arrives.
+    fn read_frame(&mut self) -> io::Result<Msg> {
         loop {
-            if let Some(line) = framing::next_line(&mut self.buf) {
-                return parse(&line)
-                    .map_err(|e| io::Error::new(ErrorKind::InvalidData, e));
+            if let Some(msg) = self.pop()? {
+                return Ok(msg);
             }
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
@@ -141,13 +182,11 @@ impl FrameConn {
         }
     }
 
-    /// Read one frame, waiting at most `wait`; `Ok(None)` on timeout (used
-    /// by the lease loop to interleave heartbeats while idle).
-    fn read_frame_for(&mut self, wait: Duration) -> io::Result<Option<Json>> {
-        if let Some(line) = framing::next_line(&mut self.buf) {
-            return parse(&line)
-                .map(Some)
-                .map_err(|e| io::Error::new(ErrorKind::InvalidData, e));
+    /// Read one message, waiting at most `wait`; `Ok(None)` on timeout
+    /// (used by the lease loop to interleave heartbeats while idle).
+    fn read_frame_for(&mut self, wait: Duration) -> io::Result<Option<Msg>> {
+        if let Some(msg) = self.pop()? {
+            return Ok(Some(msg));
         }
         let deadline = Instant::now() + wait;
         self.stream.set_read_timeout(Some(wait))?;
@@ -157,10 +196,10 @@ impl FrameConn {
                 Ok(0) => break Err(io::Error::from(ErrorKind::UnexpectedEof)),
                 Ok(n) => {
                     self.buf.extend_from_slice(&chunk[..n]);
-                    if let Some(line) = framing::next_line(&mut self.buf) {
-                        break parse(&line)
-                            .map(Some)
-                            .map_err(|e| io::Error::new(ErrorKind::InvalidData, e));
+                    match self.pop() {
+                        Ok(None) => {}
+                        Ok(Some(msg)) => break Ok(Some(msg)),
+                        Err(e) => break Err(e),
                     }
                 }
                 Err(e)
@@ -175,25 +214,33 @@ impl FrameConn {
         result
     }
 
-    /// Read one frame if one is already available, without blocking (used
-    /// between waves to notice cancels and revokes promptly).
-    fn try_read_frame(&mut self) -> io::Result<Option<Json>> {
-        if !self.buf.contains(&b'\n') {
-            // No complete line buffered: drain whatever the socket has.
-            self.stream.set_nonblocking(true)?;
-            let (_, closed) = framing::read_available(&mut self.stream, &mut self.buf);
-            self.stream.set_nonblocking(false)?;
-            if closed {
-                return Err(ErrorKind::UnexpectedEof.into());
-            }
+    /// Read one message if one is already available, without blocking
+    /// (used between waves to notice cancels and revokes promptly).
+    fn try_read_frame(&mut self) -> io::Result<Option<Msg>> {
+        if let Some(msg) = self.pop()? {
+            return Ok(Some(msg));
         }
-        match framing::next_line(&mut self.buf) {
-            None => Ok(None),
-            Some(line) => parse(&line)
-                .map(Some)
-                .map_err(|e| io::Error::new(ErrorKind::InvalidData, e)),
+        // Nothing complete buffered: drain whatever the socket has.
+        self.stream.set_nonblocking(true)?;
+        let (_, closed) = framing::read_available(&mut self.stream, &mut self.buf);
+        self.stream.set_nonblocking(false)?;
+        if closed {
+            return Err(ErrorKind::UnexpectedEof.into());
         }
+        self.pop()
     }
+}
+
+/// One granted unit, in whichever format the coordinator spoke.
+struct Grant {
+    /// The grant's routing fields (`job`, `target`, `lease`, `spec`; JSON
+    /// grants also carry `checkpoint` here).
+    meta: Json,
+    /// The binary grant frame, when the coordinator sent one — the unit's
+    /// wave transfers then go back in binary too.  Its checkpoint section
+    /// is decoded inside [`Worker::run_unit`] so a decode failure reports
+    /// `unit_failed` exactly like an undecodable JSON checkpoint.
+    frame: Option<binfmt::Frame>,
 }
 
 /// A worker host: connects to a coordinator and drives leased work units
@@ -227,7 +274,8 @@ impl Worker {
             let mut conn = FrameConn::connect(&self.config.coordinator, self.config.retry_for)?;
             let register = Json::obj()
                 .field("op", "register")
-                .field("worker", self.config.name.as_str());
+                .field("worker", self.config.name.as_str())
+                .field("binary", !self.config.force_json);
             if conn.send(&register).is_err() {
                 continue;
             }
@@ -239,14 +287,25 @@ impl Worker {
                 }
                 let grant = loop {
                     match conn.read_frame_for(Duration::from_millis(250)) {
-                        Ok(Some(frame)) => match framing::op(&frame) {
-                            Some("grant") => break frame,
+                        Ok(Some(Msg::Json(frame))) => match framing::op(&frame) {
+                            Some("grant") => break Grant { meta: frame, frame: None },
                             Some("shutdown") => return Ok(()),
                             // `registered` acks and stragglers for units
                             // this worker no longer holds (stale acks,
                             // revokes, cancels) need no action.
                             _ => {}
                         },
+                        Ok(Some(Msg::Binary(frame))) if frame.kind == binfmt::KIND_GRANT => {
+                            match frame.json_section(binfmt::TAG_META, "grant meta") {
+                                Ok(meta) => break Grant { meta, frame: Some(frame) },
+                                // A grant whose meta does not decode is a
+                                // protocol bug; resync on a fresh
+                                // connection.
+                                Err(_) => continue 'reconnect,
+                            }
+                        }
+                        // Other binary kinds are never coordinator→worker.
+                        Ok(Some(Msg::Binary(_))) => {}
                         Ok(None) => {
                             if conn.send(&Json::obj().field("op", "heartbeat")).is_err() {
                                 continue 'reconnect;
@@ -266,33 +325,44 @@ impl Worker {
 
     /// Drive one granted unit: step its single-group sub-run, replicate,
     /// ack-gate, honor cancels, revokes and injected faults.
-    fn run_unit(&mut self, conn: &mut FrameConn, grant: &Json) -> Flow {
-        let Some(job) = grant.get("job").and_then(Json::as_str).map(str::to_string) else {
+    fn run_unit(&mut self, conn: &mut FrameConn, grant: &Grant) -> Flow {
+        let binary = grant.frame.is_some();
+        let meta = &grant.meta;
+        let Some(job) = meta.get("job").and_then(Json::as_str).map(str::to_string) else {
             return Flow::Continue;
         };
         let Some(target) =
-            grant.get("target").and_then(Json::as_u64).and_then(|t| u8::try_from(t).ok())
+            meta.get("target").and_then(Json::as_u64).and_then(|t| u8::try_from(t).ok())
         else {
             return Flow::Continue;
         };
-        let Some(lease) = grant.get("lease").and_then(Json::as_u64) else {
+        let Some(lease) = meta.get("lease").and_then(Json::as_u64) else {
             return Flow::Continue;
         };
         let fail = |conn: &mut FrameConn, error: &str| {
             Self::report_bad_unit(conn, &job, target, lease, error)
         };
-        let spec = match grant.get("spec") {
+        let spec = match meta.get("spec") {
             None => return fail(conn, "grant carries no spec"),
             Some(s) => match JobSpec::from_json(s) {
                 Ok(spec) => spec,
                 Err(e) => return fail(conn, &e),
             },
         };
-        let checkpoint = match grant.get("checkpoint") {
-            None | Some(Json::Null) => None,
-            Some(cp) => match matrix_checkpoint_from_json(cp) {
-                Ok(cp) => Some(cp),
-                Err(e) => return fail(conn, &e),
+        let checkpoint = match &grant.frame {
+            Some(frame) => match frame.section(binfmt::TAG_CHECKPOINT) {
+                None => None,
+                Some(_) => match frame.checkpoint_section(binfmt::TAG_CHECKPOINT, "checkpoint") {
+                    Ok(cp) => Some(cp),
+                    Err(e) => return fail(conn, &e),
+                },
+            },
+            None => match meta.get("checkpoint") {
+                None | Some(Json::Null) => None,
+                Some(cp) => match matrix_checkpoint_from_json(cp) {
+                    Ok(cp) => Some(cp),
+                    Err(e) => return fail(conn, &e),
+                },
             },
         };
         let matrix = match spec.to_matrix() {
@@ -335,21 +405,28 @@ impl Worker {
             loop {
                 match conn.try_read_frame() {
                     Ok(None) => break,
-                    Ok(Some(f)) => {
+                    Ok(Some(Msg::Json(f))) => {
                         if Self::is_revoke(&f, &job, target) {
                             return Flow::Continue; // stolen: abandon now
                         }
                         Self::note_cancel(&f, &job, &mut cancelled);
                     }
+                    // Binary frames mid-unit target some other lease.
+                    Ok(Some(Msg::Binary(_))) => {}
                     Err(_) => return Flow::Reconnect,
                 }
             }
             if cancelled {
-                let stop = checkpoint_transfer_to_json(&job, &run.checkpoint())
-                    .field("op", "unit_cancelled")
-                    .field("target", target)
-                    .field("lease", lease);
-                return match conn.send(&stop) {
+                let stop = Self::transfer_frame(
+                    binary,
+                    &job,
+                    &run.checkpoint(),
+                    "unit_cancelled",
+                    target,
+                    lease,
+                    None,
+                );
+                return match conn.send_raw(&stop) {
                     Ok(()) => Flow::Continue,
                     Err(_) => Flow::Reconnect,
                 };
@@ -361,17 +438,23 @@ impl Worker {
             // Replicate the wave and block for the coordinator's ack (the
             // spool replica stays at most one wave behind).
             let wave = run.wave();
-            let transfer = checkpoint_transfer_to_json(&job, &run.checkpoint())
-                .field("op", "wave")
-                .field("target", target)
-                .field("lease", lease)
-                .field("events", Json::Arr(std::mem::take(&mut collector.events)));
-            if conn.send(&transfer).is_err() {
+            let transfer = Self::transfer_frame(
+                binary,
+                &job,
+                &run.checkpoint(),
+                "wave",
+                target,
+                lease,
+                Some(std::mem::take(&mut collector.events)),
+            );
+            if conn.send_raw(&transfer).is_err() {
                 return Flow::Reconnect;
             }
             loop {
                 let reply = match conn.read_frame() {
-                    Ok(reply) => reply,
+                    Ok(Msg::Json(reply)) => reply,
+                    // Binary frames are grants; none can target this unit.
+                    Ok(Msg::Binary(_)) => continue,
                     Err(_) => return Flow::Reconnect,
                 };
                 match framing::op(&reply) {
@@ -400,14 +483,50 @@ impl Worker {
         // Budget exhausted: the final checkpoint IS the unit's result —
         // the coordinator resumes it with zero steps to reconstruct the
         // exact cell reports, so no report is computed (or shipped) here.
-        let done = checkpoint_transfer_to_json(&job, &run.checkpoint())
-            .field("op", "unit_done")
-            .field("target", target)
-            .field("lease", lease)
-            .field("events", Json::Arr(std::mem::take(&mut collector.events)));
-        match conn.send(&done) {
+        let done = Self::transfer_frame(
+            binary,
+            &job,
+            &run.checkpoint(),
+            "unit_done",
+            target,
+            lease,
+            Some(std::mem::take(&mut collector.events)),
+        );
+        match conn.send_raw(&done) {
             Ok(()) => Flow::Continue,
             Err(_) => Flow::Reconnect,
+        }
+    }
+
+    /// Encode one checkpoint transfer (`wave` / `unit_done` /
+    /// `unit_cancelled`) in the unit's negotiated format, ready to write.
+    fn transfer_frame(
+        binary: bool,
+        job: &str,
+        cp: &MatrixCheckpoint,
+        op: &str,
+        target: u8,
+        lease: u64,
+        events: Option<Vec<Json>>,
+    ) -> Vec<u8> {
+        if binary {
+            let mut meta =
+                Json::obj().field("op", op).field("target", target).field("lease", lease);
+            if let Some(events) = events {
+                meta = meta.field("events", Json::Arr(events));
+            }
+            checkpoint_transfer_to_binary(job, cp, &meta)
+        } else {
+            let mut doc = checkpoint_transfer_to_json(job, cp)
+                .field("op", op)
+                .field("target", target)
+                .field("lease", lease);
+            if let Some(events) = events {
+                doc = doc.field("events", Json::Arr(events));
+            }
+            let mut line = doc.render();
+            line.push('\n');
+            line.into_bytes()
         }
     }
 

@@ -1,0 +1,149 @@
+//! Query the indexed violation store without re-parsing result payloads.
+//!
+//! ```text
+//! revizor-query --store=DIR [--class=V1] [--target=N] [--contract=NAME]
+//!               [--vuln=CLASS] [--mnemonic=M] [--since-job=JOB] [--json]
+//! ```
+//!
+//! The store is written by `revizor-serve --store=DIR` as jobs finish (one
+//! entry per violation cell); identical minimized gadgets — same static
+//! signature, same program shape after register canonicalization — are
+//! merged into one row with an occurrence count and the list of observing
+//! jobs.
+//!
+//! * `--class` — gadget class label (`V1`, `V1.1`, `V2`, `V4`, `V5-ret`, …).
+//! * `--target` — Table 2 target id of the violating cell.
+//! * `--contract` — contract name of the violating cell (e.g. `CT-SEQ`).
+//! * `--vuln` — vulnerability class label (e.g. `Spectre-V1`).
+//! * `--mnemonic` — only gadgets whose program contains the mnemonic
+//!   (lowercase; terminators contribute `jmp` / `jcc`).
+//! * `--since-job` — only gadgets first observed *after* the named job's
+//!   last entry ("show me new gadget classes since job X").
+//! * `--json` — machine-readable output instead of the table.
+//!
+//! Examples: all V4 hits on target 3 is `--class=V4 --target=3`; anything
+//! new since yesterday's sweep is `--since-job=sweep-42`.
+
+use rvz_bench::json::Json;
+use rvz_bench::{flag_from_args, flag_value_from_args};
+use rvz_store::{MergedEntry, Store};
+
+const HELP: &str = "revizor-query: query the indexed violation store
+
+usage: revizor-query --store=DIR [filters]
+
+  --store=DIR        the store directory (revizor-serve --store)
+  --class=LABEL      filter by gadget class (V1, V1.1, V2, V4, V5-ret, ...)
+  --target=N         filter by Table 2 target id
+  --contract=NAME    filter by contract name (e.g. CT-SEQ)
+  --vuln=CLASS       filter by vulnerability class label
+  --mnemonic=M       filter by program mnemonic (lowercase; jmp/jcc for branches)
+  --since-job=JOB    only gadgets first observed after JOB's last entry
+  --json             machine-readable output
+  -h, --help         this text
+";
+
+fn matches(m: &MergedEntry) -> bool {
+    if let Some(class) = flag_value_from_args::<String>("--class") {
+        if m.entry.class != class {
+            return false;
+        }
+    }
+    if let Some(target) = flag_value_from_args::<u8>("--target") {
+        if m.entry.target != target {
+            return false;
+        }
+    }
+    if let Some(contract) = flag_value_from_args::<String>("--contract") {
+        if m.entry.contract != contract {
+            return false;
+        }
+    }
+    if let Some(vuln) = flag_value_from_args::<String>("--vuln") {
+        if m.entry.vulnerability != vuln {
+            return false;
+        }
+    }
+    if let Some(mnemonic) = flag_value_from_args::<String>("--mnemonic") {
+        if !m.entry.mnemonics.contains(&mnemonic) {
+            return false;
+        }
+    }
+    true
+}
+
+fn merged_json(m: &MergedEntry) -> Json {
+    Json::obj()
+        .field("class", m.entry.class.as_str())
+        .field("signature", m.entry.signature.as_str())
+        .field("target", m.entry.target)
+        .field("contract", m.entry.contract.as_str())
+        .field("vulnerability", m.entry.vulnerability.as_str())
+        .field(
+            "mnemonics",
+            Json::Arr(m.entry.mnemonics.iter().map(|s| Json::Str(s.clone())).collect()),
+        )
+        .field("fingerprint", m.entry.fingerprint)
+        .field("count", m.count)
+        .field("jobs", Json::Arr(m.jobs.iter().map(|s| Json::Str(s.clone())).collect()))
+}
+
+fn main() {
+    if flag_from_args("--help") || flag_from_args("-h") {
+        print!("{HELP}");
+        return;
+    }
+    let Some(dir) = flag_value_from_args::<String>("--store") else {
+        eprintln!("revizor-query: pass --store=DIR (the directory revizor-serve --store writes)");
+        std::process::exit(2);
+    };
+    let store = match Store::open(&dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("revizor-query: cannot open store `{dir}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let merged = match flag_value_from_args::<String>("--since-job") {
+        Some(job) => store.new_since(&job),
+        None => store.merged(),
+    };
+    let merged = match merged {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("revizor-query: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rows: Vec<&MergedEntry> = merged.iter().filter(|m| matches(m)).collect();
+
+    if flag_from_args("--json") {
+        let doc = Json::obj()
+            .field("gadgets", Json::Arr(rows.iter().map(|m| merged_json(m)).collect()))
+            .field("distinct", rows.len() as u64)
+            .field("observations", rows.iter().map(|m| m.count).sum::<u64>());
+        println!("{}", doc.render());
+        return;
+    }
+    println!(
+        "CLASS    SIGNATURE                    TARGET  CONTRACT   COUNT  \
+         JOBS                     MNEMONICS"
+    );
+    for m in &rows {
+        println!(
+            "{:<8} {:<28} {:>6}  {:<10} {:>5}  {:<24} {}",
+            m.entry.class,
+            m.entry.signature,
+            m.entry.target,
+            m.entry.contract,
+            m.count,
+            m.jobs.join(","),
+            m.entry.mnemonics.join(" "),
+        );
+    }
+    println!(
+        "{} distinct gadget(s), {} observation(s)",
+        rows.len(),
+        rows.iter().map(|m| m.count).sum::<u64>()
+    );
+}

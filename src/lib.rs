@@ -19,6 +19,8 @@
 //!   harnesses;
 //! * [`bench`] (`rvz-bench`) — experiment regeneration, the hand-rolled
 //!   JSON tree and the report export/import codecs;
+//! * [`store`] (`rvz-store`) — the indexed violation store
+//!   (`revizor-query`);
 //! * [`service`] (`rvz-service`) — the sharded campaign service
 //!   (`revizor-serve` / `revizor-submit`).
 //!
@@ -50,6 +52,7 @@ pub use rvz_uarch as uarch;
 pub use revizor;
 pub use rvz_bench as bench;
 pub use rvz_service as service;
+pub use rvz_store as store;
 
 /// Convenient single import for examples and integration tests.
 pub mod prelude {
