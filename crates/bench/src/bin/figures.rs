@@ -6,10 +6,11 @@
 //! * Figure 5 — the V1 latency-variant gadget;
 //! * §A.6 — the double-load store-bypass variant.
 
-use revizor::{gadgets, FuzzerConfig, Postprocessor, Revizor};
+use revizor::orchestrator::CampaignMatrix;
 use revizor::targets::Target;
+use revizor::{gadgets, FuzzerConfig, Postprocessor, Revizor};
 use rvz_executor::ExecutorConfig;
-use rvz_gen::{GeneratorConfig, InputGenerator, ProgramGenerator};
+use rvz_gen::{GeneratorConfig, ProgramGenerator, Scenario};
 use rvz_model::Contract;
 
 fn main() {
@@ -22,16 +23,24 @@ fn main() {
     println!("{}", tc.to_asm());
 
     // --- Figure 4: minimized violating test case -------------------------
+    // The counterexample comes from a single-cell scenario-pinned campaign
+    // matrix (the same shared pool every table bin runs): the cell replays
+    // the V1 gadget family with fresh input batches until the analyzer
+    // confirms a violation, and the postprocessor then minimizes the
+    // recorded counterexample.
     println!("=== Figure 4: minimized Spectre V1 counterexample ===");
-    let target = Target::target5();
-    let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
-        .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2));
-    let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
-    let gadget = gadgets::spectre_v1();
-    let inputs = InputGenerator::new(2).generate(&gadget, 11, 24);
-    match fuzzer.test_with_inputs(&gadget, &inputs) {
-        Ok(outcome) if outcome.confirmed_violation.is_some() => {
-            let minimized = Postprocessor::new().minimize(&mut fuzzer, &gadget, &inputs);
+    let mut target = Target::target5();
+    target.scenario = Some(Scenario::SpectreV1);
+    let report = CampaignMatrix::new(11)
+        .with_budget(8)
+        .add_cell(target.clone(), Contract::ct_seq())
+        .run();
+    match &report.cells[0].violation {
+        Some(v) => {
+            let config = FuzzerConfig::for_target(&target, Contract::ct_seq())
+                .with_executor(ExecutorConfig::fast(target.mode).with_repetitions(2));
+            let mut fuzzer = Revizor::new(target.cpu(), config).with_target(target.clone());
+            let minimized = Postprocessor::new().minimize(&mut fuzzer, &v.test_case, &v.inputs);
             println!("{}", minimized.test_case.to_asm());
             println!(
                 "leaking region (block, instruction): {:?}",
@@ -39,11 +48,11 @@ fn main() {
             );
             println!(
                 "inputs: {} -> {} after minimization",
-                inputs.len(),
+                v.inputs.len(),
                 minimized.inputs.len()
             );
         }
-        _ => println!("(no violation reproduced; rerun with a different seed)"),
+        None => println!("(no violation reproduced; rerun with a different seed)"),
     }
     println!();
 

@@ -1021,7 +1021,9 @@ const EXECUTIONS: [ExecutionClause; 4] = [
     ExecutionClause::Bpas,
     ExecutionClause::CondBpas,
 ];
-const VULN_CLASSES: [VulnClass; 8] = [
+// The array index is the wire tag: new classes must be appended at the end
+// so frames written by older builds keep decoding to the same class.
+const VULN_CLASSES: [VulnClass; 10] = [
     VulnClass::SpectreV1,
     VulnClass::SpectreV1Var,
     VulnClass::SpectreV4,
@@ -1030,6 +1032,8 @@ const VULN_CLASSES: [VulnClass; 8] = [
     VulnClass::LviNull,
     VulnClass::SpeculativeStoreEviction,
     VulnClass::Unknown,
+    VulnClass::SpectreV2,
+    VulnClass::SpectreV5Ret,
 ];
 const SOURCE_KINDS: [SourceKind; 6] = [
     SourceKind::CondBranch,

@@ -67,8 +67,11 @@ pub fn flag_value_from_args<T: std::str::FromStr>(name: &str) -> Option<T> {
 /// The machine-readable form of a matrix run (the `table3 --json` output):
 /// one object per cell with `target`, `contract`, `found`, `vulnerability`,
 /// `gadget_class`, `test_cases`, `statically_filtered`, `effectiveness`,
-/// `duration_ms` and `seed` fields, plus the run parameters and the
-/// generated / statically-filtered / measured totals.
+/// `duration_ms`, `seed`, `predictors` and `scenario` fields, plus the run
+/// parameters and the generated / statically-filtered / measured totals.
+/// `predictors` is `"default"` for the classic cells and the predictor
+/// label (e.g. `"TAGE"`) for zoo cells; `scenario` is the pinned gadget
+/// family or null.
 /// A cell's `duration_ms` is its group's attributed evaluation time
 /// ([`CellReport::detection_time`](revizor::CellReport)) — comparable to an
 /// independent per-cell campaign's duration; the top-level `duration_ms` is
@@ -92,6 +95,14 @@ pub fn matrix_report_json(report: &MatrixReport, budget: usize) -> Json {
                 .field("effectiveness", effectiveness_stats_to_json(&cell.effectiveness))
                 .field("duration_ms", cell.detection_time.as_secs_f64() * 1000.0)
                 .field("seed", report.seed)
+                .field(
+                    "predictors",
+                    match cell.target.cpu_config.predictors.label() {
+                        l if l.is_empty() => "default".to_string(),
+                        l => l,
+                    },
+                )
+                .field("scenario", cell.target.scenario.as_ref().map(|s| s.label()))
         })
         .collect();
     Json::obj()

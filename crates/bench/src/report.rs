@@ -630,6 +630,8 @@ fn vuln_class_from_label(s: &str) -> Result<VulnClass, DecodeError> {
         VulnClass::LviNull,
         VulnClass::SpeculativeStoreEviction,
         VulnClass::Unknown,
+        VulnClass::SpectreV2,
+        VulnClass::SpectreV5Ret,
     ]
     .into_iter()
     .find(|v| v.to_string() == s)

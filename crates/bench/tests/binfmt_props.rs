@@ -14,6 +14,8 @@ use rvz_bench::binfmt::{
 };
 use rvz_bench::json::{parse, Json};
 use rvz_bench::report::{matrix_checkpoint_from_json, matrix_checkpoint_to_json};
+use rvz_isa::BlockId;
+use rvz_uarch::{BranchPredictor, Btb, DirectionPredictor, TargetPredictor};
 use std::time::Duration;
 
 /// A synthetic checkpoint exercising the codec's full shape from raw
@@ -81,8 +83,73 @@ fn meta_from(bits: u64) -> Json {
         .field("stolen", bits & (1 << 63) != 0)
 }
 
+/// Splice the `history` field (which records the update interleaving and
+/// legitimately differs between the two training orders) out of a
+/// predictor's Debug rendering.
+fn strip_history(s: &str) -> String {
+    let i = s.find(" history: ").expect("rendering names the history field");
+    let j = i + s[i..].find(',').expect("history is not the last field");
+    format!("{}{}", &s[..i], &s[j..])
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Regression for the predictor-table map type: `Debug` renderings are
+    /// the canonical encoding that checkpoint digests hash, so two
+    /// predictors holding the same logical state must re-encode
+    /// byte-identically no matter which order their sites were first
+    /// observed in.  A hash-map-backed table only passes this for lucky
+    /// site sets.
+    #[test]
+    fn predictor_state_re_encodes_byte_identically(
+        raw in proptest::collection::vec(any::<u64>(), 1..24),
+    ) {
+        // Each word encodes one training batch: a site (low 6 bits) and a
+        // 1-4 long outcome sequence (remaining bits).  Collecting into an
+        // ordered map dedups sites, so each site has one well-defined
+        // sequence regardless of visit order.
+        let batches: std::collections::BTreeMap<usize, Vec<bool>> = raw
+            .iter()
+            .map(|&bits| {
+                let site = (bits & 0x3F) as usize;
+                let len = 1 + (bits >> 6 & 0x3) as usize;
+                let outcomes = (0..len).map(|k| bits >> (8 + k) & 1 == 1).collect();
+                (site, outcomes)
+            })
+            .collect();
+        // With zero history bits the per-site counters are independent, so
+        // visiting the sites in opposite orders (keeping each site's own
+        // outcome sequence) trains the same logical state.
+        let mut fwd = BranchPredictor::new();
+        let mut rev = BranchPredictor::new();
+        for (&site, outcomes) in &batches {
+            for &taken in outcomes {
+                fwd.update(site, taken);
+            }
+        }
+        for (&site, outcomes) in batches.iter().rev() {
+            for &taken in outcomes {
+                rev.update(site, taken);
+            }
+        }
+        prop_assert_eq!(
+            strip_history(&format!("{fwd:?}")),
+            strip_history(&format!("{rev:?}"))
+        );
+
+        // The BTB is a pure last-target map with no order-dependent state
+        // at all for distinct sites — renderings must match exactly.
+        let mut btb_fwd = Btb::new();
+        let mut btb_rev = Btb::new();
+        for (&site, outcomes) in &batches {
+            btb_fwd.update(site, BlockId(outcomes.len()));
+        }
+        for (&site, outcomes) in batches.iter().rev() {
+            btb_rev.update(site, BlockId(outcomes.len()));
+        }
+        prop_assert_eq!(format!("{btb_fwd:?}"), format!("{btb_rev:?}"));
+    }
 
     /// Checkpoint frames decode back to the exact value and re-encode to
     /// the exact bytes; the JSON codec agrees on the same document, so

@@ -1,5 +1,6 @@
 //! Generator configuration.
 
+use crate::scenario::Scenario;
 use rvz_isa::{IsaSubset, Reg};
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +53,12 @@ pub struct GeneratorConfig {
     /// 15/68/142/105/6/150/80/157 test cases unbiased vs 15/16/4/12/4/29/1/20
     /// biased — a ~7× mean speedup.
     pub branch_then_load_bias: bool,
+    /// Pin generation to a handwritten scenario gadget instead of random
+    /// programs (the seed still varies the input streams).  `None` — the
+    /// default, and the value absent pre-zoo configurations decode to —
+    /// keeps the random generator.
+    #[serde(default)]
+    pub scenario: Option<Scenario>,
 }
 
 impl GeneratorConfig {
@@ -68,6 +75,7 @@ impl GeneratorConfig {
             inputs_per_test_case: 50,
             randomize_line_offset: true,
             branch_then_load_bias: false,
+            scenario: None,
         }
     }
 
@@ -115,6 +123,12 @@ impl GeneratorConfig {
     /// Builder: enable or disable the branch-then-load placement bias.
     pub fn with_branch_then_load_bias(mut self, bias: bool) -> GeneratorConfig {
         self.branch_then_load_bias = bias;
+        self
+    }
+
+    /// Builder: pin generation to a scenario gadget.
+    pub fn with_scenario(mut self, scenario: Scenario) -> GeneratorConfig {
+        self.scenario = Some(scenario);
         self
     }
 }

@@ -34,7 +34,9 @@
 pub mod config;
 pub mod input_gen;
 pub mod program;
+pub mod scenario;
 
 pub use config::GeneratorConfig;
 pub use input_gen::InputGenerator;
 pub use program::ProgramGenerator;
+pub use scenario::Scenario;

@@ -42,7 +42,15 @@ impl ProgramGenerator {
     }
 
     /// Generate a test case deterministically from a seed.
+    ///
+    /// A configuration pinned to a [`Scenario`](crate::Scenario) returns
+    /// the scenario's gadget for every seed — the seed still drives the
+    /// per-test-case *input* streams, so scenario cells fuzz inputs rather
+    /// than programs.
     pub fn generate(&self, seed: u64) -> TestCase {
+        if let Some(tc) = crate::scenario::pinned_test_case(&self.config) {
+            return tc;
+        }
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut sandbox = if self.config.sandbox_pages >= 2 {
             SandboxLayout::two_pages()

@@ -132,6 +132,19 @@ impl TestCase {
         self.blocks.iter().filter(|b| b.terminator.is_conditional()).count()
     }
 
+    /// Number of indirect-jump terminators (the sites a BTB predicts).
+    pub fn indirect_branch_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.terminator, Terminator::IndirectJmp { .. }))
+            .count()
+    }
+
+    /// Number of return terminators (the sites an RSB predicts).
+    pub fn return_count(&self) -> usize {
+        self.blocks.iter().filter(|b| matches!(b.terminator, Terminator::Ret)).count()
+    }
+
     /// Number of variable-latency instructions.
     pub fn variable_latency_count(&self) -> usize {
         self.blocks

@@ -31,6 +31,10 @@ pub enum VulnClass {
     SpeculativeStoreEviction,
     /// A violation that does not match any known signature.
     Unknown,
+    /// Spectre V2 (branch target injection through the BTB).
+    SpectreV2,
+    /// Spectre V5 / ret2spec (stale RSB return-target prediction).
+    SpectreV5Ret,
 }
 
 impl fmt::Display for VulnClass {
@@ -44,6 +48,8 @@ impl fmt::Display for VulnClass {
             VulnClass::LviNull => "LVI-Null",
             VulnClass::SpeculativeStoreEviction => "spec-store-eviction",
             VulnClass::Unknown => "unknown",
+            VulnClass::SpectreV2 => "V2-BTB",
+            VulnClass::SpectreV5Ret => "V5-ret",
         };
         f.write_str(s)
     }
@@ -73,6 +79,17 @@ pub fn classify(target: &Target, contract: &Contract, tc: &TestCase) -> VulnClas
     // whose speculative stores already touch the cache.
     if !contract.expose_speculative_stores && target.cpu_config.spec_store_touches_cache {
         return VulnClass::SpeculativeStoreEviction;
+    }
+
+    // Predictor-zoo scenarios: no CT contract speculates indirect jumps or
+    // returns, so a violating test case built around those terminators
+    // identifies the predictor structure directly.  Random programs never
+    // emit either terminator, so classic-cell verdict JSON is unaffected.
+    if tc.indirect_branch_count() > 0 && !has_cb {
+        return VulnClass::SpectreV2;
+    }
+    if tc.return_count() > 0 && !has_cb {
+        return VulnClass::SpectreV5Ret;
     }
 
     let cond_permitted = contract.execution.permits_cond();
@@ -161,5 +178,23 @@ mod tests {
         assert_eq!(format!("{}", VulnClass::SpectreV1), "V1");
         assert_eq!(format!("{}", VulnClass::SpectreV4Var), "V4-var");
         assert_eq!(format!("{}", VulnClass::LviNull), "LVI-Null");
+        assert_eq!(format!("{}", VulnClass::SpectreV2), "V2-BTB");
+        assert_eq!(format!("{}", VulnClass::SpectreV5Ret), "V5-ret");
+    }
+
+    #[test]
+    fn zoo_scenarios_classify_by_terminator() {
+        let c = classify(
+            &Target::target11(),
+            &Contract::ct_cond_bpas(),
+            &gadgets::btb_aliasing_v2(),
+        );
+        assert_eq!(c, VulnClass::SpectreV2);
+        let c = classify(
+            &Target::target12(),
+            &Contract::ct_cond_bpas(),
+            &gadgets::deep_rsb_chain(20),
+        );
+        assert_eq!(c, VulnClass::SpectreV5Ret);
     }
 }

@@ -10,6 +10,11 @@
 use rvz_isa::builder::TestCaseBuilder;
 use rvz_isa::{AluOp, Cond, Reg, SandboxLayout, TestCase};
 
+// The Table 5 gadgets and the predictor-zoo gadgets are authored in
+// `rvz_gen::scenario` so campaign cells can pin them via
+// `GeneratorConfig::with_scenario`; this module re-exposes them under the
+// historical names alongside the remaining handwritten witnesses.
+
 /// The sandbox-masking constant for a one-page sandbox (`0b111111000000`).
 const MASK: i64 = 0b111111000000;
 
@@ -17,163 +22,65 @@ const MASK: i64 = 0b111111000000;
 /// dependent double load; on the mispredicted path the secret selects the
 /// address of the second load (Figure 6b of the paper).
 pub fn spectre_v1() -> TestCase {
-    TestCaseBuilder::new()
-        .origin("gadget:spectre-v1")
-        .block("entry", |b| {
-            b.and_imm(Reg::Rbx, MASK);
-            b.cmp_imm(Reg::Rax, 128); // bounds check on RAX (half of the low-entropy inputs pass)
-            b.jcc(Cond::B, "in_bounds", "done");
-        })
-        .block("in_bounds", |b| {
-            b.load(Reg::Rcx, Reg::R14, Reg::Rbx); // a = array1[b]
-            b.and_imm(Reg::Rcx, MASK);
-            b.load(Reg::Rdx, Reg::R14, Reg::Rcx); // c = array2[a]
-            b.jmp("done");
-        })
-        .block("done", |b| b.exit())
-        .build()
+    rvz_gen::scenario::spectre_v1()
 }
 
 /// Spectre V1.1 (speculative buffer overflow): the mispredicted path
 /// contains a store whose address depends on unchecked data, followed by a
 /// use of the same location.
 pub fn spectre_v1_1() -> TestCase {
-    TestCaseBuilder::new()
-        .origin("gadget:spectre-v1.1")
-        .block("entry", |b| {
-            b.and_imm(Reg::Rbx, MASK);
-            b.cmp_imm(Reg::Rax, 128);
-            b.jcc(Cond::B, "in_bounds", "done");
-        })
-        .block("in_bounds", |b| {
-            b.store(Reg::R14, Reg::Rbx, Reg::Rcx); // speculative OOB store
-            b.load(Reg::Rdx, Reg::R14, Reg::Rbx); // and a use of that location
-            b.jmp("done");
-        })
-        .block("done", |b| b.exit())
-        .build()
+    rvz_gen::scenario::spectre_v1_1()
 }
 
 /// Spectre V2 (branch target injection): an indirect jump whose target is
 /// predicted by the BTB; the mispredicted target leaks a register through a
 /// load.
 pub fn spectre_v2() -> TestCase {
-    TestCaseBuilder::new()
-        .origin("gadget:spectre-v2")
-        .block("entry", |b| {
-            b.and_imm(Reg::Rbx, MASK);
-            // Bring the target selector down to the low bits so that the
-            // cache-line-granular input values actually select different
-            // targets (and therefore mistrain the BTB).
-            b.push(rvz_isa::Instr::Shift {
-                op: rvz_isa::ShiftOp::Shr,
-                dest: rvz_isa::Operand::reg(Reg::Rax),
-                amount: rvz_isa::Operand::imm(6),
-            });
-            b.jmp_indirect(Reg::Rax, vec!["leak", "safe"]);
-        })
-        .block("leak", |b| {
-            b.load(Reg::Rcx, Reg::R14, Reg::Rbx);
-            b.jmp("done");
-        })
-        .block("safe", |b| {
-            b.nop();
-            b.jmp("done");
-        })
-        .block("done", |b| b.exit())
-        .build()
+    rvz_gen::scenario::spectre_v2()
 }
 
 /// Spectre V4 (speculative store bypass): a store with a slowly resolving
 /// address is bypassed by a younger load, whose stale value selects a
 /// dependent access.
 pub fn spectre_v4() -> TestCase {
-    TestCaseBuilder::new()
-        .origin("gadget:spectre-v4")
-        .block("entry", |b| {
-            // Slow address chain for the store.
-            b.mov_imm(Reg::Rax, 0);
-            b.imul_imm(Reg::Rax, 1);
-            b.imul_imm(Reg::Rax, 1);
-            b.imul_imm(Reg::Rax, 1);
-            b.and_imm(Reg::Rax, MASK);
-            // Overwrite the secret at [R14 + 0] with RDX.
-            b.store(Reg::R14, Reg::Rax, Reg::Rdx);
-            // The load may bypass the store and read the stale secret...
-            b.load_disp(Reg::Rbx, Reg::R14, 0);
-            // ...which then selects a dependent access.
-            b.and_imm(Reg::Rbx, MASK);
-            b.load(Reg::Rcx, Reg::R14, Reg::Rbx);
-            b.exit();
-        })
-        .build()
+    rvz_gen::scenario::spectre_v4()
 }
 
 /// Spectre V5 / ret2spec: the return address is overwritten in memory, so
 /// the RSB predicts a stale target whose body leaks a register.
 pub fn spectre_v5_ret() -> TestCase {
-    TestCaseBuilder::new()
-        .origin("gadget:spectre-v5-ret")
-        .block("entry", |b| {
-            b.and_imm(Reg::Rbx, MASK);
-            b.call("callee", "leak");
-        })
-        .block("callee", |b| {
-            // Overwrite the return address on the in-sandbox stack with the
-            // index of the "safe" block (3), diverting the architectural
-            // return while the RSB still predicts "leak".
-            b.mov_imm(Reg::Rcx, 3);
-            b.store_disp(Reg::Rsp, 0, Reg::Rcx);
-            b.ret();
-        })
-        .block("leak", |b| {
-            b.load(Reg::Rdx, Reg::R14, Reg::Rbx);
-            b.jmp("done");
-        })
-        .block("safe", |b| {
-            b.nop();
-            b.jmp("done");
-        })
-        .block("done", |b| b.exit())
-        .build()
+    rvz_gen::scenario::spectre_v5_ret()
 }
 
 /// MDS via the line-fill buffer (RIDL/ZombieLoad-style): a secret travels
 /// through the fill buffer, an assisted load transiently forwards it, and a
 /// dependent access leaks it.
 pub fn mds_lfb() -> TestCase {
-    TestCaseBuilder::new()
-        .origin("gadget:mds-lfb")
-        .sandbox(SandboxLayout::two_pages().with_assist_page(1))
-        .block("entry", |b| {
-            // Pull the secret through the memory subsystem (fill buffer).
-            b.and_imm(Reg::Rdx, MASK);
-            b.load(Reg::Rax, Reg::R14, Reg::Rdx);
-            // Assisted load from the accessed-bit-cleared page.
-            b.load_disp(Reg::Rbx, Reg::R14, 4096 + 512);
-            // Dependent access on the (transiently forwarded) value.
-            b.and_imm(Reg::Rbx, MASK);
-            b.load(Reg::Rcx, Reg::R14, Reg::Rbx);
-            b.exit();
-        })
-        .build()
+    rvz_gen::scenario::mds_lfb()
 }
 
 /// MDS via the store buffer (Fallout-style): the secret enters the memory
 /// subsystem through a store rather than a load.
 pub fn mds_sb() -> TestCase {
-    TestCaseBuilder::new()
-        .origin("gadget:mds-sb")
-        .sandbox(SandboxLayout::two_pages().with_assist_page(1))
-        .block("entry", |b| {
-            b.and_imm(Reg::Rdx, MASK);
-            b.store(Reg::R14, Reg::Rdx, Reg::Rax); // secret value RAX through the store buffer
-            b.load_disp(Reg::Rbx, Reg::R14, 4096 + 512); // assisted load
-            b.and_imm(Reg::Rbx, MASK);
-            b.load(Reg::Rcx, Reg::R14, Reg::Rbx);
-            b.exit();
-        })
-        .build()
+    rvz_gen::scenario::mds_sb()
+}
+
+/// Cross-site BTB-aliasing V2: requires an aliasing set-associative BTB
+/// (see [`rvz_gen::Scenario::BtbAliasingV2`]).
+pub fn btb_aliasing_v2() -> TestCase {
+    rvz_gen::scenario::btb_aliasing_v2()
+}
+
+/// Deep RSB over/underflow chain: requires a cyclic RSB (see
+/// [`rvz_gen::Scenario::DeepRsbChain`]).
+pub fn deep_rsb_chain(depth: usize) -> TestCase {
+    rvz_gen::scenario::deep_rsb_chain(depth)
+}
+
+/// Predictor-state-dependent leak: requires a history-sensitive direction
+/// predictor (see [`rvz_gen::Scenario::PredictorStateLeak`]).
+pub fn predictor_state_leak() -> TestCase {
+    rvz_gen::scenario::predictor_state_leak()
 }
 
 /// LVI-Null: on an MDS-patched part the assisted load transiently forwards

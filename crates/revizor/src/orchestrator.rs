@@ -344,6 +344,21 @@ impl CampaignMatrix {
         matrix
     }
 
+    /// The extended Table 3 matrix: the Table 2 targets plus the predictor
+    /// zoo (TAGE / loop-predictor fuzzing targets and the scenario-pinned
+    /// BTB-aliasing, deep-RSB and predictor-state cells), each against
+    /// every CT-* contract.  The first 32 cells are exactly [`Self::table3`],
+    /// so the classic verdicts are unchanged.
+    pub fn table3_zoo(seed: u64) -> CampaignMatrix {
+        let mut matrix = CampaignMatrix::new(seed);
+        for target in Target::catalog() {
+            for contract in Contract::table3_contracts() {
+                matrix = matrix.add_cell(target.clone(), contract);
+            }
+        }
+        matrix
+    }
+
     /// Add one (target, contract) cell.  Cells of the same target share one
     /// test-case stream and its hardware traces.
     pub fn add_cell(mut self, target: Target, contract: Contract) -> CampaignMatrix {
@@ -488,6 +503,10 @@ impl CampaignMatrix {
             .with_instructions(self.instructions)
             .with_branch_then_load_bias(self.branch_then_load_bias);
         generator.inputs_per_test_case = self.inputs_per_test_case;
+        // Scenario-pinned targets fuzz input streams over a fixed gadget;
+        // the scenario also appears in the target's Display form, so it is
+        // already part of the config digest.
+        generator.scenario = target.scenario.clone();
         generator
     }
 

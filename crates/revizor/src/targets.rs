@@ -1,17 +1,19 @@
 //! The experimental setups of Table 2.
 
 use rvz_executor::MeasurementMode;
+use rvz_gen::Scenario;
 use rvz_isa::IsaSubset;
-use rvz_uarch::{SpecCpu, UarchConfig};
+use rvz_uarch::{PredictorConfig, SpecCpu, UarchConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One testing target: a CPU (with its microcode-patch state), an ISA subset
 /// for test-case generation, and an executor measurement mode — one column
-/// of Table 2.
+/// of Table 2.  Predictor-zoo targets (9+) additionally select non-default
+/// prediction structures and may pin generation to a scenario gadget.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Target {
-    /// Target number (1-8), as in Table 2.
+    /// Target number: 1-8 as in Table 2, 9+ for the predictor zoo.
     pub id: u8,
     /// The micro-architecture configuration of the CPU under test.
     pub cpu_config: UarchConfig,
@@ -19,6 +21,11 @@ pub struct Target {
     pub isa: IsaSubset,
     /// Executor measurement mode.
     pub mode: MeasurementMode,
+    /// Pin the generator to a handwritten scenario gadget instead of random
+    /// programs.  `None` (all Table 2 targets, and the value pre-zoo
+    /// serialized targets decode to) keeps random generation.
+    #[serde(default)]
+    pub scenario: Option<Scenario>,
 }
 
 impl Target {
@@ -30,6 +37,7 @@ impl Target {
             cpu_config: UarchConfig::skylake(),
             isa: IsaSubset::AR,
             mode: MeasurementMode::prime_probe(),
+            scenario: None,
         }
     }
 
@@ -53,6 +61,7 @@ impl Target {
             cpu_config: UarchConfig::skylake_patched(),
             isa: IsaSubset::AR_MEM_VAR,
             mode: MeasurementMode::prime_probe(),
+            scenario: None,
         }
     }
 
@@ -75,6 +84,7 @@ impl Target {
             cpu_config: UarchConfig::skylake_patched(),
             isa: IsaSubset::AR_MEM,
             mode: MeasurementMode::prime_probe_assist(),
+            scenario: None,
         }
     }
 
@@ -86,6 +96,7 @@ impl Target {
             cpu_config: UarchConfig::coffee_lake(),
             isa: IsaSubset::AR_MEM,
             mode: MeasurementMode::prime_probe_assist(),
+            scenario: None,
         }
     }
 
@@ -101,6 +112,84 @@ impl Target {
             Target::target7(),
             Target::target8(),
         ]
+    }
+
+    /// Target 9: Skylake (V4 patch on) with a TAGE direction predictor,
+    /// `AR+MEM+CB` — the history-sensitive counterpart of Target 5.
+    pub fn target9() -> Target {
+        Target {
+            id: 9,
+            cpu_config: UarchConfig::skylake_patched()
+                .with_predictors(PredictorConfig::tage()),
+            ..Target::target5()
+        }
+    }
+
+    /// Target 10: Skylake (V4 patch on) with a loop predictor, `AR+MEM+CB`.
+    pub fn target10() -> Target {
+        Target {
+            id: 10,
+            cpu_config: UarchConfig::skylake_patched()
+                .with_predictors(PredictorConfig::loop_predictor()),
+            ..Target::target5()
+        }
+    }
+
+    /// Target 11: Skylake with an aliasing set-associative BTB, pinned to
+    /// the cross-site BTB-aliasing V2 scenario.
+    pub fn target11() -> Target {
+        Target {
+            id: 11,
+            cpu_config: UarchConfig::skylake_patched()
+                .with_predictors(PredictorConfig::aliasing_btb()),
+            scenario: Some(Scenario::BtbAliasingV2),
+            ..Target::target5()
+        }
+    }
+
+    /// Target 12: Skylake with a cyclic (wrap-around) RSB, pinned to the
+    /// deep RSB over/underflow chain scenario.
+    pub fn target12() -> Target {
+        Target {
+            id: 12,
+            cpu_config: UarchConfig::skylake_patched()
+                .with_predictors(PredictorConfig::cyclic_rsb(16)),
+            scenario: Some(Scenario::DeepRsbChain { depth: 20 }),
+            ..Target::target5()
+        }
+    }
+
+    /// Target 13: Skylake with a TAGE predictor, pinned to the
+    /// predictor-state-dependent leak scenario.  This cell is expected
+    /// *compliant*: TAGE's history tracks the scenario's history-correlated
+    /// victim branch, while the same scenario violates CT-SEQ on the
+    /// history-free default bimodal (the leak is pure predictor state).
+    pub fn target13() -> Target {
+        Target {
+            id: 13,
+            cpu_config: UarchConfig::skylake_patched()
+                .with_predictors(PredictorConfig::tage()),
+            scenario: Some(Scenario::PredictorStateLeak),
+            ..Target::target5()
+        }
+    }
+
+    /// The predictor-zoo targets (9+).
+    pub fn zoo() -> Vec<Target> {
+        vec![
+            Target::target9(),
+            Target::target10(),
+            Target::target11(),
+            Target::target12(),
+            Target::target13(),
+        ]
+    }
+
+    /// Every known target: Table 2 (1-8) followed by the predictor zoo.
+    pub fn catalog() -> Vec<Target> {
+        let mut targets = Target::all();
+        targets.extend(Target::zoo());
+        targets
     }
 
     /// Instantiate the CPU under test for this target.
@@ -119,6 +208,12 @@ impl Target {
             6 => Some("V1-var"),
             7 => Some("MDS"),
             8 => Some("LVI-Null"),
+            9 | 10 => Some("V1"),
+            11 => Some("V2-BTB"),
+            12 => Some("V5-ret"),
+            // Target 13 is the zoo's negative cell: TAGE tracks the
+            // history-correlated branch, so no violation is expected.
+            13 => None,
             _ => None,
         }
     }
@@ -128,6 +223,10 @@ impl Target {
     /// (not repeated because a stronger contract was already satisfied) are
     /// reported as `false`.
     pub fn paper_expects_violation(&self, contract_name: &str) -> bool {
+        if self.id == 0 || self.id > 8 {
+            // Zoo targets have no Table 3 row in the paper.
+            return false;
+        }
         let row = match contract_name {
             "CT-SEQ" => [false, true, true, false, true, true, true, true],
             "CT-BPAS" => [false, false, true, false, true, true, true, true],
@@ -141,11 +240,18 @@ impl Target {
 
 impl fmt::Display for Target {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The scenario suffix appears only when set, so the rendering of
+        // Table 2 targets — and with it every pre-zoo cell digest — is
+        // unchanged.
         write!(
             f,
             "Target {}: {} | {} | {}",
             self.id, self.cpu_config.name, self.isa, self.mode
-        )
+        )?;
+        if let Some(s) = &self.scenario {
+            write!(f, " | {}", s.label())?;
+        }
+        Ok(())
     }
 }
 
@@ -209,5 +315,49 @@ mod tests {
         assert!(s.contains("Target 7"));
         assert!(s.contains("AR+MEM"));
         assert!(s.contains("Assist"));
+    }
+
+    #[test]
+    fn catalog_extends_table2_with_the_zoo() {
+        let catalog = Target::catalog();
+        assert_eq!(catalog.len(), 13);
+        assert_eq!(&catalog[..8], &Target::all()[..]);
+        for (i, t) in catalog.iter().enumerate() {
+            assert_eq!(t.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn zoo_targets_use_non_default_predictors() {
+        for t in Target::zoo() {
+            assert!(
+                !t.cpu_config.predictors.is_default(),
+                "target {} must select a zoo predictor",
+                t.id
+            );
+            assert!(t.cpu_config.name.contains('['), "target {} name: {}", t.id, t.cpu_config.name);
+        }
+        assert!(Target::target11().scenario.is_some());
+        assert!(Target::target12().scenario.is_some());
+        assert!(Target::target13().scenario.is_some());
+        assert_eq!(Target::target9().scenario, None, "target 9 fuzzes random programs");
+    }
+
+    #[test]
+    fn zoo_display_appends_scenario_and_table2_display_is_unchanged() {
+        let t5 = format!("{}", Target::target5());
+        assert_eq!(t5, "Target 5: Skylake (V4 patch on) | AR+MEM+CB | Prime+Probe");
+        let t11 = format!("{}", Target::target11());
+        assert!(t11.contains("[btb2x2t1]"), "{t11}");
+        assert!(t11.ends_with("| V2-btb-alias"), "{t11}");
+    }
+
+    #[test]
+    fn zoo_targets_have_no_paper_row() {
+        for t in Target::zoo() {
+            for c in ["CT-SEQ", "CT-BPAS", "CT-COND", "CT-COND-BPAS"] {
+                assert!(!t.paper_expects_violation(c));
+            }
+        }
     }
 }

@@ -47,13 +47,19 @@ impl CpuUnderTest for ReferenceCpu {
 
 fn target_for(choice: usize) -> Target {
     // A spread of ISA subsets and parts: no speculation (AR), store-bypass
-    // only (AR+MEM), conditional branches, and the assist-mode Coffee Lake
-    // row with the full instruction set.
-    match choice % 4 {
+    // only (AR+MEM), conditional branches, the assist-mode Coffee Lake row
+    // with the full instruction set — and the predictor zoo (TAGE and loop
+    // directions, aliasing BTB, cyclic RSB), whose prediction structures
+    // must agree between the decoded and reference step paths too.
+    match choice % 8 {
         0 => Target::target1(),
         1 => Target::target2(),
         2 => Target::target5(),
-        _ => Target::target8(),
+        3 => Target::target8(),
+        4 => Target::target9(),
+        5 => Target::target10(),
+        6 => Target::target11(),
+        _ => Target::target12(),
     }
 }
 
@@ -66,15 +72,22 @@ proptest! {
     /// speculative CPU + executor (with assists on the target-8 rows).
     #[test]
     fn decoded_loop_is_byte_identical_to_reference(
-        choice in 0usize..4,
+        choice in 0usize..8,
         seed in any::<u64>(),
         input_seed in any::<u64>(),
     ) {
         let target = target_for(choice);
-        let tc = ProgramGenerator::new(
-            GeneratorConfig::for_subset(target.isa).with_basic_blocks(4).with_instructions(12),
-        )
-        .generate(seed);
+        // Random programs never emit calls, returns or indirect jumps, so
+        // the zoo targets' pinned scenarios (BTB aliasing, deep call
+        // chains, history-correlated branches) stand in for them: they
+        // drive the target/return predictors through both step paths.
+        let tc = match &target.scenario {
+            Some(scenario) => scenario.build(),
+            None => ProgramGenerator::new(
+                GeneratorConfig::for_subset(target.isa).with_basic_blocks(4).with_instructions(12),
+            )
+            .generate(seed),
+        };
         let inputs = InputGenerator::new(4).generate(&tc, input_seed, 6);
 
         // Architectural runner: steps, events, block order, final state —

@@ -46,7 +46,9 @@ pub struct JobSpec {
     /// visible to every authenticated client.  Carried in the spec so
     /// ownership survives spool restarts; it never affects verdicts.
     pub tenant: Option<String>,
-    /// The matrix cells: `(Table 2 target id, canonical contract name)`.
+    /// The matrix cells: `(target id, canonical contract name)`.  Target
+    /// ids resolve against [`Target::catalog`] — Table 2 (1-8) plus the
+    /// predictor zoo (9-13).
     pub cells: Vec<(u8, String)>,
 }
 
@@ -130,7 +132,7 @@ impl JobSpec {
     /// # Errors
     /// Returns a message for unknown target ids or contract names.
     pub fn to_matrix(&self) -> Result<CampaignMatrix, String> {
-        let targets = Target::all();
+        let targets = Target::catalog();
         let mut matrix = CampaignMatrix::new(self.seed)
             .with_budget(self.budget)
             .with_round_size(self.round_size)
@@ -144,7 +146,9 @@ impl JobSpec {
             let target = targets
                 .iter()
                 .find(|t| t.id == *target_id)
-                .ok_or_else(|| format!("unknown target id {target_id} (Table 2 has 1-8)"))?;
+                .ok_or_else(|| {
+                    format!("unknown target id {target_id} (Table 2 has 1-8, the predictor zoo 9-13)")
+                })?;
             let contract = contract_from_name(contract_name)
                 .ok_or_else(|| format!("unknown contract `{contract_name}`"))?;
             matrix = matrix.add_cell(target.clone(), contract);
@@ -310,5 +314,20 @@ mod tests {
     fn table3_spec_resolves_to_32_cells() {
         let matrix = JobSpec::table3(30).to_matrix().unwrap();
         assert_eq!(matrix.cells().len(), 32);
+    }
+
+    #[test]
+    fn zoo_target_ids_resolve() {
+        // Predictor-zoo cells are addressable through the same job codec;
+        // the resolved targets carry their predictor config and scenario.
+        let matrix = JobSpec::new(4)
+            .add_cell(9, "CT-SEQ")
+            .add_cell(12, "CT-COND-BPAS")
+            .to_matrix()
+            .unwrap();
+        assert_eq!(matrix.cells().len(), 2);
+        assert!(matrix.cells()[0].target.cpu_config.name.contains("TAGE"));
+        assert!(matrix.cells()[1].target.scenario.is_some());
+        assert!(JobSpec::new(4).add_cell(14, "CT-SEQ").to_matrix().is_err());
     }
 }

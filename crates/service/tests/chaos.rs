@@ -138,7 +138,10 @@ fn spawn_faulty_worker(
     })
 }
 
-/// The two jobs every plan serves, and their in-process baselines.
+/// The two jobs every plan serves, and their in-process baselines.  The
+/// second job mixes a predictor-zoo cell (target 9: TAGE direction
+/// predictor) into the sweep, so kill/steal/resume must reproduce
+/// byte-identical verdicts for non-default predictor configurations too.
 fn sweep_specs() -> Vec<JobSpec> {
     vec![
         JobSpec::new(7)
@@ -146,7 +149,11 @@ fn sweep_specs() -> Vec<JobSpec> {
             .add_cell(5, "CT-SEQ")
             .add_cell(5, "CT-BPAS")
             .add_cell(5, "CT-COND"),
-        JobSpec::new(19).with_budget(30).add_cell(5, "CT-SEQ").add_cell(1, "CT-SEQ"),
+        JobSpec::new(19)
+            .with_budget(30)
+            .add_cell(5, "CT-SEQ")
+            .add_cell(1, "CT-SEQ")
+            .add_cell(9, "CT-SEQ"),
     ]
 }
 

@@ -1,5 +1,6 @@
 //! Micro-architecture configuration and CPU presets.
 
+use crate::predictors::PredictorConfig;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the simulated micro-architecture.
@@ -54,6 +55,13 @@ pub struct UarchConfig {
     /// retire.  The paper found this true on Coffee Lake and false on
     /// Skylake (§6.4).
     pub spec_store_touches_cache: bool,
+
+    // --- prediction structures --------------------------------------------
+    /// Which prediction structures the part uses (direction / indirect
+    /// target / return).  Absent in configurations serialized before the
+    /// predictor zoo existed; the default reproduces the original trio.
+    #[serde(default)]
+    pub predictors: PredictorConfig,
 }
 
 impl UarchConfig {
@@ -76,6 +84,7 @@ impl UarchConfig {
             mds_vulnerable: true,
             lvi_null_injection: false,
             spec_store_touches_cache: false,
+            predictors: PredictorConfig::default(),
         }
     }
 
@@ -107,6 +116,7 @@ impl UarchConfig {
             mds_vulnerable: false,
             lvi_null_injection: true,
             spec_store_touches_cache: true,
+            predictors: PredictorConfig::default(),
         }
     }
 
@@ -130,7 +140,20 @@ impl UarchConfig {
             mds_vulnerable: false,
             lvi_null_injection: false,
             spec_store_touches_cache: false,
+            predictors: PredictorConfig::default(),
         }
+    }
+
+    /// Select the prediction structures.  Non-default selections append the
+    /// predictor label to the part name so reports and matrix-cell digests
+    /// distinguish the configurations; the default selection leaves the name
+    /// untouched (preserving pre-zoo digests).
+    pub fn with_predictors(mut self, predictors: PredictorConfig) -> UarchConfig {
+        if !predictors.is_default() {
+            self.name = format!("{} [{}]", self.name, predictors.label());
+        }
+        self.predictors = predictors;
+        self
     }
 
     /// Toggle the Spectre V4 (SSBD) microcode patch.
@@ -234,5 +257,16 @@ mod tests {
     #[test]
     fn default_is_skylake() {
         assert_eq!(UarchConfig::default(), UarchConfig::skylake());
+    }
+
+    #[test]
+    fn with_predictors_labels_non_default_selections() {
+        let base = UarchConfig::skylake();
+        let same = base.clone().with_predictors(PredictorConfig::default());
+        assert_eq!(same, base, "default selection must not change the config");
+
+        let tage = UarchConfig::skylake().with_predictors(PredictorConfig::tage());
+        assert_eq!(tage.name, "Skylake (V4 patch off) [TAGE]");
+        assert!(!tage.predictors.is_default());
     }
 }

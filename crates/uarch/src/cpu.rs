@@ -1,7 +1,7 @@
 //! The speculative CPU simulator.
 
 use crate::config::UarchConfig;
-use crate::predictors::{BranchPredictor, Btb, Rsb};
+use crate::predictors::{DirectionPredictor, ReturnPredictor, TargetPredictor};
 use crate::store_buffer::{StoreBuffer, StoreBufferEntry};
 use crate::timing::Timing;
 use crate::CpuUnderTest;
@@ -77,9 +77,9 @@ struct Injection {
 pub struct SpecCpu {
     config: UarchConfig,
     cache: Cache,
-    branch_predictor: BranchPredictor,
-    btb: Btb,
-    rsb: Rsb,
+    branch_predictor: Box<dyn DirectionPredictor>,
+    btb: Box<dyn TargetPredictor>,
+    rsb: Box<dyn ReturnPredictor>,
     /// Last data value moved through the memory subsystem — the stale
     /// line-fill-buffer content forwarded by MDS-vulnerable parts.
     fill_buffer: u64,
@@ -98,14 +98,10 @@ impl SpecCpu {
     /// Create a CPU with the given micro-architecture configuration and an
     /// L1D-sized cache.
     pub fn new(config: UarchConfig) -> SpecCpu {
-        SpecCpu {
-            config,
-            cache: Cache::new(CacheConfig::l1d()),
-            branch_predictor: BranchPredictor::new(),
-            btb: Btb::new(),
-            rsb: Rsb::new(),
-            fill_buffer: 0,
-        }
+        let branch_predictor = config.predictors.build_direction();
+        let btb = config.predictors.build_target();
+        let rsb = config.predictors.build_return();
+        SpecCpu { config, cache: Cache::new(CacheConfig::l1d()), branch_predictor, btb, rsb, fill_buffer: 0 }
     }
 
     /// The micro-architecture configuration.

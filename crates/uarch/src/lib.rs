@@ -57,7 +57,11 @@ pub mod timing;
 
 pub use config::UarchConfig;
 pub use cpu::{RunOptions, RunOutcome, SpecCpu};
-pub use predictors::{BranchPredictor, Btb, Rsb};
+pub use predictors::{
+    BranchPredictor, Btb, CyclicRsb, DirectionKind, DirectionPredictor, LoopPredictor,
+    PredictorConfig, ReturnKind, ReturnPredictor, Rsb, SetAssocBtb, Tage, TargetKind,
+    TargetPredictor,
+};
 pub use store_buffer::{StoreBuffer, StoreBufferEntry};
 pub use timing::Timing;
 
